@@ -1,0 +1,95 @@
+//! Criterion benchmark: forest operations surrounding balance —
+//! partition, ghost exchange, node enumeration — for context on the
+//! paper's claim that balance was the most expensive octree operation
+//! ("much more so than partitioning for example").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use forestbal_comm::Cluster;
+use forestbal_core::Condition;
+use forestbal_forest::{BalanceVariant, ReversalScheme};
+use forestbal_mesh::{ice_sheet_forest, IceSheetParams};
+
+fn bench_forest_ops(c: &mut Criterion) {
+    let params = IceSheetParams {
+        nx: 3,
+        ny: 3,
+        base_level: 1,
+        max_level: 5,
+        seed: 2012,
+    };
+    let mut g = c.benchmark_group("forest_ops_ice_sheet_p4");
+    g.sample_size(10);
+
+    g.bench_function("refine_only", |b| {
+        b.iter(|| Cluster::run(4, |ctx| ice_sheet_forest(ctx, params).num_local()))
+    });
+    g.bench_function("partition", |b| {
+        b.iter(|| {
+            Cluster::run(4, |ctx| {
+                let mut f = ice_sheet_forest(ctx, params);
+                f.partition_uniform(ctx);
+                f.num_local()
+            })
+        })
+    });
+    g.bench_function("balance_new", |b| {
+        b.iter(|| {
+            Cluster::run(4, |ctx| {
+                let mut f = ice_sheet_forest(ctx, params);
+                f.partition_uniform(ctx);
+                f.balance(
+                    ctx,
+                    Condition::full(3),
+                    BalanceVariant::New,
+                    ReversalScheme::Notify,
+                );
+                f.num_local()
+            })
+        })
+    });
+    g.bench_function("ghost_layer", |b| {
+        b.iter(|| {
+            Cluster::run(4, |ctx| {
+                let mut f = ice_sheet_forest(ctx, params);
+                f.partition_uniform(ctx);
+                f.balance(
+                    ctx,
+                    Condition::full(3),
+                    BalanceVariant::New,
+                    ReversalScheme::Notify,
+                );
+                f.ghost_layer(ctx).len()
+            })
+        })
+    });
+    g.bench_function("enumerate_nodes", |b| {
+        b.iter(|| {
+            Cluster::run(4, |ctx| {
+                let mut f = ice_sheet_forest(ctx, params);
+                f.partition_uniform(ctx);
+                f.balance(
+                    ctx,
+                    Condition::full(3),
+                    BalanceVariant::New,
+                    ReversalScheme::Notify,
+                );
+                f.enumerate_nodes(ctx).num_global_independent
+            })
+        })
+    });
+    g.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_forest_ops
+}
+criterion_main!(benches);

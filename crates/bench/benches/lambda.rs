@@ -1,0 +1,85 @@
+//! Criterion micro-benchmark: O(1) λ-based balance decisions (Table II)
+//! versus the ripple oracle they replace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use forestbal_core::oracle::oracle_balanced_pair;
+use forestbal_core::{balanced_size_log2_at, carry3, is_balanced_pair, Condition};
+use forestbal_octant::Octant;
+use std::hint::black_box;
+
+fn pairs_3d() -> Vec<(Octant<3>, Octant<3>)> {
+    let root = Octant::<3>::root();
+    let mut out = Vec::new();
+    let mut o = root.child(0);
+    for _ in 0..6 {
+        o = o.child(7);
+    }
+    for i in 1..8 {
+        out.push((o, root.child(i)));
+        out.push((o, root.child(i).child(0)));
+        out.push((o, root.child(i).child(7).child(2)));
+    }
+    out.retain(|(a, b)| !a.overlaps(b));
+    out
+}
+
+fn bench_lambda(c: &mut Criterion) {
+    let pairs = pairs_3d();
+
+    for k in 1..=3u8 {
+        let cond = Condition::new(k, 3).unwrap();
+        c.bench_function(&format!("lambda_decision_3d_k{k}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for (o, r) in &pairs {
+                    acc += is_balanced_pair(black_box(o), black_box(r), cond) as u32;
+                }
+                acc
+            })
+        });
+    }
+
+    // The oracle pays a full ripple construction per decision.
+    let root = Octant::<3>::root();
+    let cond = Condition::full(3);
+    let (o, r) = pairs[0];
+    c.bench_function("oracle_decision_3d_k3", |b| {
+        b.iter(|| oracle_balanced_pair(&root, black_box(&o), black_box(&r), cond))
+    });
+
+    c.bench_function("balanced_size_log2_at", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for (o, r) in &pairs {
+                if r.level < o.level {
+                    acc += balanced_size_log2_at(black_box(o), cond, black_box(r)) as u32;
+                }
+            }
+            acc
+        })
+    });
+
+    c.bench_function("carry3", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..64u64 {
+                acc ^= carry3(black_box(i), black_box(i * 3), black_box(i << 2));
+            }
+            acc
+        })
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_lambda
+}
+criterion_main!(benches);

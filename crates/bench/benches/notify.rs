@@ -1,0 +1,36 @@
+//! Criterion benchmark: the three pattern-reversal schemes (§V).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forestbal_comm::{reverse_naive, reverse_notify, reverse_ranges, Cluster};
+
+fn bench_reversal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pattern_reversal");
+    g.sample_size(20);
+    for p in [8usize, 24, 48] {
+        let receivers_of = move |r: usize| -> Vec<usize> { (1..=4).map(|i| (r + i) % p).collect() };
+        g.bench_with_input(BenchmarkId::new("naive", p), &p, |b, &p| {
+            b.iter(|| Cluster::run(p, |ctx| reverse_naive(ctx, &receivers_of(ctx.rank()))))
+        });
+        g.bench_with_input(BenchmarkId::new("ranges", p), &p, |b, &p| {
+            b.iter(|| Cluster::run(p, |ctx| reverse_ranges(ctx, &receivers_of(ctx.rank()), 25)))
+        });
+        g.bench_with_input(BenchmarkId::new("notify", p), &p, |b, &p| {
+            b.iter(|| Cluster::run(p, |ctx| reverse_notify(ctx, &receivers_of(ctx.rank()))))
+        });
+    }
+    g.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_reversal
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benchmark: the full one-pass parallel balance, old vs new
+//! variants, on the paper's two workloads at a modest rank count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forestbal_core::Condition;
+use forestbal_forest::{BalanceVariant, ReversalScheme};
+use forestbal_mesh::{fractal_forest, ice_sheet_forest, IceSheetParams};
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("one_pass_balance");
+    g.sample_size(10);
+
+    for &(name, variant) in &[("old", BalanceVariant::Old), ("new", BalanceVariant::New)] {
+        g.bench_with_input(
+            BenchmarkId::new("fractal_p4", name),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    forestbal_comm::Cluster::run(4, |ctx| {
+                        let mut f = fractal_forest(ctx, 2, 4);
+                        f.balance(ctx, Condition::full(3), variant, ReversalScheme::Notify);
+                        f.num_local()
+                    })
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("ice_sheet_p4", name),
+            &variant,
+            |b, &variant| {
+                let params = IceSheetParams {
+                    nx: 3,
+                    ny: 3,
+                    base_level: 1,
+                    max_level: 5,
+                    seed: 2012,
+                };
+                b.iter(|| {
+                    forestbal_comm::Cluster::run(4, |ctx| {
+                        let mut f = ice_sheet_forest(ctx, params);
+                        f.partition_uniform(ctx);
+                        f.balance(ctx, Condition::full(3), variant, ReversalScheme::Notify);
+                        f.num_local()
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // Reversal-scheme ablation inside the full algorithm.
+    let mut g = c.benchmark_group("balance_reversal_ablation");
+    g.sample_size(10);
+    for &(name, scheme) in &[
+        ("naive", ReversalScheme::Naive),
+        ("ranges", ReversalScheme::Ranges(25)),
+        ("notify", ReversalScheme::Notify),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("fractal_p6", name),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    forestbal_comm::Cluster::run(6, |ctx| {
+                        let mut f = fractal_forest(ctx, 2, 3);
+                        f.balance(ctx, Condition::full(3), BalanceVariant::New, scheme);
+                        f.num_local()
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_parallel
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmark: old vs new serial subtree balance (§III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use forestbal_bench::experiments::adapted_subtree_input;
+use forestbal_core::{balance_subtree_new, balance_subtree_old, Condition};
+use forestbal_octant::Octant;
+use std::hint::black_box;
+
+fn bench_subtree(c: &mut Criterion) {
+    let root = Octant::<3>::root();
+    let cond = Condition::full(3);
+    let mut g = c.benchmark_group("subtree_balance_3d");
+    for target in [1_000usize, 10_000, 50_000] {
+        let input = adapted_subtree_input(target, 42);
+        g.throughput(Throughput::Elements(input.len() as u64));
+        g.bench_with_input(BenchmarkId::new("old", input.len()), &input, |b, input| {
+            b.iter(|| balance_subtree_old(&root, black_box(input), cond))
+        });
+        g.bench_with_input(BenchmarkId::new("new", input.len()), &input, |b, input| {
+            b.iter(|| balance_subtree_new(&root, black_box(input), cond))
+        });
+    }
+    g.finish();
+
+    // 2D variant, corner balance.
+    let root2 = Octant::<2>::root();
+    let cond2 = Condition::full(2);
+    let mut leaf = root2;
+    for _ in 0..8 {
+        leaf = leaf.child(3).child(0);
+    }
+    let input2 = forestbal_octant::complete_subtree(&root2, &[leaf]);
+    let mut g = c.benchmark_group("subtree_balance_2d");
+    g.bench_function("old", |b| {
+        b.iter(|| balance_subtree_old(&root2, black_box(&input2), cond2))
+    });
+    g.bench_function("new", |b| {
+        b.iter(|| balance_subtree_new(&root2, black_box(&input2), cond2))
+    });
+    g.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_subtree
+}
+criterion_main!(benches);

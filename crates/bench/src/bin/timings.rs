@@ -1,0 +1,367 @@
+//! `timings` — regenerate the paper's evaluation tables and figures.
+//!
+//! Named after the p4est `timings` example the paper invokes ("The code
+//! to reproduce our results ... can be invoked by the timings example").
+//!
+//! ```text
+//! timings [--exp weak|strong|notify|subtree|seeds|ripple|all] [--max-ranks N] [--big]
+//! ```
+//!
+//! Each experiment prints a table whose rows mirror a figure of the
+//! paper; see EXPERIMENTS.md for the mapping and for paper-vs-measured
+//! notes. Absolute times are laptop-scale; shapes are the deliverable.
+
+use forestbal_bench::experiments::*;
+use forestbal_bench::report::{ratio, Table};
+use forestbal_mesh::IceSheetParams;
+
+type PhaseGetter = fn(&forestbal_forest::BalanceTimings) -> std::time::Duration;
+
+fn phase_table(title: &str, rows: &[ScalingRow], normalize: bool) -> Vec<Table> {
+    let phases: [(&str, PhaseGetter); 5] = [
+        ("Full one-pass algorithm", |t| t.total),
+        ("Local balance", |t| t.local_balance),
+        ("Query and Response", |t| t.query_response),
+        ("Local rebalance", |t| t.rebalance),
+        ("Notify/reversal", |t| t.reversal),
+    ];
+    phases
+        .iter()
+        .map(|(name, get)| {
+            let header: [&str; 6] = if normalize {
+                [
+                    "P",
+                    "level",
+                    "Moct",
+                    "old s/(Moct/rank)",
+                    "new s/(Moct/rank)",
+                    "speedup",
+                ]
+            } else {
+                [
+                    "P",
+                    "level",
+                    "Moct",
+                    "old seconds",
+                    "new seconds",
+                    "speedup",
+                ]
+            };
+            let mut t = Table::new(&format!("{title}: {name}"), &header);
+            for r in rows {
+                let old = get(&r.old.timings).as_secs_f64();
+                let new = get(&r.new.timings).as_secs_f64();
+                let (o, n) = if normalize {
+                    // Seconds per (million octants per rank): Figure 15's
+                    // y-axis.
+                    let m_per_rank = r.octants_out as f64 / 1e6 / r.ranks as f64;
+                    (old / m_per_rank, new / m_per_rank)
+                } else {
+                    (old, new)
+                };
+                t.row(vec![
+                    r.ranks.to_string(),
+                    r.level.to_string(),
+                    format!("{:.3}", r.octants_out as f64 / 1e6),
+                    format!("{o:.4}"),
+                    format!("{n:.4}"),
+                    ratio(o, n),
+                ]);
+            }
+            t
+        })
+        .collect()
+}
+
+fn run_weak(max_ranks: usize, big: bool) {
+    let base = if big { 3 } else { 2 };
+    let spread = 4; // the paper's four levels of size difference
+    let mut points = vec![(1usize, base)];
+    let mut p = 2;
+    while p <= max_ranks {
+        // One level per 8x ranks keeps octants/rank roughly constant.
+        let level = base + (p.ilog2() as u8).div_ceil(3);
+        points.push((p, level));
+        p *= 2;
+    }
+    println!("\n#### Weak scaling (Figures 14/15): fractal forest, corner balance");
+    let rows = weak_scaling_experiment(&points, spread);
+    for t in phase_table("Weak scaling", &rows, true) {
+        t.print();
+    }
+    volume_table(&rows).print();
+}
+
+fn run_strong(max_ranks: usize, big: bool) {
+    let params = if big {
+        IceSheetParams {
+            nx: 8,
+            ny: 8,
+            base_level: 2,
+            max_level: 7,
+            seed: 2012,
+        }
+    } else {
+        IceSheetParams {
+            nx: 4,
+            ny: 4,
+            base_level: 2,
+            max_level: 5,
+            seed: 2012,
+        }
+    };
+    let mut ranks = vec![];
+    let mut p = 1;
+    while p <= max_ranks {
+        ranks.push(p);
+        p *= 2;
+    }
+    println!("\n#### Strong scaling (Figures 16/17): synthetic ice sheet, corner balance");
+    let rows = strong_scaling_experiment(&ranks, params);
+    println!(
+        "mesh: {} -> {} octants after balance (paper: 55M -> 85M on Antarctica)",
+        rows[0].octants_in, rows[0].octants_out
+    );
+    for t in phase_table("Strong scaling", &rows, false) {
+        t.print();
+    }
+    // Perfect-scaling reference for the full algorithm (the red line of
+    // Figure 17): T(P) = T(1) / P.
+    let mut t = Table::new(
+        "Strong scaling: parallel efficiency (new algorithm)",
+        &["P", "new seconds", "perfect", "efficiency"],
+    );
+    let t0 = rows[0].new.timings.total.as_secs_f64() * rows[0].ranks as f64;
+    for r in &rows {
+        let perfect = t0 / r.ranks as f64;
+        let actual = r.new.timings.total.as_secs_f64();
+        t.row(vec![
+            r.ranks.to_string(),
+            format!("{actual:.4}"),
+            format!("{perfect:.4}"),
+            format!("{:.0}%", 100.0 * perfect / actual.max(1e-12)),
+        ]);
+    }
+    t.print();
+    volume_table(&rows).print();
+}
+
+/// Query/response communication volume, old vs new (the paper's
+/// "much reduced communication volume" claim for seed responses).
+fn volume_table(rows: &[ScalingRow]) -> Table {
+    let mut t = Table::new(
+        "Query/response volume (cluster totals)",
+        &[
+            "P",
+            "old query B",
+            "old resp B",
+            "new query B",
+            "new resp B",
+            "resp reduction",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.ranks.to_string(),
+            r.old.query_bytes.to_string(),
+            r.old.response_bytes.to_string(),
+            r.new.query_bytes.to_string(),
+            r.new.response_bytes.to_string(),
+            ratio(r.old.response_bytes as f64, r.new.response_bytes as f64),
+        ]);
+    }
+    t
+}
+
+fn run_notify(max_ranks: usize) {
+    let mut ranks = vec![];
+    let mut p = 4;
+    while p <= max_ranks.max(4) {
+        ranks.push(p);
+        // Include non-powers-of-two like the paper's 12-core nodes.
+        if p * 3 / 2 <= max_ranks {
+            ranks.push(p * 3 / 2);
+        }
+        p *= 2;
+    }
+    ranks.sort_unstable();
+    ranks.dedup();
+    println!("\n#### Pattern reversal (Section V, Figures 12/13/15e)");
+    let rows = notify_experiment(&ranks, 4, 25);
+    let mut t = Table::new(
+        "Reversal schemes: time and data moved",
+        &[
+            "P",
+            "naive s",
+            "ranges s",
+            "notify s",
+            "naive coll B",
+            "ranges coll B",
+            "notify p2p B",
+            "notify msgs",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.ranks.to_string(),
+            format!("{:.5}", r.naive.seconds),
+            format!("{:.5}", r.ranges.seconds),
+            format!("{:.5}", r.notify.seconds),
+            r.naive.stats.collective_bytes.to_string(),
+            r.ranges.stats.collective_bytes.to_string(),
+            r.notify.stats.bytes_sent.to_string(),
+            r.notify.stats.messages_sent.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn run_subtree(big: bool) {
+    let sizes: &[usize] = if big {
+        &[1_000, 10_000, 100_000, 400_000]
+    } else {
+        &[500, 5_000, 50_000]
+    };
+    println!("\n#### Subtree balance (Section III, Figures 6-8): old vs new");
+    let rows = subtree_experiment(sizes);
+    let mut t = Table::new(
+        "Serial subtree balance, 3D corner balance",
+        &[
+            "input",
+            "output",
+            "old s",
+            "new s",
+            "speedup",
+            "hash q old",
+            "hash q new",
+            "sort old",
+            "sort new",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.input_len.to_string(),
+            r.new_stats.output_len.to_string(),
+            format!("{:.4}", r.old_seconds),
+            format!("{:.4}", r.new_seconds),
+            ratio(r.old_seconds, r.new_seconds),
+            r.old_stats.hash_queries.to_string(),
+            r.new_stats.hash_queries.to_string(),
+            r.old_stats.sorted_len.to_string(),
+            r.new_stats.sorted_len.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn run_seeds() {
+    println!("\n#### Balancing remote octants (Section IV, Figures 4b/9)");
+    let depths: Vec<u8> = (4..=12).step_by(2).collect();
+    let rows = seeds_distance_experiment(&depths, 20);
+    let mut t = Table::new(
+        "T_k(o) ∩ r reconstruction: auxiliary cascade vs seeds",
+        &[
+            "scale levels",
+            "overlap",
+            "seeds",
+            "old s",
+            "new s",
+            "speedup",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.scale_levels.to_string(),
+            r.overlap_len.to_string(),
+            r.seed_count.to_string(),
+            format!("{:.6}", r.old_seconds),
+            format!("{:.6}", r.new_seconds),
+            ratio(r.old_seconds, r.new_seconds),
+        ]);
+    }
+    t.print();
+}
+
+fn run_ripple(max_ranks: usize) {
+    println!("\n#### Ripple baseline ablation (Section II-B)");
+    let mut ranks = vec![];
+    let mut p = 2;
+    while p <= max_ranks {
+        ranks.push(p);
+        p *= 2;
+    }
+    let rows = ripple_ablation_experiment(&ranks, 2, 4);
+    let mut t = Table::new(
+        "One-pass vs multi-round ripple, fractal forest",
+        &[
+            "P",
+            "one-pass s",
+            "ripple s",
+            "ripple rounds",
+            "one-pass msgs",
+            "ripple msgs",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.ranks.to_string(),
+            format!("{:.4}", r.one_pass_seconds),
+            format!("{:.4}", r.ripple_seconds),
+            r.ripple_rounds.to_string(),
+            r.one_pass_msgs.to_string(),
+            r.ripple_msgs.to_string(),
+        ]);
+    }
+    t.print();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut exp = "all".to_string();
+    let mut max_ranks = 8usize;
+    let mut big = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                exp = args[i + 1].clone();
+                i += 2;
+            }
+            "--max-ranks" => {
+                max_ranks = args[i + 1].parse().expect("--max-ranks N");
+                i += 2;
+            }
+            "--big" => {
+                big = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!(
+                    "usage: timings [--exp weak|strong|notify|subtree|seeds|ripple|all] \
+                     [--max-ranks N] [--big]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let all = exp == "all";
+    if all || exp == "subtree" {
+        run_subtree(big);
+    }
+    if all || exp == "seeds" {
+        run_seeds();
+    }
+    if all || exp == "notify" {
+        run_notify(max_ranks.max(16));
+    }
+    if all || exp == "weak" {
+        run_weak(max_ranks, big);
+    }
+    if all || exp == "strong" {
+        run_strong(max_ranks, big);
+    }
+    if all || exp == "ripple" {
+        run_ripple(max_ranks);
+    }
+}

@@ -1,0 +1,487 @@
+//! Experiment drivers, one per evaluation table/figure.
+//!
+//! Absolute numbers are laptop-scale (simulated ranks are threads); the
+//! quantities mirrored from the paper are the *shapes*: per-phase time
+//! normalized by octants per rank (weak scaling, Figure 15), per-phase
+//! time versus rank count (strong scaling, Figure 17), message counts and
+//! volumes for the reversal schemes (§V), operation counts for the
+//! subtree algorithms (§III), and distance-independence of seed-based
+//! responses (§IV).
+
+use forestbal_comm::{reverse_naive, reverse_notify, reverse_ranges, Cluster, CommStats};
+use forestbal_core::{
+    balance_subtree_new_with_stats, balance_subtree_old_ext, balance_subtree_old_with_stats,
+    find_seeds, reconstruct_from_seeds, BalanceStats, Condition,
+};
+use forestbal_forest::{BalanceReport, BalanceVariant, Forest, ReversalScheme};
+use forestbal_mesh::{fractal_forest, ice_sheet_forest, IceSheetParams};
+use forestbal_octant::{complete_subtree, linearize, Octant};
+use std::time::{Duration, Instant};
+
+/// One row of a scaling study: both variants on the same mesh. Timings
+/// are cluster maxima; volumes are cluster sums.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Simulated rank count.
+    pub ranks: usize,
+    /// Refinement level parameter of the workload.
+    pub level: u8,
+    /// Global octants before balance.
+    pub octants_in: u64,
+    /// Global octants after balance.
+    pub octants_out: u64,
+    /// Old-variant report (cluster-aggregated).
+    pub old: BalanceReport,
+    /// New-variant report (cluster-aggregated).
+    pub new: BalanceReport,
+}
+
+fn run_balance_3d(
+    p: usize,
+    variant: BalanceVariant,
+    build: impl Fn(&forestbal_comm::RankCtx) -> Forest<3> + Sync,
+) -> (u64, u64, BalanceReport) {
+    let out = Cluster::run(p, |ctx| {
+        let mut f = build(ctx);
+        let before = f.num_global(ctx);
+        ctx.barrier();
+        let rep = f.balance_with_report(ctx, Condition::full(3), variant, ReversalScheme::Notify);
+        let after = f.num_global(ctx);
+        (before, after, rep)
+    });
+    let before = out.results[0].0;
+    let after = out.results[0].1;
+    let rep = out
+        .results
+        .iter()
+        .map(|r| r.2)
+        .fold(BalanceReport::default(), |a, b| a.combine(&b));
+    (before, after, rep)
+}
+
+/// Weak scaling (Figures 14/15): the fractal forest, level growing with
+/// the rank count to hold octants-per-rank roughly constant.
+pub fn weak_scaling_experiment(points: &[(usize, u8)], spread: u8) -> Vec<ScalingRow> {
+    points
+        .iter()
+        .map(|&(p, level)| {
+            let (i1, o1, old) = run_balance_3d(p, BalanceVariant::Old, |ctx| {
+                fractal_forest(ctx, level, spread)
+            });
+            let (i2, o2, new) = run_balance_3d(p, BalanceVariant::New, |ctx| {
+                fractal_forest(ctx, level, spread)
+            });
+            assert_eq!(i1, i2);
+            assert_eq!(o1, o2, "variants disagree on the balanced mesh size");
+            ScalingRow {
+                ranks: p,
+                level,
+                octants_in: i1,
+                octants_out: o1,
+                old,
+                new,
+            }
+        })
+        .collect()
+}
+
+/// Strong scaling (Figures 16/17): a fixed synthetic ice-sheet mesh,
+/// repartitioned and balanced on increasing rank counts.
+pub fn strong_scaling_experiment(ranks: &[usize], params: IceSheetParams) -> Vec<ScalingRow> {
+    ranks
+        .iter()
+        .map(|&p| {
+            let build = |ctx: &forestbal_comm::RankCtx| {
+                let mut f = ice_sheet_forest(ctx, params);
+                f.partition_uniform(ctx);
+                f
+            };
+            let (i1, o1, old) = run_balance_3d(p, BalanceVariant::Old, build);
+            let (i2, o2, new) = run_balance_3d(p, BalanceVariant::New, build);
+            assert_eq!(i1, i2);
+            assert_eq!(o1, o2, "variants disagree on the balanced mesh size");
+            ScalingRow {
+                ranks: p,
+                level: params.max_level,
+                octants_in: i1,
+                octants_out: o1,
+                old,
+                new,
+            }
+        })
+        .collect()
+}
+
+/// One reversal scheme's cost on one pattern.
+#[derive(Clone, Copy, Debug)]
+pub struct ReversalCost {
+    /// Slowest-rank wall clock.
+    pub seconds: f64,
+    /// Cluster-total communication counters.
+    pub stats: CommStats,
+}
+
+/// One row of the pattern-reversal study (§V / Figures 12, 13, 15e).
+#[derive(Clone, Debug)]
+pub struct NotifyRow {
+    /// Simulated rank count.
+    pub ranks: usize,
+    /// Figure 12's Allgather/Allgatherv scheme.
+    pub naive: ReversalCost,
+    /// The fixed-size Ranges encoding.
+    pub ranges: ReversalCost,
+    /// The paper's Notify algorithm (Figure 13).
+    pub notify: ReversalCost,
+}
+
+/// Compare the three reversal schemes on a curve-local pattern where each
+/// rank addresses its `fanout` nearest successors (the typical shape of
+/// balance queries along the space-filling curve).
+pub fn notify_experiment(ranks: &[usize], fanout: usize, max_ranges: usize) -> Vec<NotifyRow> {
+    ranks
+        .iter()
+        .map(|&p| {
+            let receivers_of = move |r: usize| -> Vec<usize> {
+                (1..=fanout)
+                    .map(|i| (r + i) % p)
+                    .filter(|&q| q != r)
+                    .collect()
+            };
+            let timed = |which: u8| -> ReversalCost {
+                let out = Cluster::run(p, |ctx| {
+                    let rs = receivers_of(ctx.rank());
+                    ctx.barrier();
+                    let t0 = Instant::now();
+                    let senders = match which {
+                        0 => reverse_naive(ctx, &rs),
+                        1 => reverse_ranges(ctx, &rs, max_ranges),
+                        _ => reverse_notify(ctx, &rs),
+                    };
+                    let dt = t0.elapsed();
+                    assert!(!senders.is_empty() || p == 1);
+                    dt
+                });
+                let seconds = out
+                    .results
+                    .iter()
+                    .map(Duration::as_secs_f64)
+                    .fold(0.0, f64::max);
+                ReversalCost {
+                    seconds,
+                    stats: out.total_stats(),
+                }
+            };
+            NotifyRow {
+                ranks: p,
+                naive: timed(0),
+                ranges: timed(1),
+                notify: timed(2),
+            }
+        })
+        .collect()
+}
+
+/// Rayon-parallel 2:1 verification of a sorted linear octree — lets the
+/// benchmark harness validate multi-million-leaf outputs without paying
+/// the serial oracle's cost.
+pub fn par_is_balanced<const D: usize>(
+    leaves: &[Octant<D>],
+    root: &Octant<D>,
+    cond: Condition,
+) -> bool {
+    use rayon::prelude::*;
+    let containing = |q: &Octant<D>| -> Option<&Octant<D>> {
+        let i = leaves.partition_point(|x| x <= q);
+        (i > 0 && leaves[i - 1].contains(q)).then(|| &leaves[i - 1])
+    };
+    leaves.par_iter().all(|o| {
+        forestbal_octant::directions::<D>().all(|dir| {
+            if !cond.constrains(forestbal_octant::codim(&dir)) {
+                return true;
+            }
+            let n = o.neighbor(&dir);
+            if !root.contains(&n) {
+                return true;
+            }
+            match containing(&n) {
+                Some(c) => c.level + 1 >= o.level,
+                None => true,
+            }
+        })
+    })
+}
+
+/// One row of the ripple-vs-one-pass ablation (§II-B).
+#[derive(Clone, Debug)]
+pub struct RippleRow {
+    /// Simulated rank count.
+    pub ranks: usize,
+    /// Slowest-rank time of the one-pass algorithm.
+    pub one_pass_seconds: f64,
+    /// Slowest-rank time of the multi-round ripple baseline.
+    pub ripple_seconds: f64,
+    /// Communication rounds the ripple needed to converge.
+    pub ripple_rounds: u32,
+    /// Cluster-total p2p messages of the one-pass algorithm.
+    pub one_pass_msgs: u64,
+    /// Cluster-total p2p messages of the ripple baseline.
+    pub ripple_msgs: u64,
+}
+
+/// Compare the one-pass algorithm against the multi-round ripple baseline
+/// on the fractal workload: the ripple needs a number of communication
+/// rounds that grows with the refinement's reach, the one-pass algorithm
+/// always uses a single query/response round.
+pub fn ripple_ablation_experiment(ranks: &[usize], level: u8, spread: u8) -> Vec<RippleRow> {
+    ranks
+        .iter()
+        .map(|&p| {
+            let one = Cluster::run(p, |ctx| {
+                let mut f = fractal_forest(ctx, level, spread);
+                ctx.barrier();
+                let t0 = Instant::now();
+                f.balance(
+                    ctx,
+                    Condition::full(3),
+                    BalanceVariant::New,
+                    ReversalScheme::Notify,
+                );
+                (t0.elapsed().as_secs_f64(), f.checksum(ctx))
+            });
+            let rip = Cluster::run(p, |ctx| {
+                let mut f = fractal_forest(ctx, level, spread);
+                ctx.barrier();
+                let t0 = Instant::now();
+                let stats = f.balance_ripple(ctx, Condition::full(3));
+                (t0.elapsed().as_secs_f64(), f.checksum(ctx), stats.rounds)
+            });
+            assert_eq!(one.results[0].1, rip.results[0].1, "baselines disagree");
+            RippleRow {
+                ranks: p,
+                one_pass_seconds: one.results.iter().map(|r| r.0).fold(0.0, f64::max),
+                ripple_seconds: rip.results.iter().map(|r| r.0).fold(0.0, f64::max),
+                ripple_rounds: rip.results.iter().map(|r| r.2).max().unwrap(),
+                one_pass_msgs: one.total_stats().messages_sent,
+                ripple_msgs: rip.total_stats().messages_sent,
+            }
+        })
+        .collect()
+}
+
+/// One row of the serial subtree-balance study (§III / Figures 6-8).
+#[derive(Clone, Debug)]
+pub struct SubtreeRow {
+    /// Leaves in the input octree.
+    pub input_len: usize,
+    /// Old algorithm wall clock.
+    pub old_seconds: f64,
+    /// New algorithm wall clock.
+    pub new_seconds: f64,
+    /// Old algorithm operation counts.
+    pub old_stats: BalanceStats,
+    /// New algorithm operation counts.
+    pub new_stats: BalanceStats,
+}
+
+/// Generate a complete, adapted 3D input octree of roughly `target`
+/// leaves by completing around pseudo-random deep pins.
+pub fn adapted_subtree_input(target: usize, seed: u64) -> Vec<Octant<3>> {
+    let root = Octant::<3>::root();
+    let mut pins = Vec::new();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    // Each deep pin completes to ~ depth * 7 octants.
+    let n_pins = (target / 40).max(1);
+    for _ in 0..n_pins {
+        let mut o = root;
+        let depth = 4 + (next() % 4) as u8;
+        for _ in 0..depth {
+            o = o.child((next() % 8) as usize);
+        }
+        pins.push(o);
+    }
+    linearize(&mut pins);
+    complete_subtree(&root, &pins)
+}
+
+/// Compare the old and new subtree balance on adapted inputs.
+pub fn subtree_experiment(targets: &[usize]) -> Vec<SubtreeRow> {
+    let root = Octant::<3>::root();
+    let cond = Condition::full(3);
+    targets
+        .iter()
+        .map(|&n| {
+            let input = adapted_subtree_input(n, 0x5eed ^ n as u64);
+            let t0 = Instant::now();
+            let (out_old, old_stats) = balance_subtree_old_with_stats(&root, &input, cond);
+            let old_seconds = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let (out_new, new_stats) = balance_subtree_new_with_stats(&root, &input, cond);
+            let new_seconds = t0.elapsed().as_secs_f64();
+            assert_eq!(out_old, out_new, "algorithms disagree");
+            assert!(par_is_balanced(&out_new, &root, cond), "output unbalanced");
+            SubtreeRow {
+                input_len: input.len(),
+                old_seconds,
+                new_seconds,
+                old_stats,
+                new_stats,
+            }
+        })
+        .collect()
+}
+
+/// One row of the seed-vs-auxiliary study (§IV / Figures 4b and 9).
+#[derive(Clone, Debug)]
+pub struct SeedsRow {
+    /// Scale separation: levels between the fine source octant and the
+    /// coarse query octant (the "distance" the old algorithm bridges with
+    /// auxiliary octants).
+    pub scale_levels: u8,
+    /// Auxiliary-cascade reconstruction wall clock.
+    pub old_seconds: f64,
+    /// Seed-based reconstruction wall clock.
+    pub new_seconds: f64,
+    /// Leaves reconstructed inside the query octant.
+    pub overlap_len: usize,
+    /// Seed octants sent (<= 3^(d-1)).
+    pub seed_count: usize,
+}
+
+/// Reconstruct `T_k(o) ∩ r` for a source octant `o` of increasing depth
+/// hugging the query octant `r`: the old way (auxiliary-octant cascade
+/// from the raw octant across the scale gap) does work growing with the
+/// separation, the new way (λ seeds) only pays for the overlap itself.
+pub fn seeds_distance_experiment(depths: &[u8], reps: usize) -> Vec<SeedsRow> {
+    let cond = Condition::full(2);
+    let root = Octant::<2>::root();
+    let r = root.child(1); // query octant: level 1, right half-ish
+    let left = root.child(0);
+    depths
+        .iter()
+        .map(|&depth| {
+            assert!(depth > r.level + 1 && depth <= forestbal_octant::MAX_LEVEL);
+            // Source: depth-level octant hugging r's left edge.
+            let mut o = left;
+            while o.level < depth {
+                o = o.child(1); // x-high, y-low corner
+            }
+            assert!(!o.overlaps(&r));
+
+            let t0 = Instant::now();
+            let mut old_out = Vec::new();
+            for _ in 0..reps {
+                old_out = balance_subtree_old_ext(&r, &[], &[o], cond).0;
+            }
+            let old_seconds = t0.elapsed().as_secs_f64() / reps as f64;
+
+            let t0 = Instant::now();
+            let mut new_out = Vec::new();
+            let mut seed_count = 0;
+            for _ in 0..reps {
+                match find_seeds(&o, &r, cond) {
+                    Some(seeds) => {
+                        seed_count = seeds.len();
+                        new_out = reconstruct_from_seeds(&r, &seeds, cond);
+                    }
+                    None => {
+                        seed_count = 0;
+                        new_out = vec![r];
+                    }
+                }
+            }
+            let new_seconds = t0.elapsed().as_secs_f64() / reps as f64;
+            assert_eq!(old_out, new_out, "depth {depth}: reconstructions differ");
+            SeedsRow {
+                scale_levels: depth - r.level,
+                old_seconds,
+                new_seconds,
+                overlap_len: new_out.len(),
+                seed_count,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapted_input_is_complete_and_scales() {
+        let a = adapted_subtree_input(200, 1);
+        let b = adapted_subtree_input(2000, 1);
+        assert!(forestbal_octant::is_complete(&a, &Octant::root()));
+        assert!(b.len() > a.len());
+    }
+
+    #[test]
+    fn subtree_rows_report_savings() {
+        let rows = subtree_experiment(&[400]);
+        let r = &rows[0];
+        assert!(r.new_stats.hash_queries < r.old_stats.hash_queries);
+        assert!(r.new_stats.sorted_len < r.old_stats.sorted_len);
+        assert_eq!(r.new_stats.output_len, r.old_stats.output_len);
+    }
+
+    #[test]
+    fn seeds_rows_agree_across_distance() {
+        let rows = seeds_distance_experiment(&[5, 8], 1);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.overlap_len > 1, "deep hugger must split the query octant");
+            assert!(r.seed_count >= 1);
+        }
+        // Deeper source means a richer overlap.
+        assert!(rows[1].overlap_len > rows[0].overlap_len);
+    }
+
+    #[test]
+    fn notify_experiment_small() {
+        let rows = notify_experiment(&[4, 6], 2, 2);
+        for r in &rows {
+            // Notify sends P log2 P messages; naive sends none (pure
+            // collectives).
+            assert_eq!(r.naive.stats.messages_sent, 0);
+            assert!(r.notify.stats.messages_sent > 0);
+        }
+    }
+
+    #[test]
+    fn ripple_ablation_smoke() {
+        let rows = ripple_ablation_experiment(&[2, 4], 1, 3);
+        for r in &rows {
+            assert!(r.ripple_rounds >= 1);
+            assert!(r.ripple_msgs > 0 || r.ranks == 1);
+        }
+    }
+
+    #[test]
+    fn weak_scaling_smoke() {
+        let rows = weak_scaling_experiment(&[(1, 1), (2, 1)], 3);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.octants_out >= r.octants_in);
+            assert!(r.new.timings.total <= r.old.timings.total * 20, "sanity");
+        }
+    }
+
+    #[test]
+    fn strong_scaling_smoke() {
+        let params = IceSheetParams {
+            nx: 2,
+            ny: 2,
+            base_level: 1,
+            max_level: 4,
+            seed: 1,
+        };
+        let rows = strong_scaling_experiment(&[1, 2], params);
+        assert_eq!(rows[0].octants_in, rows[1].octants_in);
+        assert_eq!(rows[0].octants_out, rows[1].octants_out);
+    }
+}

@@ -1,0 +1,17 @@
+//! Benchmark harnesses reproducing the IPDPS'12 evaluation.
+//!
+//! [`experiments`] holds one driver per paper table/figure; the `timings`
+//! binary (named after p4est's `timings` example, which produced the
+//! paper's numbers) prints them as tables. Criterion micro-benchmarks for
+//! the serial kernels live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    adapted_subtree_input, notify_experiment, par_is_balanced, ripple_ablation_experiment,
+    seeds_distance_experiment, strong_scaling_experiment, subtree_experiment,
+    weak_scaling_experiment,
+};

@@ -1,0 +1,104 @@
+//! Minimal fixed-width table printing for the experiment drivers.
+
+/// A printable table: header row plus data rows of equal arity.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to a string with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds with 3 significant-ish decimals.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// Format a ratio like "3.4x".
+pub fn ratio(num: f64, den: f64) -> String {
+    if den == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}x", num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "2000000".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("2000000"));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        // Data lines share the same width.
+        assert_eq!(lines[4].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(1.0, 0.0), "-");
+        assert_eq!(ratio(7.0, 2.0), "3.50x");
+    }
+}

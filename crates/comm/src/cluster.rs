@@ -1,0 +1,407 @@
+//! Ranks, point-to-point messaging, and collectives.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// One message in flight.
+struct Envelope {
+    src: usize,
+    tag: u32,
+    data: Vec<u8>,
+}
+
+/// Per-rank communication counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages sent.
+    pub messages_sent: u64,
+    /// Point-to-point payload bytes sent.
+    pub bytes_sent: u64,
+    /// Collective operations entered (allgather, barrier).
+    pub collective_calls: u64,
+    /// Bytes this rank contributed to collectives.
+    pub collective_bytes: u64,
+}
+
+impl CommStats {
+    /// Componentwise sum, for cluster-wide totals.
+    pub fn merge(&self, other: &CommStats) -> CommStats {
+        CommStats {
+            messages_sent: self.messages_sent + other.messages_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            collective_calls: self.collective_calls + other.collective_calls,
+            collective_bytes: self.collective_bytes + other.collective_bytes,
+        }
+    }
+}
+
+/// Reusable generation-counted allgather/barrier state.
+struct GatherState {
+    /// Round currently accepting contributions.
+    gen: u64,
+    /// Contributions for the current round.
+    entries: Vec<Option<Vec<u8>>>,
+    arrived: usize,
+    /// Completed round and its result.
+    result_gen: Option<u64>,
+    result: Option<Arc<Vec<Vec<u8>>>>,
+}
+
+struct Shared {
+    size: usize,
+    mailboxes: Vec<Sender<Envelope>>,
+    gather: Mutex<GatherState>,
+    gather_cv: Condvar,
+}
+
+/// Handle through which a simulated rank communicates.
+///
+/// Not `Clone`: exactly one per rank, owned by the rank's closure.
+pub struct RankCtx {
+    rank: usize,
+    shared: Arc<Shared>,
+    inbox: Receiver<Envelope>,
+    /// Messages received but not yet matched by a `recv` call.
+    pending: RefCell<Vec<Envelope>>,
+    stats: RefCell<CommStats>,
+}
+
+impl RankCtx {
+    /// This rank's id in `0..size()`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the cluster.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// Send `data` to rank `dst` with a matching `tag`.
+    pub fn send(&self, dst: usize, tag: u32, data: Vec<u8>) {
+        let mut st = self.stats.borrow_mut();
+        st.messages_sent += 1;
+        st.bytes_sent += data.len() as u64;
+        drop(st);
+        self.shared.mailboxes[dst]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                data,
+            })
+            .expect("destination rank hung up");
+    }
+
+    /// Receive a message with tag `tag`, optionally from a specific
+    /// source. Blocks until a matching message arrives; non-matching
+    /// messages are buffered. Returns `(src, data)`.
+    pub fn recv(&self, src: Option<usize>, tag: u32) -> (usize, Vec<u8>) {
+        let matches = |e: &Envelope| e.tag == tag && src.is_none_or(|s| s == e.src);
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(i) = pending.iter().position(&matches) {
+                let e = pending.swap_remove(i);
+                return (e.src, e.data);
+            }
+        }
+        loop {
+            let e = self
+                .inbox
+                .recv()
+                .expect("cluster shut down while receiving");
+            if matches(&e) {
+                return (e.src, e.data);
+            }
+            self.pending.borrow_mut().push(e);
+        }
+    }
+
+    /// Gather one variable-length buffer from every rank (the semantics of
+    /// `MPI_Allgatherv`; with equal lengths this is `MPI_Allgather`).
+    /// Returns the contributions indexed by rank.
+    pub fn allgather(&self, data: Vec<u8>) -> Arc<Vec<Vec<u8>>> {
+        {
+            let mut st = self.stats.borrow_mut();
+            st.collective_calls += 1;
+            st.collective_bytes += data.len() as u64;
+        }
+        let shared = &self.shared;
+        let mut g = shared.gather.lock();
+        let my_gen = g.gen;
+        debug_assert!(g.entries[self.rank].is_none(), "double allgather entry");
+        g.entries[self.rank] = Some(data);
+        g.arrived += 1;
+        if g.arrived == shared.size {
+            let entries: Vec<Vec<u8>> = g.entries.iter_mut().map(|e| e.take().unwrap()).collect();
+            g.result = Some(Arc::new(entries));
+            g.result_gen = Some(my_gen);
+            g.gen += 1;
+            g.arrived = 0;
+            shared.gather_cv.notify_all();
+        } else {
+            shared
+                .gather_cv
+                .wait_while(&mut g, |g| g.result_gen != Some(my_gen));
+        }
+        Arc::clone(g.result.as_ref().unwrap())
+    }
+
+    /// Block until every rank has entered the barrier.
+    pub fn barrier(&self) {
+        self.allgather(Vec::new());
+    }
+
+    /// Allreduce a `u64` with a combining function (sum, max, ...).
+    pub fn allreduce_u64(&self, v: u64, combine: impl Fn(u64, u64) -> u64) -> u64 {
+        let all = self.allgather(v.to_le_bytes().to_vec());
+        all.iter()
+            .map(|b| u64::from_le_bytes(b.as_slice().try_into().unwrap()))
+            .reduce(&combine)
+            .expect("at least one rank")
+    }
+
+    /// Allreduce: cluster-wide sum of a `u64`.
+    pub fn allreduce_sum(&self, v: u64) -> u64 {
+        self.allreduce_u64(v, |a, b| a.wrapping_add(b))
+    }
+
+    /// Allreduce: cluster-wide maximum of a `u64`.
+    pub fn allreduce_max(&self, v: u64) -> u64 {
+        self.allreduce_u64(v, u64::max)
+    }
+
+    /// Allreduce: do all ranks agree this flag is true?
+    pub fn allreduce_and(&self, v: bool) -> bool {
+        self.allreduce_u64(v as u64, |a, b| a & b) != 0
+    }
+
+    /// Allreduce: does any rank set this flag?
+    pub fn allreduce_or(&self, v: bool) -> bool {
+        self.allreduce_u64(v as u64, |a, b| a | b) != 0
+    }
+
+    /// Snapshot of this rank's communication counters.
+    pub fn stats(&self) -> CommStats {
+        *self.stats.borrow()
+    }
+}
+
+/// Results of a cluster run: per-rank closure outputs and counters, both
+/// indexed by rank.
+pub struct RunOutput<T> {
+    /// The closure's return value per rank.
+    pub results: Vec<T>,
+    /// Communication counters per rank.
+    pub stats: Vec<CommStats>,
+}
+
+impl<T> RunOutput<T> {
+    /// Cluster-wide total of the per-rank counters.
+    pub fn total_stats(&self) -> CommStats {
+        self.stats
+            .iter()
+            .fold(CommStats::default(), |a, b| a.merge(b))
+    }
+}
+
+/// A simulated cluster.
+pub struct Cluster;
+
+impl Cluster {
+    /// Run `f` on `size` ranks, each on its own thread, and collect the
+    /// per-rank results. Panics in any rank propagate.
+    pub fn run<T, F>(size: usize, f: F) -> RunOutput<T>
+    where
+        T: Send,
+        F: Fn(&RankCtx) -> T + Send + Sync,
+    {
+        assert!(size >= 1, "a cluster needs at least one rank");
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..size).map(|_| unbounded::<Envelope>()).unzip();
+        let shared = Arc::new(Shared {
+            size,
+            mailboxes: senders,
+            gather: Mutex::new(GatherState {
+                gen: 0,
+                entries: (0..size).map(|_| None).collect(),
+                arrived: 0,
+                result_gen: None,
+                result: None,
+            }),
+            gather_cv: Condvar::new(),
+        });
+
+        let f = &f;
+        let mut out: Vec<Option<(T, CommStats)>> = (0..size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(rank, inbox)| {
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        let ctx = RankCtx {
+                            rank,
+                            shared,
+                            inbox,
+                            pending: RefCell::new(Vec::new()),
+                            stats: RefCell::new(CommStats::default()),
+                        };
+                        let r = f(&ctx);
+                        let stats = ctx.stats();
+                        (r, stats)
+                    })
+                })
+                .collect();
+            for (slot, h) in out.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("rank panicked"));
+            }
+        });
+
+        let (results, stats) = out.into_iter().map(Option::unwrap).unzip();
+        RunOutput { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_runs() {
+        let out = Cluster::run(1, |ctx| {
+            assert_eq!(ctx.rank(), 0);
+            assert_eq!(ctx.size(), 1);
+            42
+        });
+        assert_eq!(out.results, vec![42]);
+    }
+
+    #[test]
+    fn ring_pass() {
+        let out = Cluster::run(5, |ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(next, 7, vec![ctx.rank() as u8]);
+            let (src, data) = ctx.recv(Some(prev), 7);
+            assert_eq!(src, prev);
+            data[0] as usize
+        });
+        assert_eq!(out.results, vec![4, 0, 1, 2, 3]);
+        let total = out.total_stats();
+        assert_eq!(total.messages_sent, 5);
+        assert_eq!(total.bytes_sent, 5);
+    }
+
+    #[test]
+    fn recv_filters_by_tag() {
+        let out = Cluster::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![1]);
+                ctx.send(1, 2, vec![2]);
+                0
+            } else {
+                // Receive tag 2 first even though tag 1 arrives first.
+                let (_, d2) = ctx.recv(Some(0), 2);
+                let (_, d1) = ctx.recv(Some(0), 1);
+                (d2[0] * 10 + d1[0]) as usize
+            }
+        });
+        assert_eq!(out.results[1], 21);
+    }
+
+    #[test]
+    fn recv_any_source() {
+        let out = Cluster::run(3, |ctx| {
+            if ctx.rank() == 0 {
+                let mut sum = 0u64;
+                for _ in 0..2 {
+                    let (_, d) = ctx.recv(None, 9);
+                    sum += d[0] as u64;
+                }
+                sum
+            } else {
+                ctx.send(0, 9, vec![ctx.rank() as u8]);
+                0
+            }
+        });
+        assert_eq!(out.results[0], 3);
+    }
+
+    #[test]
+    fn allgather_variable_sizes() {
+        let out = Cluster::run(4, |ctx| {
+            let mine = vec![ctx.rank() as u8; ctx.rank() + 1];
+            let all = ctx.allgather(mine);
+            all.iter().map(|v| v.len()).collect::<Vec<_>>()
+        });
+        for r in out.results {
+            assert_eq!(r, vec![1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn repeated_allgathers_reuse_state() {
+        let out = Cluster::run(3, |ctx| {
+            let mut acc = 0u64;
+            for round in 0..10u8 {
+                let all = ctx.allgather(vec![round, ctx.rank() as u8]);
+                for v in all.iter() {
+                    assert_eq!(v[0], round, "round mixing detected");
+                    acc += v[1] as u64;
+                }
+            }
+            acc
+        });
+        for r in out.results {
+            assert_eq!(r, 10 * (1 + 2));
+        }
+    }
+
+    #[test]
+    fn barrier_orders_sides() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let flag = AtomicUsize::new(0);
+        Cluster::run(4, |ctx| {
+            flag.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            assert_eq!(flag.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn allreduce_ops() {
+        let out = Cluster::run(5, |ctx| {
+            let r = ctx.rank() as u64;
+            (
+                ctx.allreduce_sum(r),
+                ctx.allreduce_max(r),
+                ctx.allreduce_and(ctx.rank() < 4),
+                ctx.allreduce_or(ctx.rank() == 3),
+                ctx.allreduce_and(true),
+            )
+        });
+        for r in out.results {
+            assert_eq!(r, (10, 4, false, true, true));
+        }
+    }
+
+    #[test]
+    fn stats_are_per_rank() {
+        let out = Cluster::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![0; 100]);
+            } else {
+                ctx.recv(Some(0), 0);
+            }
+            ctx.stats()
+        });
+        assert_eq!(out.stats[0].messages_sent, 1);
+        assert_eq!(out.stats[0].bytes_sent, 100);
+        assert_eq!(out.stats[1].messages_sent, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! A simulated distributed-memory runtime.
+//!
+//! The paper's parallel algorithms are formulated against MPI. Rust MPI
+//! bindings are immature, so this crate reproduces the *semantics* the
+//! algorithms rely on — asymmetric point-to-point messages, `Allgather`/
+//! `Allgatherv` collectives, barriers — with ranks running as OS threads
+//! and messages as channel sends. Every rank records message and byte
+//! counters so benchmarks can compare communication volumes exactly as the
+//! paper does.
+//!
+//! [`reversal`] implements the three schemes of §V for reversing an
+//! asymmetric communication pattern (determining one's senders from one's
+//! receivers): the `Allgatherv`-based naive scheme (Figure 12), the
+//! `Ranges` encoding, and the divide-and-conquer `Notify` algorithm
+//! (Figure 13) including its non-power-of-two redirection rule.
+//!
+//! # Example
+//!
+//! ```
+//! use forestbal_comm::{reverse_notify, Cluster};
+//!
+//! // Five ranks; each addresses its successor, plus rank 0 -> rank 3.
+//! let out = Cluster::run(5, |ctx| {
+//!     let mut receivers = vec![(ctx.rank() + 1) % 5];
+//!     if ctx.rank() == 0 {
+//!         receivers.push(3);
+//!     }
+//!     // Learn who will send to me using only point-to-point messages.
+//!     reverse_notify(ctx, &receivers)
+//! });
+//! assert_eq!(out.results[1], vec![0]);
+//! assert_eq!(out.results[3], vec![0, 2]);
+//! assert!(out.total_stats().messages_sent > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod reversal;
+
+pub use cluster::{Cluster, CommStats, RankCtx, RunOutput};
+pub use reversal::{ranges_expansion, reverse_naive, reverse_notify, reverse_ranges};

@@ -1,0 +1,128 @@
+//! Property tests for the simulated runtime and the reversal schemes.
+
+use forestbal_comm::{ranges_expansion, reverse_naive, reverse_notify, reverse_ranges, Cluster};
+use proptest::prelude::*;
+
+/// Transpose of a pattern: who sends to whom.
+fn transpose(pattern: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut want = vec![Vec::new(); pattern.len()];
+    for (p, rs) in pattern.iter().enumerate() {
+        for &q in rs {
+            want[q].push(p);
+        }
+    }
+    for w in want.iter_mut() {
+        w.sort_unstable();
+        w.dedup();
+    }
+    want
+}
+
+fn arb_pattern() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    (1usize..14).prop_flat_map(|p| {
+        prop::collection::vec(prop::collection::vec(0..p, 0..2 * p.min(6)), p..=p)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn notify_equals_transpose(pattern in arb_pattern()) {
+        let want = transpose(&pattern);
+        let pat = &pattern;
+        let out = Cluster::run(pattern.len(), |ctx| {
+            reverse_notify(ctx, &pat[ctx.rank()])
+        });
+        prop_assert_eq!(out.results, want);
+    }
+
+    #[test]
+    fn naive_equals_transpose(pattern in arb_pattern()) {
+        let want = transpose(&pattern);
+        let pat = &pattern;
+        let out = Cluster::run(pattern.len(), |ctx| {
+            reverse_naive(ctx, &pat[ctx.rank()])
+        });
+        prop_assert_eq!(out.results, want);
+    }
+
+    #[test]
+    fn ranges_is_consistent_superset(
+        pattern in arb_pattern(),
+        max_ranges in 1usize..4,
+    ) {
+        // Ranges may overreport, but (a) it never misses a sender, and
+        // (b) its false positives are exactly the expansion mismatch:
+        // q is reported to p iff p is in q's expansion.
+        let want = transpose(&pattern);
+        let size = pattern.len();
+        let pat = &pattern;
+        let out = Cluster::run(size, |ctx| {
+            reverse_ranges(ctx, &pat[ctx.rank()], max_ranges)
+        });
+        for (p, got) in out.results.iter().enumerate() {
+            for s in &want[p] {
+                prop_assert!(got.contains(s), "rank {} missed sender {}", p, s);
+            }
+            for s in got {
+                let exp = ranges_expansion(&pattern[*s], max_ranges, size);
+                prop_assert!(
+                    exp.contains(&p),
+                    "rank {} reported sender {} outside its expansion", p, s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_covers_receivers(
+        receivers in prop::collection::vec(0usize..32, 0..12),
+        max_ranges in 1usize..5,
+    ) {
+        let exp = ranges_expansion(&receivers, max_ranges, 32);
+        for r in &receivers {
+            prop_assert!(exp.contains(r));
+        }
+        // Expansion is sorted and within bounds.
+        prop_assert!(exp.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(exp.iter().all(|&q| q < 32));
+    }
+
+    #[test]
+    fn messages_arrive_regardless_of_order(
+        sizes in prop::collection::vec(0usize..200, 1..10),
+    ) {
+        // One rank sends messages of varied sizes under distinct tags;
+        // the receiver drains them in reverse tag order, exercising the
+        // out-of-order pending buffer.
+        let sz = &sizes;
+        Cluster::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                for (i, &n) in sz.iter().enumerate() {
+                    ctx.send(1, i as u32, vec![i as u8; n]);
+                }
+            } else {
+                for (i, &n) in sz.iter().enumerate().rev() {
+                    let (_, data) = ctx.recv(Some(0), i as u32);
+                    assert_eq!(data.len(), n);
+                    assert!(data.iter().all(|&b| b == i as u8));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn allgather_collects_everything(payloads in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..64), 1..8)
+    ) {
+        let pl = &payloads;
+        let out = Cluster::run(payloads.len(), |ctx| {
+            let all = ctx.allgather(pl[ctx.rank()].clone());
+            all.as_ref().clone()
+        });
+        for r in out.results {
+            prop_assert_eq!(&r, pl);
+        }
+    }
+}

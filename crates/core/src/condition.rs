@@ -1,0 +1,80 @@
+//! The `k`-balance conditions of §II-B.
+//!
+//! A balance condition prescribes which pairs of neighboring leaves must
+//! satisfy the 2:1 size relation: those sharing a boundary object of
+//! codimension `<= k`. Following the paper's shorthand, `k` counts the
+//! boundary object types: `1`-balance constrains faces only, `2`-balance
+//! faces and corners in 2D (faces and edges in 3D), and `3`-balance (3D)
+//! faces, edges and corners.
+
+/// A `k`-balance condition for a `D`-dimensional octree, `1 <= k <= D`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Condition {
+    k: u8,
+}
+
+impl Condition {
+    /// Balance across faces only (finite-volume / DG style).
+    pub const FACE: Condition = Condition { k: 1 };
+
+    /// Construct a `k`-balance condition. Returns `None` unless
+    /// `1 <= k <= d`.
+    pub fn new(k: u8, d: u8) -> Option<Condition> {
+        (1..=d).contains(&k).then_some(Condition { k })
+    }
+
+    /// The full balance condition for dimension `d` (corner balance):
+    /// every pair of leaves sharing any boundary object is constrained.
+    pub fn full(d: u8) -> Condition {
+        Condition { k: d }
+    }
+
+    /// The codimension bound `k`.
+    #[inline]
+    pub fn k(&self) -> u8 {
+        self.k
+    }
+
+    /// Does this condition constrain neighbors across boundary objects of
+    /// codimension `codim`?
+    #[inline]
+    pub fn constrains(&self, codim: u8) -> bool {
+        codim >= 1 && codim <= self.k
+    }
+}
+
+impl std::fmt::Display for Condition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-balance", self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(Condition::new(0, 3).is_none());
+        assert!(Condition::new(4, 3).is_none());
+        assert!(Condition::new(3, 2).is_none());
+        assert_eq!(Condition::new(1, 3).unwrap(), Condition::FACE);
+        assert_eq!(Condition::full(2).k(), 2);
+        assert_eq!(Condition::full(3).k(), 3);
+    }
+
+    #[test]
+    fn constrains_codims() {
+        let edge = Condition::new(2, 3).unwrap();
+        assert!(edge.constrains(1));
+        assert!(edge.constrains(2));
+        assert!(!edge.constrains(3));
+        assert!(!edge.constrains(0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Condition::FACE.to_string(), "1-balance");
+        assert_eq!(Condition::full(3).to_string(), "3-balance");
+    }
+}

@@ -1,0 +1,321 @@
+//! O(1) balance decisions between remote octants: the λ(δ̄) functions of
+//! Table II (§IV).
+//!
+//! Given an octant `o` and a coarser, disjoint octant `r`, these functions
+//! compute — using only arithmetic and bitwise operations on coordinates —
+//! the size of `a`, the closest descendant of `r` that is a leaf of the
+//! coarsest balanced octree `T_k(o)`. This replaces the ripple-style
+//! construction of auxiliary octants between `o` and `r`, making the
+//! decision *independent of the distance* between the two octants.
+//!
+//! The derivation (Figure 10): let `ō` be the descendant of `r` of `o`'s
+//! size closest to `o`, and `δ̄` the componentwise distance between
+//! `parent(ō)` and `parent(o)` (equivalently `δ̄_i = 2^{l+1} ⌈δ_i/2^{l+1}⌉`
+//! for the corner distances `δ_i`, where `2^l` is `o`'s side length —
+//! parents matter because `T_k(o) = T_k(s)` for every sibling `s` of `o`).
+//! Then the paper-convention size of `a` is `⌊log₂ λ(δ̄)⌋` with λ from
+//! Table II, clamped to `[size(o), size(r)]`; `λ = 0` means `ō` shares
+//! `o`'s parent, i.e. `a = ō` at `o`'s own size.
+
+use crate::condition::Condition;
+use forestbal_octant::{Coord, Octant, MAX_LEVEL};
+
+/// `Carry3` (equation 1): add three binary numbers, carrying into the next
+/// bit only when at least three ones occupy the current bit; only the most
+/// significant bit of the result matters, allowing the closed form
+/// `max{α, β, γ, α+β+γ−(α|β|γ)}`.
+#[inline]
+pub fn carry3(a: u64, b: u64, c: u64) -> u64 {
+    a.max(b).max(c).max((a + b + c) - (a | b | c))
+}
+
+/// λ(δ̄) from Table II for dimension `d` and condition `k`.
+///
+/// `size(a) = ⌊log₂ λ⌋`; callers special-case `λ == 0`.
+#[inline]
+pub fn lambda<const D: usize>(cond: Condition, dbar: &[u64; D]) -> u64 {
+    match (D as u8, cond.k()) {
+        (1, 1) => dbar[0],
+        (2, 1) => dbar[0] + dbar[1],
+        (2, 2) => dbar[0].max(dbar[1]),
+        (3, 1) => carry3(dbar[1] + dbar[2], dbar[2] + dbar[0], dbar[0] + dbar[1]),
+        (3, 2) => carry3(dbar[0], dbar[1], dbar[2]),
+        (3, 3) => dbar[0].max(dbar[1]).max(dbar[2]),
+        _ => unreachable!("unsupported dimension/condition combination"),
+    }
+}
+
+/// The paper-convention size (`side = 2^size`) of `a`, the closest leaf of
+/// `T_k(o)` that descends from `r`.
+///
+/// Requirements: `r` strictly coarser than `o`, and the two disjoint.
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed together
+pub fn balanced_size_log2_at<const D: usize>(o: &Octant<D>, cond: Condition, r: &Octant<D>) -> u8 {
+    debug_assert!(r.level < o.level, "r must be strictly coarser than o");
+    debug_assert!(!o.overlaps(r), "octants must be disjoint");
+    let b = o.size_log2();
+    let obar = closest_contained_coords(o, r);
+
+    // Parent corner distances δ̄ (multiples of 2^{b+1}).
+    let pmask: i64 = !((1i64 << (b + 1)) - 1);
+    let mut dbar = [0u64; D];
+    for i in 0..D {
+        let po = (o.coords[i] as i64) & pmask;
+        let pbar = (obar[i] as i64) & pmask;
+        dbar[i] = po.abs_diff(pbar);
+    }
+
+    let lam = lambda::<D>(cond, &dbar);
+    let raw = if lam == 0 {
+        b // ō shares o's parent: a is a sibling-sized octant
+    } else {
+        (63 - lam.leading_zeros()) as u8
+    };
+    raw.clamp(b, r.size_log2())
+}
+
+/// The closest leaf `a` of `T_k(o)` descending from `r` (Figure 10).
+pub fn closest_balanced_octant<const D: usize>(
+    o: &Octant<D>,
+    cond: Condition,
+    r: &Octant<D>,
+) -> Octant<D> {
+    let size = balanced_size_log2_at(o, cond, r);
+    let obar = Octant::<D> {
+        coords: closest_contained_coords(o, r),
+        level: o.level,
+    };
+    obar.ancestor(MAX_LEVEL - size)
+}
+
+/// Coordinates of `ō`: the descendant of `r` of `o`'s size closest to `o`
+/// (componentwise clamp of `o`'s corner into `r`'s corner range).
+#[inline]
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed together
+fn closest_contained_coords<const D: usize>(o: &Octant<D>, r: &Octant<D>) -> [Coord; D] {
+    let span = r.len() - o.len();
+    let mut out = o.coords;
+    for i in 0..D {
+        out[i] = out[i].clamp(r.coords[i], r.coords[i] + span);
+    }
+    out
+}
+
+/// O(1) decision: can disjoint octants `o` and `r` both be leaves of one
+/// `cond`-balanced octree?
+///
+/// Equal-size octants are always balanced; otherwise the coarser is
+/// compatible iff it is no coarser than the `T_k`-leaf at its closest
+/// point, i.e. iff `size(a) == size(coarse)` after clamping.
+pub fn is_balanced_pair<const D: usize>(a: &Octant<D>, b: &Octant<D>, cond: Condition) -> bool {
+    debug_assert!(!a.overlaps(b), "balance is defined for disjoint octants");
+    if a.level == b.level {
+        return true;
+    }
+    let (fine, coarse) = if a.level > b.level { (a, b) } else { (b, a) };
+    balanced_size_log2_at(fine, cond, coarse) == coarse.size_log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Oct1 = Octant<1>;
+    type Oct2 = Octant<2>;
+
+    #[test]
+    fn carry3_examples() {
+        // Plain max when bits don't collide three ways.
+        assert_eq!(carry3(4, 2, 1), 4);
+        // Three ones in the same bit carry: 1+1+1 -> 2 reaches higher.
+        assert_eq!(carry3(1, 1, 1), 2);
+        assert_eq!(carry3(2, 2, 2), 4);
+        assert_eq!(carry3(3, 3, 3), 6); // max{3, 3, 3, 9 - (3|3|3)}
+        assert_eq!(carry3(0, 0, 0), 0);
+        // Two ones do not carry.
+        assert_eq!(carry3(1, 1, 0), 1);
+    }
+
+    #[test]
+    fn carry3_is_symmetric() {
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                for c in 0..8u64 {
+                    let x = carry3(a, b, c);
+                    assert_eq!(x, carry3(b, c, a));
+                    assert_eq!(x, carry3(c, a, b));
+                    assert_eq!(x, carry3(a, c, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn carry3_matches_bitwise_definition() {
+        // Reference: ripple-carry addition of three binary numbers where a
+        // bit position carries only when >= 3 ones (including carries)
+        // land on it... the closed form tracks the MSB of that process.
+        // Check the MSB agreement on a sample.
+        fn msb(x: u64) -> i32 {
+            if x == 0 {
+                -1
+            } else {
+                63 - x.leading_zeros() as i32
+            }
+        }
+        for a in 0..32u64 {
+            for b in 0..32u64 {
+                for c in 0..32u64 {
+                    // Carry3 >= max individually and <= full sum.
+                    let x = carry3(a, b, c);
+                    assert!(x >= a.max(b).max(c));
+                    assert!(x <= a + b + c);
+                    assert!(msb(x) <= msb(a + b + c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_ring_structure() {
+        // 1D: T(o) sizes double as distance doubles. Place a unit-size o
+        // at the left edge and query coarser octants to the right.
+        let root = Oct1::root();
+        let mut o = root;
+        for _ in 0..6 {
+            o = o.child(0);
+        }
+        // Immediately right of o's parent: size(o)+1 allowed.
+        let _b = o.size_log2();
+        let cond = Condition::new(1, 1).unwrap();
+        // Query octant: the sibling region at level-1... take r = the
+        // second quarter of the root.
+        let r = root.child(0).child(1);
+        let sa = balanced_size_log2_at(&o, cond, &r);
+        // o occupies [0, 2^b); r spans [2^{b+4}... depends: root len 2^24,
+        // o level 6 => b = 18; r level 2 spans [2^22, 2^23).
+        // δ (parent corners): parent(o) at 0, parent(ō) at 2^22 => λ=2^22.
+        assert_eq!(sa, 22);
+        assert_eq!(
+            closest_balanced_octant(&o, cond, &r),
+            Octant::<1> {
+                coords: [1 << 22],
+                level: 2
+            }
+        );
+    }
+
+    #[test]
+    fn sibling_case_lambda_zero() {
+        // o and r share a parent region: not reachable when r is coarser
+        // and disjoint; instead exercise λ=0 via the immediate coarse
+        // neighbor: o right child, r the octant right of parent(o).
+        let root = Oct1::root();
+        let o = root.child(0).child(0).child(1); // right child at level 3
+        let r = root.child(0).child(1); // level 2, adjacent right
+        let cond = Condition::new(1, 1).unwrap();
+        // parent(o) = [0, 2^22)^... parent corner distance = 2^22
+        // λ = 2^22 -> size 22 = size(r)? r.size = 22. Balanced!
+        assert!(is_balanced_pair(&o, &r, cond));
+    }
+
+    #[test]
+    fn adjacent_big_octant_unbalanced_2d() {
+        let root = Oct2::root();
+        // Deep leaf in the corner of child 0; child 1 (level 1) adjacent
+        // across the vertical midline is far too coarse.
+        let mut o = root.child(0);
+        for _ in 0..3 {
+            o = o.child(3); // toward the center
+        }
+        let r = root.child(1);
+        for k in 1..=2 {
+            let cond = Condition::new(k, 2).unwrap();
+            assert!(!is_balanced_pair(&o, &r, cond), "k={k}");
+        }
+    }
+
+    #[test]
+    fn far_octant_balanced_2d() {
+        let root = Oct2::root();
+        let mut o = root.child(0);
+        for _ in 0..3 {
+            o = o.child(0); // stay in the far corner
+        }
+        let r = root.child(3); // diagonal quarter, far away
+        for k in 1..=2 {
+            let cond = Condition::new(k, 2).unwrap();
+            assert!(is_balanced_pair(&o, &r, cond), "k={k}");
+        }
+    }
+
+    #[test]
+    fn equal_size_always_balanced() {
+        let root = Oct2::root();
+        let a = root.child(0).child(3);
+        let b = root.child(3).child(0);
+        assert!(is_balanced_pair(&a, &b, Condition::full(2)));
+        let c = root.child(0).child(0);
+        assert!(is_balanced_pair(&a, &c, Condition::full(2)));
+    }
+
+    #[test]
+    fn diagonal_distance_depends_on_condition() {
+        // 2D: across a diagonal, 1-balance allows size b+2 (λ = δx + δy)
+        // while 2-balance allows only b+1 (λ = max). Construct o in the
+        // top-right of child 0 and query the quadrant diagonal to it.
+        let root = Oct2::root();
+        let o = root.child(0).child(3).child(3).child(3); // level 4 at center
+                                                          // Query: the level-2 octant diagonally adjacent across the center
+                                                          // point, i.e. the first child of child 3.
+        let r = root.child(3).child(0);
+        let s1 = balanced_size_log2_at(&o, Condition::new(1, 2).unwrap(), &r);
+        let s2 = balanced_size_log2_at(&o, Condition::new(2, 2).unwrap(), &r);
+        assert_eq!(
+            s1,
+            o.size_log2() + 2,
+            "1-balance diagonal allows two levels"
+        );
+        assert_eq!(s2, o.size_log2() + 1, "2-balance diagonal allows one level");
+    }
+
+    #[test]
+    fn clamping_to_query_size() {
+        // Very far octants: size(a) clamps to size(r).
+        let root = Oct2::root();
+        let mut o = root.child(0);
+        for _ in 0..8 {
+            o = o.child(0);
+        }
+        let r = root.child(3);
+        let sa = balanced_size_log2_at(&o, Condition::full(2), &r);
+        assert_eq!(sa, r.size_log2());
+        assert_eq!(closest_balanced_octant(&o, Condition::full(2), &r), r);
+    }
+
+    #[test]
+    fn delta_bar_equals_ceil_formula() {
+        // δ̄_i = 2^{l+1} ⌈δ_i / 2^{l+1}⌉ where δ_i is the corner distance
+        // of o and ō — check the identity against the parent-corner
+        // computation on a grid of positions.
+        let root = Oct2::root();
+        let r = root.child(3); // query: upper-right quadrant
+        for path in [[0usize, 0], [0, 3], [1, 2], [2, 1]] {
+            let mut o = root.child(0);
+            for &id in &path {
+                o = o.child(id);
+            }
+            let b = o.size_log2() as i64;
+            let span = r.len() - o.len();
+            for i in 0..2usize {
+                let obar_i = (o.coords[i]).clamp(r.coords[i], r.coords[i] + span) as i64;
+                let delta = (obar_i - o.coords[i] as i64).abs();
+                let two_l1 = 1i64 << (b + 1);
+                let ceil_form = two_l1 * ((delta + two_l1 - 1) / two_l1);
+                let pmask = !(two_l1 - 1);
+                let parent_form = ((o.coords[i] as i64 & pmask) - (obar_i & pmask)).abs();
+                assert_eq!(ceil_form, parent_form, "axis {i} path {path:?}");
+            }
+        }
+    }
+}

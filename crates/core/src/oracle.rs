@@ -1,0 +1,292 @@
+//! An independent reference implementation of 2:1 balance.
+//!
+//! This is the "ripple" algorithm sketched in §II-B: complete the input to
+//! a linear octree, then repeatedly split any leaf that violates the 2:1
+//! condition with a neighboring leaf, until a fixed point is reached. It
+//! never consults the λ functions, preclusion, or coarse neighborhoods, so
+//! it serves as ground truth for property-testing the paper's fast
+//! algorithms. It is also the serial kernel of the multi-round parallel
+//! ripple baseline.
+//!
+//! Complexity is O(n log n · levels) with a worklist — perfectly fine as an
+//! oracle and baseline, but it constructs and probes neighbor octants one
+//! at a time, which is exactly the cost profile the paper improves on.
+
+use crate::condition::Condition;
+use forestbal_octant::{codim, complete_subtree, directions, is_linear, linearize, Octant};
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+
+/// Compute the coarsest complete, `cond`-balanced octree of `root` that
+/// contains every input octant as a leaf.
+///
+/// The input need not be complete (gaps are filled with the coarsest
+/// octants before balancing) and is linearized first, so overlapping
+/// octants resolve to the finest. Input octants must lie inside `root`.
+pub fn ripple_balance<const D: usize>(
+    root: &Octant<D>,
+    input: &[Octant<D>],
+    cond: Condition,
+) -> Vec<Octant<D>> {
+    let mut pins = input.to_vec();
+    linearize(&mut pins);
+    debug_assert!(
+        pins.iter().all(|o| root.contains(o)),
+        "input octant outside root"
+    );
+    let complete = complete_subtree(root, &pins);
+    debug_assert!(is_linear(&complete));
+
+    let mut leaves: BTreeSet<Octant<D>> = complete.iter().copied().collect();
+    let mut work: VecDeque<Octant<D>> = complete.into_iter().collect();
+
+    while let Some(o) = work.pop_front() {
+        if !leaves.contains(&o) {
+            continue; // `o` has been split since it was enqueued
+        }
+        for dir in directions::<D>() {
+            if !cond.constrains(codim(&dir)) {
+                continue;
+            }
+            let n = o.neighbor(&dir);
+            if !root.contains(&n) {
+                continue; // neighbor falls outside the (sub)tree
+            }
+            // A 2:1 violation across `dir` means some leaf strictly
+            // coarser than level(o) - 1 contains `n`: split that container
+            // until it is fine enough. A missing container means the
+            // region holds only finer leaves — no violation.
+            while let Some(container) = containing_leaf(&leaves, &n) {
+                if container.level + 1 >= o.level {
+                    break;
+                }
+                leaves.remove(&container);
+                for i in 0..Octant::<D>::NUM_CHILDREN {
+                    let c = container.child(i);
+                    leaves.insert(c);
+                    work.push_back(c);
+                }
+            }
+        }
+    }
+    leaves.into_iter().collect()
+}
+
+/// Find the leaf that contains octant `q` (is an ancestor of or equal to
+/// `q`), if any. In a linear octree this leaf, when it exists, is the
+/// greatest leaf Morton-less-or-equal to `q`.
+fn containing_leaf<const D: usize>(
+    leaves: &BTreeSet<Octant<D>>,
+    q: &Octant<D>,
+) -> Option<Octant<D>> {
+    let cand = leaves.range(..=q).next_back()?;
+    cand.contains(q).then_some(*cand)
+}
+
+/// Is the sorted linear slice `cond`-balanced within `root`? Checks every
+/// leaf against the leaves overlapping each of its constrained neighbors.
+pub fn is_balanced_tree<const D: usize>(
+    leaves: &[Octant<D>],
+    root: &Octant<D>,
+    cond: Condition,
+) -> bool {
+    let set: BTreeSet<Octant<D>> = leaves.iter().copied().collect();
+    for o in leaves {
+        for dir in directions::<D>() {
+            if !cond.constrains(codim(&dir)) {
+                continue;
+            }
+            let n = o.neighbor(&dir);
+            if !root.contains(&n) {
+                continue;
+            }
+            if let Some(c) = containing_leaf(&set, &n) {
+                if c.level + 1 < o.level {
+                    return false;
+                }
+            }
+            // Finer leaves inside `n` impose the symmetric condition,
+            // which is checked when those leaves take their turn as `o`.
+        }
+    }
+    true
+}
+
+/// Reference balance decision for two disjoint octants: are `o` and `r`
+/// both leaves of some `cond`-balanced octree of `root`?
+///
+/// Computes `T_k(o)` by ripple propagation and compares `r` against the
+/// smallest overlapping leaf. Exponentially more work than the λ-based
+/// decision of [`crate::lambda`], which it validates.
+pub fn oracle_balanced_pair<const D: usize>(
+    root: &Octant<D>,
+    o: &Octant<D>,
+    r: &Octant<D>,
+    cond: Condition,
+) -> bool {
+    assert!(!o.overlaps(r), "balance is defined for disjoint octants");
+    let (fine, coarse) = if o.level >= r.level { (o, r) } else { (r, o) };
+    let t = ripple_balance(root, &[*fine], cond);
+    // `coarse` is compatible iff no leaf of T_k(fine) inside it is
+    // strictly finer than `coarse` itself.
+    min_level_overlapping(&t, coarse) <= coarse.level
+}
+
+/// The maximum level (finest) among leaves of the sorted linear tree `t`
+/// that overlap octant `q`. Panics if none overlaps.
+pub fn min_size_leaf_level<const D: usize>(t: &[Octant<D>], q: &Octant<D>) -> u8 {
+    min_level_overlapping(t, q)
+}
+
+fn min_level_overlapping<const D: usize>(t: &[Octant<D>], q: &Octant<D>) -> u8 {
+    // Leaves overlapping q form a contiguous Morton run: either one leaf
+    // contains q, or several leaves lie inside q.
+    let start = t.partition_point(|x| x < q);
+    if start < t.len() && q.contains(&t[start]) {
+        return t[start..]
+            .iter()
+            .take_while(|x| q.contains(x))
+            .map(|x| x.level)
+            .max()
+            .unwrap();
+    }
+    if start > 0 && t[start - 1].contains(q) {
+        return t[start - 1].level;
+    }
+    panic!("no leaf overlaps {q:?}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Oct2 = Octant<2>;
+
+    #[test]
+    fn empty_input_balances_to_root() {
+        let root = Oct2::root();
+        let t = ripple_balance(&root, &[], Condition::full(2));
+        assert_eq!(t, vec![root]);
+    }
+
+    #[test]
+    fn single_leaf_input_is_fixed_point() {
+        let root = Oct2::root();
+        let pins: Vec<_> = (0..4).map(|i| root.child(i)).collect();
+        let t = ripple_balance(&root, &pins, Condition::full(2));
+        assert_eq!(t, pins);
+    }
+
+    #[test]
+    fn deep_corner_leaf_ripples() {
+        // A single deep leaf in the corner forces a graded mesh: the
+        // coarsest completion (sibling sizes doubling outward) happens to
+        // be corner-balanced in 2D, so the ripple is a no-op here.
+        let root = Oct2::root();
+        let leaf = root.child(0).child(0).child(0);
+        let t = ripple_balance(&root, &[leaf], Condition::full(2));
+        assert!(is_balanced_tree(&t, &root, Condition::full(2)));
+        assert!(t.contains(&leaf));
+        assert!(forestbal_octant::is_complete(&t, &root));
+    }
+
+    #[test]
+    fn face_balance_weaker_than_corner_balance() {
+        // Figure 1: corner balance refines at least as much as face
+        // balance. Build an adapted tree and compare leaf counts.
+        let root = Oct2::root();
+        let mut o = root;
+        for _ in 0..5 {
+            o = o.child(3);
+        }
+        let face = ripple_balance(&root, &[o], Condition::FACE);
+        let corner = ripple_balance(&root, &[o], Condition::full(2));
+        assert!(is_balanced_tree(&face, &root, Condition::FACE));
+        assert!(is_balanced_tree(&corner, &root, Condition::full(2)));
+        assert!(corner.len() >= face.len());
+        // And the face-balanced tree is NOT corner-balanced here... it may
+        // be; at minimum corner-balance must hold on the corner tree.
+        assert!(face.iter().all(|l| corner.iter().any(|c| l.contains(c))));
+    }
+
+    #[test]
+    fn tk_ripple_profile_fig3() {
+        // Figure 3: sizes increase outward in a ripple pattern. For the
+        // 2-balance of a level-4 octant at the domain center-ish, every
+        // leaf's size grows with Chebyshev distance from o.
+        let root = Oct2::root();
+        let o = root.child(3).child(0).child(0).child(0);
+        let t = ripple_balance(&root, &[o], Condition::full(2));
+        assert!(is_balanced_tree(&t, &root, Condition::full(2)));
+        for leaf in &t {
+            if leaf == &o {
+                continue;
+            }
+            // 2:1 grading: leaf level differences bounded by distance.
+            let d = (0..2)
+                .map(|i| {
+                    let lo = leaf.coords[i].max(o.coords[i]);
+                    let hi = (leaf.coords[i] + leaf.len()).min(o.coords[i] + o.len());
+                    (lo - hi).max(0) as i64
+                })
+                .max()
+                .unwrap();
+            if d == 0 {
+                // Touching leaves differ by at most one level from some
+                // chain; the immediate neighbors must obey 2:1 with o.
+                if leaf.level < o.level {
+                    assert!(leaf.level + 2 > o.level || !touches(leaf, &o));
+                }
+            }
+        }
+    }
+
+    fn touches(a: &Oct2, b: &Oct2) -> bool {
+        (0..2).all(|i| {
+            let lo = a.coords[i].max(b.coords[i]);
+            let hi = (a.coords[i] + a.len()).min(b.coords[i] + b.len());
+            lo <= hi
+        })
+    }
+
+    #[test]
+    fn oracle_pair_decisions() {
+        let root = Oct2::root();
+        let o = root.child(0).child(0).child(0).child(0);
+        // Its direct coarse neighbor region: sibling 3 of root is far;
+        // compare against coarse octants at increasing distance.
+        let far = root.child(3);
+        assert!(
+            oracle_balanced_pair(&root, &o, &far, Condition::full(2)),
+            "far corner coarse octant is balanced with deep leaf"
+        );
+        // A corner leaf is far enough from the opposite half that even the
+        // level-1 quadrant is compatible.
+        let near = root.child(1);
+        assert!(oracle_balanced_pair(&root, &o, &near, Condition::full(2)));
+        // But a level-4 leaf hugging the midline forces the adjacent
+        // level-1 quadrant to split.
+        let hug = root.child(0).child(3).child(3).child(3);
+        assert!(
+            !oracle_balanced_pair(&root, &hug, &near, Condition::full(2)),
+            "level-1 octant touching a level-4 leaf must split"
+        );
+    }
+
+    #[test]
+    fn is_balanced_detects_violation() {
+        let root = Oct2::root();
+        // child 0 fully refined twice, child 1..3 kept coarse: leaf at
+        // level 2 touches leaf at level... construct explicit violation.
+        let mut v = vec![root.child(1), root.child(2), root.child(3)];
+        for i in 0..4 {
+            for j in 0..4 {
+                v.push(root.child(0).child(i).child(j));
+            }
+        }
+        v.sort();
+        assert!(is_linear(&v));
+        // level-3 leaves touch the level-1 leaves across the midline.
+        assert!(!is_balanced_tree(&v, &root, Condition::FACE));
+    }
+}

@@ -1,0 +1,196 @@
+//! Exhaustive small-domain validation of the λ-based balance decisions
+//! (Table II): every disjoint octant pair in a bounded octree, in 1D, 2D
+//! and 3D, for every balance condition, compared against the ripple
+//! oracle. This complements the random property tests with certainty on
+//! a finite domain — the λ formulas are pure functions of coordinate
+//! differences, so small-domain exhaustiveness exercises every branch
+//! (including the `Carry3` carry region in 3D).
+
+use forestbal_core::oracle::ripple_balance;
+use forestbal_core::{closest_balanced_octant, is_balanced_pair, Condition};
+use forestbal_octant::Octant;
+
+/// All octants of the root tree with level in `min..=max`.
+fn enumerate<const D: usize>(min: u8, max: u8) -> Vec<Octant<D>> {
+    let mut out = Vec::new();
+    let mut frontier = vec![Octant::<D>::root()];
+    for level in 1..=max {
+        let mut next = Vec::with_capacity(frontier.len() * (1 << D));
+        for o in &frontier {
+            for i in 0..Octant::<D>::NUM_CHILDREN {
+                next.push(o.child(i));
+            }
+        }
+        if level >= min {
+            out.extend(next.iter().copied());
+        }
+        frontier = next;
+    }
+    out
+}
+
+fn check_all<const D: usize>(o_levels: (u8, u8), r_levels: (u8, u8)) {
+    let root = Octant::<D>::root();
+    let os = enumerate::<D>(o_levels.0, o_levels.1);
+    let rs = enumerate::<D>(r_levels.0, r_levels.1);
+    for k in 1..=D as u8 {
+        let cond = Condition::new(k, D as u8).unwrap();
+        for o in &os {
+            // One ripple cone per (finer) source octant, then O(1)
+            // lookups against every coarser partner.
+            let t = ripple_balance(&root, &[*o], cond);
+            for r in &rs {
+                if o.overlaps(r) || o.level <= r.level {
+                    // The cone must come from the finer octant; the
+                    // reversed orientation is covered by symmetry below.
+                    continue;
+                }
+                // Oracle decision: no T_k(o) leaf strictly inside r is
+                // finer than r itself.
+                let slow = !t.iter().any(|l| r.is_ancestor_of(l));
+                let fast = is_balanced_pair(o, r, cond);
+                assert_eq!(
+                    fast, slow,
+                    "D={D} k={k} o={o:?} r={r:?}: λ={fast} oracle={slow}"
+                );
+                assert_eq!(
+                    fast,
+                    is_balanced_pair(r, o, cond),
+                    "decision must be symmetric"
+                );
+                // When r must split, the closest balanced octant is a
+                // genuine leaf of the cone and the finest one inside r.
+                if !slow && r.level < o.level {
+                    let a = closest_balanced_octant(o, cond, r);
+                    assert!(r.contains(&a));
+                    assert!(
+                        t.binary_search(&a).is_ok(),
+                        "D={D} k={k} o={o:?} r={r:?}: a={a:?} not a cone leaf"
+                    );
+                    let finest = t
+                        .iter()
+                        .filter(|l| r.contains(l))
+                        .map(|l| l.level)
+                        .max()
+                        .unwrap();
+                    assert_eq!(a.level, finest);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_1d() {
+    // 1D: the λ = δ̄ row of Table II, all pairs to depth 6 vs 4.
+    check_all::<1>((2, 6), (1, 4));
+}
+
+#[test]
+fn exhaustive_2d() {
+    // 2D: λ = δ̄x + δ̄y (k=1) and max (k=2), all pairs to depth 4 vs 2.
+    check_all::<2>((2, 4), (1, 2));
+}
+
+#[test]
+fn exhaustive_3d() {
+    // 3D: the Carry3 rows, all pairs to depth 3 vs 2.
+    check_all::<3>((2, 3), (1, 2));
+}
+
+#[test]
+fn exhaustive_seeds_2d() {
+    // For every (finer o, coarser r) pair in a bounded quadtree and both
+    // conditions: the seeds reconstruct the oracle overlap exactly.
+    use forestbal_core::{find_seeds, reconstruct_from_seeds};
+    let root = Octant::<2>::root();
+    let os = enumerate::<2>(2, 4);
+    let rs = enumerate::<2>(1, 2);
+    for k in 1..=2u8 {
+        let cond = Condition::new(k, 2).unwrap();
+        for o in &os {
+            let t = ripple_balance(&root, &[*o], cond);
+            for r in &rs {
+                if o.overlaps(r) || o.level <= r.level {
+                    continue;
+                }
+                let want: Vec<_> = t.iter().filter(|l| r.contains(l)).copied().collect();
+                match find_seeds(o, r, cond) {
+                    None => assert!(
+                        want.is_empty() || want == vec![*r],
+                        "k={k} o={o:?} r={r:?}: balanced but overlap {want:?}"
+                    ),
+                    Some(seeds) => {
+                        assert!(seeds.len() <= 3, "k={k}: seed bound");
+                        for s in &seeds {
+                            assert!(r.contains(s));
+                            assert!(
+                                t.binary_search(s).is_ok(),
+                                "k={k} o={o:?} r={r:?}: seed {s:?} not a cone leaf"
+                            );
+                        }
+                        let got = reconstruct_from_seeds(r, &seeds, cond);
+                        assert_eq!(got, want, "k={k} o={o:?} r={r:?}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_seeds_3d_small() {
+    use forestbal_core::{find_seeds, reconstruct_from_seeds};
+    let root = Octant::<3>::root();
+    let os = enumerate::<3>(3, 3);
+    let rs = enumerate::<3>(1, 1);
+    for k in 1..=3u8 {
+        let cond = Condition::new(k, 3).unwrap();
+        for o in &os {
+            let t = ripple_balance(&root, &[*o], cond);
+            for r in &rs {
+                if o.overlaps(r) {
+                    continue;
+                }
+                let want: Vec<_> = t.iter().filter(|l| r.contains(l)).copied().collect();
+                match find_seeds(o, r, cond) {
+                    None => assert!(want.is_empty() || want == vec![*r]),
+                    Some(seeds) => {
+                        assert!(seeds.len() <= 9, "k={k}: 3D seed bound");
+                        let got = reconstruct_from_seeds(r, &seeds, cond);
+                        assert_eq!(got, want, "k={k} o={o:?} r={r:?}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn insulation_fact() {
+    // "Two octants o and r can be unbalanced only if o is contained in
+    // r's insulation layer I(r), or vice versa" — check the contrapositive
+    // exhaustively in 2D: pairs outside each other's insulation are
+    // always balanced.
+    use forestbal_core::insulation_layer;
+    let os = enumerate::<2>(2, 4);
+    let rs = enumerate::<2>(1, 3);
+    for k in 1..=2u8 {
+        let cond = Condition::new(k, 2).unwrap();
+        for o in &os {
+            for r in &rs {
+                if o.overlaps(r) {
+                    continue;
+                }
+                let o_in_ir = insulation_layer(r).iter().any(|n| n.contains(o));
+                let r_in_io = insulation_layer(o).iter().any(|n| n.contains(r));
+                if !o_in_ir && !r_in_io {
+                    assert!(
+                        is_balanced_pair(o, r, cond),
+                        "k={k} o={o:?} r={r:?}: unbalanced outside insulation"
+                    );
+                }
+            }
+        }
+    }
+}

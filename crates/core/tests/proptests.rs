@@ -1,0 +1,329 @@
+//! Property tests validating the paper's fast algorithms against the
+//! independent ripple oracle, for all dimensions and balance conditions.
+
+use forestbal_core::oracle::{is_balanced_tree, oracle_balanced_pair, ripple_balance};
+use forestbal_core::{
+    balance_subtree_new, balance_subtree_old, complete_reduced, find_seeds, is_balanced_pair,
+    reconstruct_from_seeds, reduce, Condition,
+};
+use forestbal_octant::{is_complete, linearize, Octant};
+use proptest::prelude::*;
+
+/// A random octant: a child-id path of bounded depth from the root.
+fn arb_octant<const D: usize>(min_depth: u8, max_depth: u8) -> impl Strategy<Value = Octant<D>> {
+    prop::collection::vec(0usize..(1 << D), min_depth as usize..=max_depth as usize).prop_map(
+        |path| {
+            let mut o = Octant::<D>::root();
+            for id in path {
+                o = o.child(id);
+            }
+            o
+        },
+    )
+}
+
+fn arb_cond(d: u8) -> impl Strategy<Value = Condition> {
+    (1..=d).prop_map(move |k| Condition::new(k, d).unwrap())
+}
+
+/// A random linear input set.
+fn arb_input<const D: usize>(max_depth: u8, max_n: usize) -> impl Strategy<Value = Vec<Octant<D>>> {
+    prop::collection::vec(arb_octant::<D>(0, max_depth), 1..max_n).prop_map(|mut v| {
+        linearize(&mut v);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // ---- §III: subtree balance ----------------------------------------
+
+    #[test]
+    fn subtree_algorithms_match_oracle_2d(
+        input in arb_input::<2>(6, 8),
+        cond in arb_cond(2),
+    ) {
+        let root = Octant::<2>::root();
+        let want = ripple_balance(&root, &input, cond);
+        prop_assert!(is_balanced_tree(&want, &root, cond));
+        prop_assert!(is_complete(&want, &root));
+        let old = balance_subtree_old(&root, &input, cond);
+        prop_assert_eq!(&old, &want, "old vs oracle");
+        let new = balance_subtree_new(&root, &input, cond);
+        prop_assert_eq!(&new, &want, "new vs oracle");
+    }
+
+    #[test]
+    fn subtree_algorithms_match_oracle_3d(
+        input in arb_input::<3>(4, 5),
+        cond in arb_cond(3),
+    ) {
+        let root = Octant::<3>::root();
+        let want = ripple_balance(&root, &input, cond);
+        prop_assert!(is_balanced_tree(&want, &root, cond));
+        let old = balance_subtree_old(&root, &input, cond);
+        prop_assert_eq!(&old, &want, "old vs oracle");
+        let new = balance_subtree_new(&root, &input, cond);
+        prop_assert_eq!(&new, &want, "new vs oracle");
+    }
+
+    #[test]
+    fn subtree_balance_on_sub_roots_2d(
+        path in prop::collection::vec(0usize..4, 1..3),
+        input_paths in prop::collection::vec(
+            prop::collection::vec(0usize..4, 0..5), 1..6),
+        cond in arb_cond(2),
+    ) {
+        // Balance within an arbitrary subtree root.
+        let mut sub = Octant::<2>::root();
+        for id in path {
+            sub = sub.child(id);
+        }
+        let mut input: Vec<_> = input_paths
+            .into_iter()
+            .map(|p| {
+                let mut o = sub;
+                for id in p {
+                    o = o.child(id);
+                }
+                o
+            })
+            .collect();
+        linearize(&mut input);
+        let want = ripple_balance(&sub, &input, cond);
+        prop_assert_eq!(balance_subtree_old(&sub, &input, cond), want.clone());
+        prop_assert_eq!(balance_subtree_new(&sub, &input, cond), want);
+    }
+
+    // ---- §III-B: Reduce / Complete -------------------------------------
+
+    #[test]
+    fn reduce_complete_roundtrip_2d(input in arb_input::<2>(6, 10)) {
+        // For COMPLETE trees, completion of the reduction is the identity.
+        let root = Octant::<2>::root();
+        let complete = forestbal_octant::complete_subtree(&root, &input);
+        let red = reduce(&complete);
+        prop_assert!(red.len() * 4 <= complete.len().max(4),
+            "|R| = {} vs |S| = {}", red.len(), complete.len());
+        let back = complete_reduced(&root, &red);
+        prop_assert_eq!(back, complete);
+    }
+
+    #[test]
+    fn reduce_complete_roundtrip_3d(input in arb_input::<3>(4, 6)) {
+        let root = Octant::<3>::root();
+        let complete = forestbal_octant::complete_subtree(&root, &input);
+        let red = reduce(&complete);
+        let back = complete_reduced(&root, &red);
+        prop_assert_eq!(back, complete);
+    }
+
+    // ---- §IV: λ-based O(1) balance decisions ---------------------------
+
+    #[test]
+    fn lambda_decision_matches_oracle_2d(
+        o in arb_octant::<2>(2, 7),
+        r in arb_octant::<2>(1, 5),
+        cond in arb_cond(2),
+    ) {
+        prop_assume!(!o.overlaps(&r));
+        let root = Octant::<2>::root();
+        let fast = is_balanced_pair(&o, &r, cond);
+        let slow = oracle_balanced_pair(&root, &o, &r, cond);
+        prop_assert_eq!(fast, slow, "o={:?} r={:?} k={}", o, r, cond.k());
+    }
+
+    #[test]
+    fn lambda_decision_matches_oracle_3d(
+        o in arb_octant::<3>(2, 5),
+        r in arb_octant::<3>(1, 4),
+        cond in arb_cond(3),
+    ) {
+        prop_assume!(!o.overlaps(&r));
+        let root = Octant::<3>::root();
+        let fast = is_balanced_pair(&o, &r, cond);
+        let slow = oracle_balanced_pair(&root, &o, &r, cond);
+        prop_assert_eq!(fast, slow, "o={:?} r={:?} k={}", o, r, cond.k());
+    }
+
+    #[test]
+    fn closest_octant_size_matches_tk_leaf_2d(
+        o in arb_octant::<2>(3, 7),
+        r in arb_octant::<2>(1, 3),
+        cond in arb_cond(2),
+    ) {
+        // The λ-computed size of `a` equals the level of the finest
+        // T_k(o) leaf overlapping r... at a's own position it IS a leaf.
+        prop_assume!(!o.overlaps(&r) && r.level < o.level);
+        let root = Octant::<2>::root();
+        let a = forestbal_core::closest_balanced_octant(&o, cond, &r);
+        prop_assert!(r.contains(&a));
+        let t = ripple_balance(&root, &[o], cond);
+        if a.level > r.level {
+            // T_k(o) refines r: `a` must be its finest leaf inside r.
+            prop_assert!(
+                t.binary_search(&a).is_ok(),
+                "a={:?} is not a leaf of T_k(o); o={:?} r={:?} k={}", a, o, r, cond.k()
+            );
+            let finest = t.iter().filter(|l| r.contains(l)).map(|l| l.level).max().unwrap();
+            prop_assert_eq!(a.level, finest);
+        } else {
+            // Clamped to r: T_k(o) must have no leaf strictly inside r.
+            prop_assert!(
+                t.iter().all(|l| !r.is_ancestor_of(l)),
+                "clamped to r but T_k(o) refines r; o={:?} r={:?} k={}", o, r, cond.k()
+            );
+        }
+    }
+
+    #[test]
+    fn closest_octant_size_matches_tk_leaf_3d(
+        o in arb_octant::<3>(3, 5),
+        r in arb_octant::<3>(1, 2),
+        cond in arb_cond(3),
+    ) {
+        prop_assume!(!o.overlaps(&r) && r.level < o.level);
+        let root = Octant::<3>::root();
+        let a = forestbal_core::closest_balanced_octant(&o, cond, &r);
+        prop_assert!(r.contains(&a));
+        let t = ripple_balance(&root, &[o], cond);
+        if a.level > r.level {
+            prop_assert!(
+                t.binary_search(&a).is_ok(),
+                "a={:?} not a T_k(o) leaf; o={:?} r={:?} k={}", a, o, r, cond.k()
+            );
+            let finest = t.iter().filter(|l| r.contains(l)).map(|l| l.level).max().unwrap();
+            prop_assert_eq!(a.level, finest);
+        } else {
+            prop_assert!(t.iter().all(|l| !r.is_ancestor_of(l)));
+        }
+    }
+
+    // ---- §IV: seeds -----------------------------------------------------
+
+    #[test]
+    fn seeds_reconstruct_oracle_overlap_2d(
+        o in arb_octant::<2>(3, 8),
+        r in arb_octant::<2>(1, 3),
+        cond in arb_cond(2),
+    ) {
+        prop_assume!(!o.overlaps(&r) && r.level < o.level);
+        let root = Octant::<2>::root();
+        let t = ripple_balance(&root, &[o], cond);
+        let want: Vec<_> = t.iter().filter(|l| r.contains(l)).copied().collect();
+        match find_seeds(&o, &r, cond) {
+            None => prop_assert!(
+                want.is_empty() || want == vec![r],
+                "no seeds but r must split: overlap {:?}", want
+            ),
+            Some(seeds) => {
+                prop_assert!(seeds.len() <= 3, "2D seed bound 3^{{d-1}}");
+                for s in &seeds {
+                    prop_assert!(r.contains(s));
+                    prop_assert!(t.binary_search(s).is_ok(), "seed not a T_k leaf");
+                }
+                let rebuilt = reconstruct_from_seeds(&r, &seeds, cond);
+                prop_assert_eq!(rebuilt, want);
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_reconstruct_oracle_overlap_3d(
+        o in arb_octant::<3>(3, 5),
+        r in arb_octant::<3>(1, 2),
+        cond in arb_cond(3),
+    ) {
+        prop_assume!(!o.overlaps(&r) && r.level < o.level);
+        let root = Octant::<3>::root();
+        let t = ripple_balance(&root, &[o], cond);
+        let want: Vec<_> = t.iter().filter(|l| r.contains(l)).copied().collect();
+        match find_seeds(&o, &r, cond) {
+            None => prop_assert!(
+                want.is_empty() || want == vec![r],
+                "no seeds but r must split: overlap {:?}", want
+            ),
+            Some(seeds) => {
+                prop_assert!(seeds.len() <= 9, "3D seed bound 3^{{d-1}}");
+                for s in &seeds {
+                    prop_assert!(r.contains(s));
+                    prop_assert!(t.binary_search(s).is_ok(), "seed not a T_k leaf");
+                }
+                let rebuilt = reconstruct_from_seeds(&r, &seeds, cond);
+                prop_assert_eq!(rebuilt, want);
+            }
+        }
+    }
+
+    // ---- invariants of the result ---------------------------------------
+
+    #[test]
+    fn balance_never_coarsens_2d(input in arb_input::<2>(6, 8), cond in arb_cond(2)) {
+        // Balance may split input leaves (when inputs are mutually
+        // unbalanced) but never coarsens: every output leaf overlapping an
+        // input leaf is at least as fine.
+        let root = Octant::<2>::root();
+        let out = balance_subtree_new(&root, &input, cond);
+        for o in &input {
+            for l in out.iter().filter(|l| l.overlaps(o)) {
+                prop_assert!(
+                    l.level >= o.level,
+                    "input {:?} coarsened to {:?}", o, l
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balance_is_idempotent_2d(input in arb_input::<2>(5, 6), cond in arb_cond(2)) {
+        let root = Octant::<2>::root();
+        let once = balance_subtree_new(&root, &input, cond);
+        let twice = balance_subtree_new(&root, &once, cond);
+        prop_assert_eq!(once, twice);
+    }
+
+    // ---- exterior constraints (auxiliary octants, Figure 4b) ------------
+
+    #[test]
+    fn exterior_constraints_match_global_oracle_2d(
+        sub_id in 0usize..4,
+        ext_paths in prop::collection::vec(
+            prop::collection::vec(0usize..4, 1..6), 1..4),
+        int_paths in prop::collection::vec(
+            prop::collection::vec(0usize..4, 0..4), 0..3),
+        cond in arb_cond(2),
+    ) {
+        // Balance a root child with random exterior octants living in the
+        // other children: must equal the global cone overlay clipped to
+        // the subtree.
+        use forestbal_core::balance_subtree_old_ext;
+        let g = Octant::<2>::root();
+        let sub = g.child(sub_id);
+        let mut exterior: Vec<Octant<2>> = Vec::new();
+        for p in &ext_paths {
+            let mut o = g.child((sub_id + 1) % 4);
+            for &id in p {
+                o = o.child(id);
+            }
+            exterior.push(o);
+        }
+        linearize(&mut exterior);
+        let mut interior: Vec<Octant<2>> = Vec::new();
+        for p in &int_paths {
+            let mut o = sub;
+            for &id in p {
+                o = o.child(id);
+            }
+            interior.push(o);
+        }
+        linearize(&mut interior);
+        let (got, _) = balance_subtree_old_ext(&sub, &interior, &exterior, cond);
+        let mut all = interior.clone();
+        all.extend_from_slice(&exterior);
+        linearize(&mut all);
+        let global = ripple_balance(&g, &all, cond);
+        let want: Vec<_> = global.into_iter().filter(|l| sub.contains(l)).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,473 @@
+//! The one-pass parallel 2:1 balance algorithm (§II-B) in its old and new
+//! variants.
+//!
+//! Four phases, one query/response communication round:
+//!
+//! 1. **Local balance** — each rank balances its own contiguous slice of
+//!    each tree with a serial subtree balance (old: Figure 6; new:
+//!    Figure 7) rooted at the nearest common ancestor of the slice, then
+//!    clips back to the owned range.
+//! 2. **Query** — for every local octant `r` whose insulation layer
+//!    `I(r)` reaches other partitions (or other trees), `r` is sent — in
+//!    the *receiver's* tree frame — to every rank owning part of the
+//!    layer. The asymmetric pattern is reversed with Naive / Ranges /
+//!    Notify (§V) so receivers know whom to expect.
+//! 3. **Response** — for each received query octant, the responder finds
+//!    its local leaves inside `I(r)` that might split `r` and answers
+//!    with the octants themselves (old) or with λ-tested seed octants
+//!    (new, §IV).
+//! 4. **Local rebalance** — old: each tree's full partition is rebalanced
+//!    with the received octants as exterior/interior constraints,
+//!    constructing auxiliary octants across any gaps; new: each queried
+//!    octant is reconstructed independently from its merged seeds and
+//!    spliced into the leaf array — no full-partition work.
+
+use crate::codec;
+use crate::connectivity::{translate, TreeId};
+use crate::forest::Forest;
+use forestbal_comm::{ranges_expansion, reverse_naive, reverse_notify, reverse_ranges, RankCtx};
+use forestbal_core::{
+    balance_subtree_new, balance_subtree_old, balance_subtree_old_ext, find_seeds,
+    reconstruct_from_seeds, Condition,
+};
+use forestbal_octant::{directions, is_linear, linearize, Coord, Octant};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+const QUERY_TAG: u32 = 0xBA1A_0001;
+const RESPONSE_TAG: u32 = 0xBA1A_0002;
+
+/// Which balance implementation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalanceVariant {
+    /// Pre-paper algorithm: raw response octants, full-partition rebalance
+    /// with auxiliary octant construction.
+    Old,
+    /// The paper's algorithm: preclusion-based subtree balance, λ-tested
+    /// seed responses, per-query reconstruction.
+    New,
+}
+
+/// How to reverse the asymmetric query pattern (§V).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReversalScheme {
+    /// Allgather counts + Allgatherv receiver lists (Figure 12).
+    Naive,
+    /// Fixed number of rank ranges per process; false positives get empty
+    /// messages.
+    Ranges(usize),
+    /// Divide-and-conquer point-to-point reversal (Figure 13).
+    Notify,
+}
+
+/// Wall-clock time per phase on this rank.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BalanceTimings {
+    /// Phase 1: serial subtree balance of the local partition.
+    pub local_balance: Duration,
+    /// Pattern reversal (Naive / Ranges / Notify).
+    pub reversal: Duration,
+    /// Phases 2-3: query construction, exchange, and responses.
+    pub query_response: Duration,
+    /// Phase 4: local rebalance.
+    pub rebalance: Duration,
+    /// End-to-end wall clock of the balance call.
+    pub total: Duration,
+}
+
+impl BalanceTimings {
+    /// Componentwise maximum — the cluster-critical path, which is what
+    /// the paper's per-phase plots report.
+    pub fn max(&self, o: &BalanceTimings) -> BalanceTimings {
+        BalanceTimings {
+            local_balance: self.local_balance.max(o.local_balance),
+            reversal: self.reversal.max(o.reversal),
+            query_response: self.query_response.max(o.query_response),
+            rebalance: self.rebalance.max(o.rebalance),
+            total: self.total.max(o.total),
+        }
+    }
+}
+
+/// Full per-rank accounting of one balance invocation: wall-clock per
+/// phase plus the communication volume of the query/response round — the
+/// axis on which the paper claims "much reduced ... communication
+/// volume" for the seed-based responses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BalanceReport {
+    /// Wall-clock time per phase.
+    pub timings: BalanceTimings,
+    /// Query payload bytes sent by this rank.
+    pub query_bytes: u64,
+    /// Response payload bytes sent by this rank (raw octants for the old
+    /// variant, seeds for the new).
+    pub response_bytes: u64,
+    /// Query/response messages sent (excluding pattern reversal traffic).
+    pub messages: u64,
+}
+
+impl BalanceReport {
+    /// Componentwise aggregate: max of timings, sum of volumes.
+    pub fn combine(&self, o: &BalanceReport) -> BalanceReport {
+        BalanceReport {
+            timings: self.timings.max(&o.timings),
+            query_bytes: self.query_bytes + o.query_bytes,
+            response_bytes: self.response_bytes + o.response_bytes,
+            messages: self.messages + o.messages,
+        }
+    }
+}
+
+/// One outbound query entry: a local octant expressed in a target tree's
+/// frame, with the offset needed to map responses back home.
+struct QueryEntry<const D: usize> {
+    /// Index into the flat list of queried local octants.
+    qid: u32,
+    /// Target tree (responder frame).
+    tree: TreeId,
+    /// Offset such that `home + off = target frame`.
+    off: [Coord; D],
+}
+
+impl<const D: usize> Forest<D> {
+    /// Enforce the 2:1 balance condition `cond` across the whole forest.
+    /// Returns per-phase timings for this rank.
+    pub fn balance(
+        &mut self,
+        ctx: &RankCtx,
+        cond: Condition,
+        variant: BalanceVariant,
+        reversal: ReversalScheme,
+    ) -> BalanceTimings {
+        self.balance_with_report(ctx, cond, variant, reversal)
+            .timings
+    }
+
+    /// Like [`Forest::balance`], additionally reporting the query/response
+    /// communication volume.
+    pub fn balance_with_report(
+        &mut self,
+        ctx: &RankCtx,
+        cond: Condition,
+        variant: BalanceVariant,
+        reversal: ReversalScheme,
+    ) -> BalanceReport {
+        let t_total = Instant::now();
+        let mut report = BalanceReport::default();
+        self.update_markers(ctx);
+
+        // ---- Phase 1: local balance --------------------------------
+        let t0 = Instant::now();
+        for (_, v) in self.local.iter_mut() {
+            if v.is_empty() {
+                continue;
+            }
+            let sub = v[0].nearest_common_ancestor(&v[v.len() - 1]);
+            let (lo, hi) = (v[0].index(), v[v.len() - 1].last_index());
+            let balanced = match variant {
+                BalanceVariant::Old => balance_subtree_old(&sub, v, cond),
+                BalanceVariant::New => balance_subtree_new(&sub, v, cond),
+            };
+            *v = balanced
+                .into_iter()
+                .filter(|o| o.index() >= lo && o.last_index() <= hi)
+                .collect();
+            debug_assert!(is_linear(v));
+        }
+        report.timings.local_balance = t0.elapsed();
+
+        // ---- Phase 2: build queries --------------------------------
+        let t0 = Instant::now();
+        let me = ctx.rank();
+        // Flat list of queried local octants.
+        let mut queries: Vec<(TreeId, Octant<D>)> = Vec::new();
+        // All entries, indexed by eid; `per_rank[d]` lists eids for rank d.
+        let mut entries: Vec<QueryEntry<D>> = Vec::new();
+        let mut per_rank: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+
+        for (&t, v) in self.local.iter() {
+            if v.is_empty() {
+                continue;
+            }
+            // Fast interior rejection: all Morton indices of cells inside
+            // an axis-aligned box lie between the indices of its extreme
+            // corners, so a leaf whose insulation bounding box stays
+            // inside the root and within this rank's local range cannot
+            // generate queries. The vast majority of leaves pass this
+            // O(1) test and skip the 3^D-direction loop entirely.
+            let (range_lo, range_hi) = (v[0].index(), v[v.len() - 1].last_index());
+            for r in v {
+                let len = r.len();
+                let ins_min: [Coord; D] = std::array::from_fn(|i| r.coords[i] - len);
+                let interior = ins_min.iter().all(|&c| c >= 0)
+                    && (0..D).all(|i| r.coords[i] + 2 * len <= forestbal_octant::ROOT_LEN)
+                    && {
+                        let lo = forestbal_octant::morton::interleave::<D>(&ins_min);
+                        let max: [Coord; D] = std::array::from_fn(|i| r.coords[i] + 2 * len - 1);
+                        let hi = forestbal_octant::morton::interleave::<D>(&max);
+                        lo >= range_lo && hi <= range_hi
+                    };
+                if interior {
+                    continue;
+                }
+                let mut qid: Option<u32> = None;
+                // (rank, tree, off) destinations already recorded for r.
+                let mut seen: Vec<(usize, TreeId, [Coord; D])> = Vec::new();
+                for dir in directions::<D>() {
+                    let n = r.neighbor(&dir);
+                    let Some((t2, n2)) = self.connectivity().transform(t, &n) else {
+                        continue;
+                    };
+                    let off: [Coord; D] = std::array::from_fn(|i| n2.coords[i] - n.coords[i]);
+                    for owner in self.owners_of_range(t2, n2.index(), n2.last_index()) {
+                        if owner == me && t2 == t && off == [0; D] {
+                            continue; // same tree, same rank: phase 1 did it
+                        }
+                        let key = (owner, t2, off);
+                        if seen.contains(&key) {
+                            continue;
+                        }
+                        seen.push(key);
+                        let qid = *qid.get_or_insert_with(|| {
+                            queries.push((t, *r));
+                            (queries.len() - 1) as u32
+                        });
+                        let eid = entries.len() as u32;
+                        entries.push(QueryEntry { qid, tree: t2, off });
+                        per_rank.entry(owner).or_default().push(eid);
+                    }
+                }
+            }
+        }
+
+        // Encode per-destination query buffers (self entries bypass the
+        // network).
+        let encode_entries = |eids: &[u32]| -> Vec<u8> {
+            let mut buf = Vec::with_capacity(eids.len() * (8 + codec::octant_size::<D>()));
+            for &eid in eids {
+                let e = &entries[eid as usize];
+                let (_, r) = queries[e.qid as usize];
+                codec::put_u32(&mut buf, eid);
+                codec::put_u32(&mut buf, e.tree);
+                codec::put_octant(&mut buf, &translate(&r, &e.off));
+            }
+            buf
+        };
+
+        let receivers: Vec<usize> = per_rank.keys().copied().filter(|&d| d != me).collect();
+        report.timings.query_response = t0.elapsed();
+
+        // ---- Pattern reversal (timed separately, like Figure 15e) ---
+        let t0 = Instant::now();
+        let (senders, effective_receivers) = match reversal {
+            ReversalScheme::Naive => (reverse_naive(ctx, &receivers), receivers.clone()),
+            ReversalScheme::Notify => (reverse_notify(ctx, &receivers), receivers.clone()),
+            ReversalScheme::Ranges(rmax) => {
+                let senders = reverse_ranges(ctx, &receivers, rmax);
+                let expansion: Vec<usize> = ranges_expansion(&receivers, rmax, ctx.size())
+                    .into_iter()
+                    .filter(|&d| d != me)
+                    .collect();
+                (senders, expansion)
+            }
+        };
+        let senders: Vec<usize> = senders.into_iter().filter(|&s| s != me).collect();
+        report.timings.reversal = t0.elapsed();
+
+        // ---- Phase 3: query / response exchange ---------------------
+        let t0 = Instant::now();
+        for &d in &effective_receivers {
+            let buf = per_rank
+                .get(&d)
+                .map(|e| encode_entries(e))
+                .unwrap_or_default();
+            report.query_bytes += buf.len() as u64;
+            report.messages += 1;
+            ctx.send(d, QUERY_TAG, buf);
+        }
+
+        // Respond to each incoming query message.
+        for &s in &senders {
+            let (_, data) = ctx.recv(Some(s), QUERY_TAG);
+            let reply = self.answer_queries(&data, cond, variant);
+            report.response_bytes += reply.len() as u64;
+            report.messages += 1;
+            ctx.send(s, RESPONSE_TAG, reply);
+        }
+
+        // Self entries: answer locally.
+        let self_reply = per_rank
+            .get(&me)
+            .map(|eids| self.answer_queries(&encode_entries(eids), cond, variant));
+
+        // Collect responses: per qid, the constraint octants in home frame.
+        let mut per_qid: Vec<Vec<Octant<D>>> = vec![Vec::new(); queries.len()];
+        let absorb = |data: &[u8], per_qid: &mut Vec<Vec<Octant<D>>>| {
+            let mut pos = 0;
+            while pos < data.len() {
+                let eid = codec::get_u32(data, &mut pos) as usize;
+                let count = codec::get_u32(data, &mut pos) as usize;
+                let e = &entries[eid];
+                let back: [Coord; D] = std::array::from_fn(|i| -e.off[i]);
+                for _ in 0..count {
+                    let o = codec::get_octant::<D>(data, &mut pos);
+                    per_qid[e.qid as usize].push(translate(&o, &back));
+                }
+            }
+        };
+        for &_d in &effective_receivers {
+            let (_, data) = ctx.recv(None, RESPONSE_TAG);
+            absorb(&data, &mut per_qid);
+        }
+        if let Some(data) = self_reply {
+            absorb(&data, &mut per_qid);
+        }
+        report.timings.query_response += t0.elapsed();
+
+        // ---- Phase 4: local rebalance -------------------------------
+        let t0 = Instant::now();
+        match variant {
+            BalanceVariant::New => self.rebalance_new(&queries, per_qid, cond),
+            BalanceVariant::Old => self.rebalance_old(&queries, per_qid, cond),
+        }
+        report.timings.rebalance = t0.elapsed();
+        report.timings.total = t_total.elapsed();
+        report
+    }
+
+    /// Phase 3 responder: for each encoded query entry, find the local
+    /// leaves inside the query octant's insulation layer that might cause
+    /// it to split, and encode the response (raw octants or seeds).
+    fn answer_queries(&self, data: &[u8], cond: Condition, variant: BalanceVariant) -> Vec<u8> {
+        let mut reply = Vec::new();
+        let mut pos = 0;
+        while pos < data.len() {
+            let eid = codec::get_u32(data, &mut pos);
+            let tree = codec::get_u32(data, &mut pos);
+            let r = codec::get_octant::<D>(data, &mut pos);
+
+            let mut out: Vec<Octant<D>> = Vec::new();
+            if let Some(v) = self.local.get(&tree) {
+                for dir in directions::<D>() {
+                    let n = r.neighbor(&dir);
+                    if !n.is_inside_root() {
+                        continue; // insulation falling outside this tree
+                    }
+                    // Local leaves strictly inside the insulation member.
+                    let lo = v.partition_point(|o| o.index() < n.index());
+                    for o in v[lo..]
+                        .iter()
+                        .take_while(|o| o.last_index() <= n.last_index())
+                    {
+                        if o.level < r.level + 2 {
+                            continue; // too coarse to split r
+                        }
+                        match variant {
+                            BalanceVariant::Old => out.push(*o),
+                            BalanceVariant::New => {
+                                if let Some(seeds) = find_seeds(o, &r, cond) {
+                                    out.extend(seeds);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            if variant == BalanceVariant::New {
+                // Overlapping seeds from different source octants resolve
+                // to the finest.
+                linearize(&mut out);
+            }
+            codec::put_u32(&mut reply, eid);
+            codec::put_u32(&mut reply, out.len() as u32);
+            for o in &out {
+                codec::put_octant(&mut reply, o);
+            }
+        }
+        reply
+    }
+
+    /// New-variant rebalance: reconstruct each queried octant from its
+    /// merged seeds and splice the result into the leaf array. No
+    /// full-partition work, no auxiliary octants.
+    fn rebalance_new(
+        &mut self,
+        queries: &[(TreeId, Octant<D>)],
+        per_qid: Vec<Vec<Octant<D>>>,
+        cond: Condition,
+    ) {
+        // tree -> (query octant -> replacement leaves)
+        let mut splices: BTreeMap<TreeId, BTreeMap<Octant<D>, Vec<Octant<D>>>> = BTreeMap::new();
+        for (qid, mut seeds) in per_qid.into_iter().enumerate() {
+            if seeds.is_empty() {
+                continue;
+            }
+            let (t, r) = queries[qid];
+            linearize(&mut seeds);
+            let s = reconstruct_from_seeds(&r, &seeds, cond);
+            if s.len() > 1 {
+                splices.entry(t).or_default().insert(r, s);
+            }
+        }
+        for (t, mut reps) in splices {
+            let v = self
+                .local
+                .get_mut(&t)
+                .expect("splice in tree without leaves");
+            let mut out = Vec::with_capacity(v.len() + reps.len() * 8);
+            for leaf in v.iter() {
+                match reps.remove(leaf) {
+                    Some(s) => out.extend(s),
+                    None => out.push(*leaf),
+                }
+            }
+            debug_assert!(reps.is_empty(), "replacement for a vanished leaf");
+            debug_assert!(is_linear(&out));
+            *v = out;
+        }
+    }
+
+    /// Old-variant rebalance: per tree, re-run the full subtree balance
+    /// over the partition with all received octants as constraints,
+    /// constructing auxiliary octants toward remote sources.
+    fn rebalance_old(
+        &mut self,
+        queries: &[(TreeId, Octant<D>)],
+        per_qid: Vec<Vec<Octant<D>>>,
+        cond: Condition,
+    ) {
+        let mut per_tree: BTreeMap<TreeId, Vec<Octant<D>>> = BTreeMap::new();
+        for (qid, octs) in per_qid.into_iter().enumerate() {
+            let (t, _) = queries[qid];
+            per_tree.entry(t).or_default().extend(octs);
+        }
+        for (t, mut received) in per_tree {
+            received.sort_unstable();
+            received.dedup();
+            let v = self
+                .local
+                .get_mut(&t)
+                .expect("response for tree without leaves");
+            if v.is_empty() {
+                continue;
+            }
+            let sub = v[0].nearest_common_ancestor(&v[v.len() - 1]);
+            let (lo, hi) = (v[0].index(), v[v.len() - 1].last_index());
+            let (interior_extra, exterior): (Vec<_>, Vec<_>) =
+                received.into_iter().partition(|o| sub.contains(o));
+            let mut interior = forestbal_octant::merge_sorted(v, &interior_extra);
+            // Received octants are leaves of other partitions: disjoint
+            // from ours, but deduplicate defensively.
+            interior.dedup();
+            debug_assert!(is_linear(&interior));
+            let (balanced, _) = balance_subtree_old_ext(&sub, &interior, &exterior, cond);
+            *v = balanced
+                .into_iter()
+                .filter(|o| o.index() >= lo && o.last_index() <= hi)
+                .collect();
+            debug_assert!(is_linear(v));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Wire encoding of octants and query/response payloads.
+//!
+//! Fixed-size little-endian records keep the byte counters meaningful:
+//! an octant is `4*D + 1` bytes, exactly the information content the
+//! paper's implementation ships per quadrant.
+
+use crate::connectivity::TreeId;
+use forestbal_octant::{Coord, Octant};
+
+/// Bytes per encoded octant.
+pub const fn octant_size<const D: usize>() -> usize {
+    4 * D + 1
+}
+
+/// Append an octant to `buf`.
+pub fn put_octant<const D: usize>(buf: &mut Vec<u8>, o: &Octant<D>) {
+    for c in &o.coords {
+        buf.extend_from_slice(&c.to_le_bytes());
+    }
+    buf.push(o.level);
+}
+
+/// Read an octant at `pos`, advancing it.
+pub fn get_octant<const D: usize>(buf: &[u8], pos: &mut usize) -> Octant<D> {
+    let mut coords = [0 as Coord; D];
+    for c in coords.iter_mut() {
+        *c = Coord::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap());
+        *pos += 4;
+    }
+    let level = buf[*pos];
+    *pos += 1;
+    Octant { coords, level }
+}
+
+/// Append a `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u32` at `pos`, advancing it.
+pub fn get_u32(buf: &[u8], pos: &mut usize) -> u32 {
+    let v = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap());
+    *pos += 4;
+    v
+}
+
+/// Append a `(tree, octant)` pair.
+pub fn put_tree_octant<const D: usize>(buf: &mut Vec<u8>, t: TreeId, o: &Octant<D>) {
+    put_u32(buf, t);
+    put_octant(buf, o);
+}
+
+/// Read a `(tree, octant)` pair at `pos`, advancing it.
+pub fn get_tree_octant<const D: usize>(buf: &[u8], pos: &mut usize) -> (TreeId, Octant<D>) {
+    let t = get_u32(buf, pos);
+    let o = get_octant(buf, pos);
+    (t, o)
+}
+
+use crate::forest::Forest;
+
+impl<const D: usize> Forest<D> {
+    /// Serialize this rank's leaves (tree ids + octants) to bytes — the
+    /// per-rank payload of a p4est-style save. The connectivity and rank
+    /// layout are not included; pair with the same connectivity and any
+    /// partition on load.
+    pub fn serialize_local(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.num_local() * (4 + octant_size::<D>()));
+        for (t, v) in self.trees() {
+            for o in v {
+                put_tree_octant(&mut buf, t, o);
+            }
+        }
+        buf
+    }
+
+    /// Rebuild a per-tree leaf map from bytes produced by
+    /// [`Forest::serialize_local`] (possibly concatenated across ranks).
+    pub fn deserialize_leaves(
+        data: &[u8],
+    ) -> std::collections::BTreeMap<crate::connectivity::TreeId, Vec<forestbal_octant::Octant<D>>>
+    {
+        let mut map: std::collections::BTreeMap<_, Vec<_>> = Default::default();
+        let mut pos = 0;
+        while pos < data.len() {
+            let (t, o) = get_tree_octant::<D>(data, &mut pos);
+            map.entry(t).or_default().push(o);
+        }
+        for v in map.values_mut() {
+            v.sort_unstable();
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_serialization_roundtrip() {
+        use crate::connectivity::BrickConnectivity;
+        use forestbal_comm::Cluster;
+        use std::sync::Arc;
+        let conn = Arc::new(BrickConnectivity::<2>::new([2, 1], [false; 2]));
+        Cluster::run(3, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 2);
+            f.refine(true, 4, |t, o| t == 0 && o.coords[0] == 0);
+            let bytes = f.serialize_local();
+            let back = Forest::<2>::deserialize_leaves(&bytes);
+            for (t, v) in f.trees() {
+                assert_eq!(back[&t], v);
+            }
+            // Concatenation across ranks reproduces the gathered forest.
+            let all = ctx.allgather(bytes);
+            let mut concat = Vec::new();
+            for part in all.iter() {
+                concat.extend_from_slice(part);
+            }
+            let global = Forest::<2>::deserialize_leaves(&concat);
+            assert_eq!(global, f.gather(ctx));
+        });
+    }
+
+    #[test]
+    fn octant_roundtrip() {
+        let o = Octant::<3>::root().child(5).child(2);
+        let mut buf = Vec::new();
+        put_octant(&mut buf, &o);
+        assert_eq!(buf.len(), octant_size::<3>());
+        let mut pos = 0;
+        assert_eq!(get_octant::<3>(&buf, &mut pos), o);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn negative_coords_roundtrip() {
+        let o = Octant::<2>::root().child(0).neighbor(&[-1, -1]);
+        let mut buf = Vec::new();
+        put_octant(&mut buf, &o);
+        let mut pos = 0;
+        assert_eq!(get_octant::<2>(&buf, &mut pos), o);
+    }
+
+    #[test]
+    fn mixed_stream() {
+        let o1 = Octant::<2>::root().child(1);
+        let o2 = Octant::<2>::root().child(2).child(3);
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_tree_octant(&mut buf, 3, &o1);
+        put_tree_octant(&mut buf, 9, &o2);
+        let mut pos = 0;
+        assert_eq!(get_u32(&buf, &mut pos), 7);
+        assert_eq!(get_tree_octant::<2>(&buf, &mut pos), (3, o1));
+        assert_eq!(get_tree_octant::<2>(&buf, &mut pos), (9, o2));
+        assert_eq!(pos, buf.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! Legacy-VTK export of a (gathered) forest for visualization.
+//!
+//! Writes an ASCII `UNSTRUCTURED_GRID` file with one quad/hexahedron per
+//! leaf and cell data for refinement level and owner tree — enough to
+//! open the meshes of Figures 1, 14 and 16 in ParaView. Intended for
+//! debugging and the examples; production I/O is out of scope.
+
+use crate::connectivity::{BrickConnectivity, TreeId};
+use forestbal_octant::{Octant, ROOT_LEN};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+/// VTK cell type ids.
+const VTK_QUAD: u8 = 9;
+const VTK_HEXAHEDRON: u8 = 12;
+
+/// Write a gathered forest as legacy VTK. Octant coordinates are scaled
+/// to unit trees and offset by the brick position of their tree.
+pub fn write_vtk<const D: usize, W: Write>(
+    w: &mut W,
+    conn: &BrickConnectivity<D>,
+    forest: &BTreeMap<TreeId, Vec<Octant<D>>>,
+) -> io::Result<()> {
+    assert!(D == 2 || D == 3, "VTK export supports 2D and 3D");
+    let n_cells: usize = forest.values().map(Vec::len).sum();
+    let corners = 1usize << D;
+
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "forestbal forest of octrees")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET UNSTRUCTURED_GRID")?;
+    writeln!(w, "POINTS {} double", n_cells * corners)?;
+
+    let scale = 1.0 / ROOT_LEN as f64;
+    for (&t, v) in forest {
+        let tc = conn.tree_coords(t);
+        for o in v {
+            let len = o.len() as f64 * scale;
+            for corner in 0..corners {
+                let mut p = [0.0f64; 3];
+                for i in 0..D {
+                    p[i] = tc[i] as f64
+                        + o.coords[i] as f64 * scale
+                        + ((corner >> i) & 1) as f64 * len;
+                }
+                writeln!(w, "{} {} {}", p[0], p[1], p[2])?;
+            }
+        }
+    }
+
+    writeln!(w, "CELLS {} {}", n_cells, n_cells * (corners + 1))?;
+    for c in 0..n_cells {
+        let base = c * corners;
+        match D {
+            2 => writeln!(w, "4 {} {} {} {}", base, base + 1, base + 3, base + 2)?,
+            _ => writeln!(
+                w,
+                "8 {} {} {} {} {} {} {} {}",
+                base,
+                base + 1,
+                base + 3,
+                base + 2,
+                base + 4,
+                base + 5,
+                base + 7,
+                base + 6
+            )?,
+        }
+    }
+
+    writeln!(w, "CELL_TYPES {n_cells}")?;
+    let ct = if D == 2 { VTK_QUAD } else { VTK_HEXAHEDRON };
+    for _ in 0..n_cells {
+        writeln!(w, "{ct}")?;
+    }
+
+    writeln!(w, "CELL_DATA {n_cells}")?;
+    writeln!(w, "SCALARS level int 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for v in forest.values() {
+        for o in v {
+            writeln!(w, "{}", o.level)?;
+        }
+    }
+    writeln!(w, "SCALARS tree int 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for (&t, v) in forest {
+        for _ in v {
+            writeln!(w, "{t}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vtk_structure_2d() {
+        let conn = BrickConnectivity::<2>::new([2, 1], [false; 2]);
+        let root = Octant::<2>::root();
+        let mut forest = BTreeMap::new();
+        forest.insert(
+            0,
+            vec![root.child(0), root.child(1), root.child(2), root.child(3)],
+        );
+        forest.insert(1, vec![root]);
+        let mut buf = Vec::new();
+        write_vtk(&mut buf, &conn, &forest).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("POINTS 20 double"));
+        assert!(s.contains("CELLS 5 25"));
+        assert!(s.contains("CELL_TYPES 5"));
+        // Tree 1 is offset by one unit in x: its last corner is at x=2.
+        assert!(s.lines().any(|l| l.starts_with("2 ")));
+        // Levels: four 1s and one 0.
+        let levels: Vec<&str> = s
+            .lines()
+            .skip_while(|l| !l.starts_with("SCALARS level"))
+            .skip(2)
+            .take(5)
+            .collect();
+        assert_eq!(levels, ["1", "1", "1", "1", "0"]);
+    }
+
+    #[test]
+    fn vtk_structure_3d() {
+        let conn = BrickConnectivity::<3>::unit();
+        let root = Octant::<3>::root();
+        let mut forest = BTreeMap::new();
+        forest.insert(0, (0..8).map(|i| root.child(i)).collect::<Vec<_>>());
+        let mut buf = Vec::new();
+        write_vtk(&mut buf, &conn, &forest).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("POINTS 64 double"));
+        assert!(s.contains("CELL_TYPES 8"));
+        assert!(s.contains("\n12\n"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Ghost layers: each rank's copy of the remote leaves adjacent to its
+//! partition.
+//!
+//! Not used by the balance algorithm itself (which exchanges queries and
+//! seeds instead), but the canonical next step for any numerical code on
+//! a partitioned forest, and a good consumer of the same insulation/
+//! marker machinery. Mirrors p4est's `ghost` module: one layer of
+//! neighbor octants across faces, edges, and corners, including across
+//! tree boundaries.
+
+use crate::codec;
+use crate::connectivity::TreeId;
+use crate::forest::Forest;
+use forestbal_comm::{reverse_notify, RankCtx};
+use forestbal_octant::{directions, Octant};
+use std::collections::BTreeMap;
+
+const GHOST_TAG: u32 = 0xBA1A_0020;
+
+/// The remote leaves adjacent to this rank's partition, each with its
+/// owner rank, stored under their *home* tree in in-root coordinates and
+/// sorted in Morton order per tree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GhostLayer<const D: usize> {
+    per_tree: BTreeMap<TreeId, Vec<(usize, Octant<D>)>>,
+}
+
+impl<const D: usize> GhostLayer<D> {
+    /// Ghosts of one tree (sorted by octant).
+    pub fn tree(&self, t: TreeId) -> &[(usize, Octant<D>)] {
+        self.per_tree.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate all `(tree, owner, octant)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (TreeId, usize, &Octant<D>)> {
+        self.per_tree
+            .iter()
+            .flat_map(|(&t, v)| v.iter().map(move |(o, oct)| (t, *o, oct)))
+    }
+
+    /// Total number of ghost octants.
+    pub fn len(&self) -> usize {
+        self.per_tree.values().map(Vec::len).sum()
+    }
+
+    /// Is the layer empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<const D: usize> Forest<D> {
+    /// Collect the ghost layer: every remote leaf whose insulation layer
+    /// overlaps this rank's partition (equivalently, every remote leaf
+    /// adjacent to one of ours, across tree boundaries included).
+    pub fn ghost_layer(&mut self, ctx: &RankCtx) -> GhostLayer<D> {
+        self.update_markers(ctx);
+        let me = ctx.rank();
+
+        // Symmetric construction: send each of my boundary leaves, in its
+        // *home* tree and coordinates, to every rank owning part of its
+        // insulation layer; what I receive is exactly my ghost layer.
+        let mut out: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+        for (&t, v) in self.local.iter() {
+            for r in v {
+                let mut sent_to: Vec<usize> = Vec::new();
+                for dir in directions::<D>() {
+                    let n = r.neighbor(&dir);
+                    let Some((t2, n2)) = self.connectivity().transform(t, &n) else {
+                        continue;
+                    };
+                    for owner in self.owners_of_range(t2, n2.index(), n2.last_index()) {
+                        if owner == me || sent_to.contains(&owner) {
+                            continue;
+                        }
+                        sent_to.push(owner);
+                        codec::put_tree_octant(out.entry(owner).or_default(), t, r);
+                    }
+                }
+            }
+        }
+
+        let receivers: Vec<usize> = out.keys().copied().collect();
+        let senders = reverse_notify(ctx, &receivers);
+        for (&d, buf) in &out {
+            ctx.send(d, GHOST_TAG, buf.clone());
+        }
+        let mut layer = GhostLayer::default();
+        for s in senders {
+            let (src, data) = ctx.recv(Some(s), GHOST_TAG);
+            let mut pos = 0;
+            while pos < data.len() {
+                let (t, o) = codec::get_tree_octant::<D>(&data, &mut pos);
+                layer.per_tree.entry(t).or_default().push((src, o));
+            }
+        }
+        for v in layer.per_tree.values_mut() {
+            v.sort_by_key(|&(_, o)| o);
+            v.dedup();
+        }
+        layer
+    }
+
+    /// Distributed 2:1 check: is the forest `cond`-balanced? Each rank
+    /// verifies its leaves against local leaves and the ghost layer; the
+    /// verdicts are combined with one allreduce. (The insulation fact
+    /// guarantees any violating pair is visible to at least one of the
+    /// two owners through its ghosts.)
+    pub fn is_balanced_distributed(
+        &mut self,
+        ctx: &RankCtx,
+        cond: forestbal_core::Condition,
+    ) -> bool {
+        let ghosts = self.ghost_layer(ctx);
+        let mut ok = true;
+        'outer: for (t, v) in self.local.iter().map(|(&t, v)| (t, v)) {
+            for o in v {
+                for dir in directions::<D>() {
+                    if !cond.constrains(forestbal_octant::codim(&dir)) {
+                        continue;
+                    }
+                    let n = o.neighbor(&dir);
+                    let Some((t2, n2)) = self.connectivity().transform(t, &n) else {
+                        continue;
+                    };
+                    // The containing leaf (local or ghost), if coarser
+                    // than n2, must be within one level of o.
+                    if let Some(c) = self.containing_local_or_ghost(&ghosts, t2, &n2) {
+                        if c.level + 1 < o.level {
+                            ok = false;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        ctx.allreduce_and(ok)
+    }
+
+    /// The leaf containing octant `q` among local leaves and ghosts.
+    fn containing_local_or_ghost(
+        &self,
+        ghosts: &GhostLayer<D>,
+        t: TreeId,
+        q: &Octant<D>,
+    ) -> Option<Octant<D>> {
+        if let Some((_, v)) = self.trees().find(|&(tt, _)| tt == t) {
+            let i = v.partition_point(|o| o <= q);
+            if i > 0 && v[i - 1].contains(q) {
+                return Some(v[i - 1]);
+            }
+        }
+        let gv = ghosts.tree(t);
+        let i = gv.partition_point(|&(_, o)| o <= *q);
+        (i > 0 && gv[i - 1].1.contains(q)).then(|| gv[i - 1].1)
+    }
+
+    /// Is octant `g` of tree `tg` adjacent (sharing any boundary object)
+    /// to some local leaf, including across tree boundaries?
+    pub fn touches_local(&self, tg: TreeId, g: &Octant<D>) -> bool {
+        for dir in directions::<D>() {
+            let n = g.neighbor(&dir);
+            let Some((t2, n2)) = self.connectivity().transform(tg, &n) else {
+                continue;
+            };
+            let Some(v) = self.local.get(&t2) else {
+                continue;
+            };
+            let lo = v.partition_point(|o| o.last_index() < n2.index());
+            if lo < v.len() && v[lo].index() <= n2.last_index() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::BrickConnectivity;
+    use forestbal_comm::Cluster;
+    use std::sync::Arc;
+
+    #[test]
+    fn uniform_ghosts_are_range_neighbors() {
+        let conn = Arc::new(BrickConnectivity::<2>::unit());
+        Cluster::run(4, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 3);
+            let ghosts = f.ghost_layer(ctx);
+            assert!(!ghosts.is_empty(), "interior ranks must see ghosts");
+            let global = f.gather(ctx);
+            for (t, owner, g) in ghosts.iter() {
+                assert_ne!(owner, ctx.rank());
+                // Each ghost is a real global leaf...
+                assert!(global[&t].binary_search(g).is_ok());
+                // ...not a local one...
+                let local: Vec<_> = f.trees().filter(|&(tt, _)| tt == t).collect();
+                for (_, v) in local {
+                    assert!(v.binary_search(g).is_err());
+                }
+                // ...and adjacent to the local partition.
+                assert!(f.touches_local(t, g), "ghost {g:?} does not touch rank");
+            }
+        });
+    }
+
+    #[test]
+    fn ghosts_cover_all_local_boundary_neighbors() {
+        let conn = Arc::new(BrickConnectivity::<2>::unit());
+        Cluster::run(3, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 3);
+            let ghosts = f.ghost_layer(ctx);
+            let global = f.gather(ctx);
+            // Every neighbor of a local leaf is local or a ghost.
+            let locals: Vec<(TreeId, Vec<Octant<2>>)> =
+                f.trees().map(|(t, v)| (t, v.to_vec())).collect();
+            for (t, v) in locals {
+                for o in &v {
+                    for dir in directions::<2>() {
+                        let n = o.neighbor(&dir);
+                        if !n.is_inside_root() {
+                            continue;
+                        }
+                        // Uniform forest: the neighbor IS a leaf.
+                        assert!(global[&t].binary_search(&n).is_ok());
+                        let local_hit = v.binary_search(&n).is_ok();
+                        let ghost_hit =
+                            ghosts.tree(t).binary_search_by_key(&n, |&(_, g)| g).is_ok();
+                        assert!(
+                            local_hit || ghost_hit,
+                            "neighbor {n:?} neither local nor ghost"
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn cross_tree_ghosts() {
+        let conn = Arc::new(BrickConnectivity::<2>::new([2, 1], [false; 2]));
+        Cluster::run(2, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 2);
+            // With 2 trees and 2 ranks, the partition boundary is the
+            // tree boundary: ghosts live in the other tree.
+            let ghosts = f.ghost_layer(ctx);
+            assert!(!ghosts.is_empty());
+            let other_tree = if ctx.rank() == 0 { 1 } else { 0 };
+            assert!(
+                !ghosts.tree(other_tree).is_empty(),
+                "rank {} expected ghosts in tree {other_tree}",
+                ctx.rank()
+            );
+        });
+    }
+
+    #[test]
+    fn distributed_balance_check() {
+        use crate::balance::{BalanceVariant, ReversalScheme};
+        use forestbal_core::Condition;
+        let conn = Arc::new(BrickConnectivity::<2>::unit());
+        Cluster::run(3, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 1);
+            f.refine(true, 5, |_, o| {
+                o.coords[0] + o.len() == (1 << 23) && o.coords[1] + o.len() == (1 << 23)
+            });
+            let cond = Condition::full(2);
+            assert!(
+                !f.is_balanced_distributed(ctx, cond),
+                "deep center refinement must violate 2:1"
+            );
+            f.balance(ctx, cond, BalanceVariant::New, ReversalScheme::Notify);
+            assert!(f.is_balanced_distributed(ctx, cond));
+            // Face balance is implied by corner balance.
+            assert!(f.is_balanced_distributed(ctx, Condition::FACE));
+        });
+    }
+
+    #[test]
+    fn single_rank_has_no_ghosts() {
+        let conn = Arc::new(BrickConnectivity::<2>::new([2, 2], [false; 2]));
+        Cluster::run(1, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 2);
+            assert!(f.ghost_layer(ctx).is_empty());
+        });
+    }
+}

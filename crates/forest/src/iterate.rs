@@ -1,0 +1,212 @@
+//! Face iteration: visit every face of the mesh exactly once.
+//!
+//! The p4est `iterate` pattern: numerical kernels (flux assembly, DG face
+//! integrals) need each mesh face visited once, with both adjacent leaves
+//! in hand. On a distributed forest, "once" means once across the whole
+//! cluster: interior same-size faces are emitted by the Morton-smaller
+//! side, hanging sub-faces by their fine side, boundary faces by their
+//! only side — rules every rank can evaluate locally given its ghost
+//! layer.
+
+use crate::connectivity::TreeId;
+use crate::forest::Forest;
+use crate::ghost::GhostLayer;
+use crate::neighbors::FaceNeighbor;
+use forestbal_octant::Octant;
+
+/// One face visit. `axis`/`sign` describe the face of `leaf` (in tree
+/// `tree`) being crossed; the neighbor side is in its own home tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaceVisit<const D: usize> {
+    /// A face on the domain boundary.
+    Boundary {
+        /// Tree holding the leaf.
+        tree: TreeId,
+        /// The leaf whose face lies on the boundary.
+        leaf: Octant<D>,
+        /// Face axis.
+        axis: usize,
+        /// Face side along the axis (`-1` or `+1`).
+        sign: i8,
+    },
+    /// An interior face between equal-size leaves.
+    Same {
+        /// Tree holding the reporting leaf.
+        tree: TreeId,
+        /// The reporting (Morton-smaller) leaf.
+        leaf: Octant<D>,
+        /// Face axis.
+        axis: usize,
+        /// Face side along the axis (`-1` or `+1`).
+        sign: i8,
+        /// Home tree of the neighbor.
+        ntree: TreeId,
+        /// The equal-size neighbor, in its home tree's frame.
+        neighbor: Octant<D>,
+    },
+    /// A hanging sub-face: `leaf` is the fine side, `neighbor` the
+    /// double-size coarse side.
+    Hanging {
+        /// Tree holding the fine leaf.
+        tree: TreeId,
+        /// The fine leaf owning this sub-face.
+        leaf: Octant<D>,
+        /// Face axis.
+        axis: usize,
+        /// Face side along the axis (`-1` or `+1`).
+        sign: i8,
+        /// Home tree of the coarse neighbor.
+        ntree: TreeId,
+        /// The coarse neighbor, in its home tree's frame.
+        neighbor: Octant<D>,
+    },
+}
+
+impl<const D: usize> Forest<D> {
+    /// Visit every face incident to the local partition that this rank is
+    /// responsible for (each face visited exactly once across the
+    /// cluster). Requires a face-balanced forest and its ghost layer.
+    pub fn for_each_face(&self, ghosts: &GhostLayer<D>, mut visit: impl FnMut(FaceVisit<D>)) {
+        for (t, v) in self.trees() {
+            for o in v {
+                for axis in 0..D {
+                    for sign in [-1i8, 1] {
+                        match self.face_neighbor(ghosts, t, o, axis, sign) {
+                            FaceNeighbor::Boundary => visit(FaceVisit::Boundary {
+                                tree: t,
+                                leaf: *o,
+                                axis,
+                                sign,
+                            }),
+                            FaceNeighbor::Same(t2, n) => {
+                                // Emit from the globally smaller side so
+                                // exactly one rank reports the face.
+                                if (t, *o) < (t2, n) {
+                                    visit(FaceVisit::Same {
+                                        tree: t,
+                                        leaf: *o,
+                                        axis,
+                                        sign,
+                                        ntree: t2,
+                                        neighbor: n,
+                                    });
+                                }
+                            }
+                            FaceNeighbor::Coarse(t2, n) => {
+                                // The fine side owns the hanging sub-face.
+                                visit(FaceVisit::Hanging {
+                                    tree: t,
+                                    leaf: *o,
+                                    axis,
+                                    sign,
+                                    ntree: t2,
+                                    neighbor: n,
+                                });
+                            }
+                            FaceNeighbor::Fine(..) => {
+                                // Reported by the fine side as Hanging.
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::{BalanceVariant, ReversalScheme};
+    use crate::connectivity::BrickConnectivity;
+    use forestbal_comm::Cluster;
+    use forestbal_core::Condition;
+    use std::sync::Arc;
+
+    /// Count face visits by kind across the cluster.
+    fn global_counts(
+        p: usize,
+        conn: Arc<BrickConnectivity<2>>,
+        level: u8,
+        refine_origin: bool,
+    ) -> (u64, u64, u64) {
+        let out = Cluster::run(p, move |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, level);
+            if refine_origin {
+                f.refine(false, level + 1, |t, o| t == 0 && o.coords == [0, 0]);
+                f.balance(
+                    ctx,
+                    Condition::FACE,
+                    BalanceVariant::New,
+                    ReversalScheme::Notify,
+                );
+            }
+            let ghosts = f.ghost_layer(ctx);
+            let (mut b, mut s, mut h) = (0u64, 0u64, 0u64);
+            f.for_each_face(&ghosts, |v| match v {
+                FaceVisit::Boundary { .. } => b += 1,
+                FaceVisit::Same { .. } => s += 1,
+                FaceVisit::Hanging { .. } => h += 1,
+            });
+            (
+                ctx.allreduce_sum(b),
+                ctx.allreduce_sum(s),
+                ctx.allreduce_sum(h),
+            )
+        });
+        out.results[0]
+    }
+
+    #[test]
+    fn uniform_grid_face_counts() {
+        // N x N uniform grid: boundary faces 4N, interior 2N(N-1).
+        let conn = Arc::new(BrickConnectivity::<2>::unit());
+        for p in [1usize, 3] {
+            let (b, s, h) = global_counts(p, Arc::clone(&conn), 2, false);
+            let n = 4u64;
+            assert_eq!(b, 4 * n, "P={p}");
+            assert_eq!(s, 2 * n * (n - 1), "P={p}");
+            assert_eq!(h, 0, "P={p}");
+        }
+    }
+
+    #[test]
+    fn multitree_interior_faces_counted_once() {
+        // Two trees side by side, level 1 each: the shared tree boundary
+        // contributes interior (Same) faces, not Boundary ones.
+        let conn = Arc::new(BrickConnectivity::<2>::new([2, 1], [false; 2]));
+        let (b, s, h) = global_counts(2, conn, 1, false);
+        // Grid is 4x2 cells: boundary = 2*4 + 2*2 = 12; interior =
+        // 3*2 (vertical) + 4*1 (horizontal) = 10.
+        assert_eq!(b, 12);
+        assert_eq!(s, 10);
+        assert_eq!(h, 0);
+    }
+
+    #[test]
+    fn hanging_faces_from_refined_corner() {
+        // Refine the origin cell once on a 2x2 grid (level 1 -> one cell
+        // at level 2): its two interior edges become 2 hanging sub-faces
+        // each.
+        let conn = Arc::new(BrickConnectivity::<2>::unit());
+        let (b, s, h) = global_counts(1, Arc::clone(&conn), 1, true);
+        assert_eq!(h, 4, "two T-faces, two sub-faces each");
+        // Boundary: coarse cells contribute 2 each (3 cells) = 6, fine
+        // cells on the boundary contribute 2+1+1 = 4.
+        assert_eq!(b, 10);
+        // Interior same-size: between the 3 coarse cells: 2; between the
+        // 4 fine cells: 4.
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn counts_are_partition_invariant() {
+        let conn = Arc::new(BrickConnectivity::<2>::new([2, 2], [false; 2]));
+        let mut all = vec![];
+        for p in [1usize, 2, 5] {
+            all.push(global_counts(p, Arc::clone(&conn), 2, true));
+        }
+        assert_eq!(all[0], all[1]);
+        assert_eq!(all[0], all[2]);
+    }
+}

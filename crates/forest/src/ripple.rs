@@ -1,0 +1,318 @@
+//! The multi-round parallel *ripple* baseline (§II-B).
+//!
+//! "An algorithm that only compares neighbors when determining which
+//! octants to split is called a ripple algorithm ... Parallel ripple
+//! algorithms only use communication between processes with neighboring
+//! partitions, so they generally require multiple rounds of communication
+//! when an octant ultimately causes another octant on a remote process's
+//! partition to split."
+//!
+//! Each round: (a) reach a local 2:1 fixed point; (b) send boundary
+//! leaves to the ranks owning their insulation layers; (c) split local
+//! leaves violating 2:1 against received ghosts; repeat until no rank
+//! changed anything. The one-pass algorithm of [`crate::balance`] does
+//! the same job with a single query/response round; this baseline exists
+//! for the ablation benchmarks and as an independent cross-check.
+
+use crate::codec;
+use crate::connectivity::TreeId;
+use crate::forest::Forest;
+use forestbal_comm::{reverse_notify, RankCtx};
+use forestbal_core::Condition;
+use forestbal_octant::{codim, directions, is_linear, Octant};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+const RIPPLE_TAG: u32 = 0xBA1A_0010;
+
+/// Outcome counters of a ripple balance run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RippleStats {
+    /// Communication rounds until global convergence (≥ 1).
+    pub rounds: u32,
+    /// Total leaves split on this rank.
+    pub splits: u64,
+}
+
+impl<const D: usize> Forest<D> {
+    /// Balance by neighbor-only ripple propagation with multiple
+    /// communication rounds. Produces exactly the same forest as
+    /// [`Forest::balance`], at a different (usually worse) cost.
+    pub fn balance_ripple(&mut self, ctx: &RankCtx, cond: Condition) -> RippleStats {
+        self.update_markers(ctx);
+        let mut stats = RippleStats::default();
+        loop {
+            stats.rounds += 1;
+            let mut changed = self.local_ripple_fixed_point(cond, &mut stats);
+
+            // Exchange boundary leaves with every rank owning part of a
+            // local leaf's insulation layer.
+            let mut out: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+            let me = ctx.rank();
+            for (&t, v) in self.local.iter() {
+                if v.is_empty() {
+                    continue;
+                }
+                let (range_lo, range_hi) = (v[0].index(), v[v.len() - 1].last_index());
+                for r in v {
+                    // Fast interior rejection (see `balance.rs`): a leaf
+                    // whose insulation box stays within the local range
+                    // exchanges nothing.
+                    let len = r.len();
+                    let ins_min: [_; D] = std::array::from_fn(|i| r.coords[i] - len);
+                    let interior = ins_min.iter().all(|&c| c >= 0)
+                        && (0..D).all(|i| r.coords[i] + 2 * len <= forestbal_octant::ROOT_LEN)
+                        && {
+                            let lo = forestbal_octant::morton::interleave::<D>(&ins_min);
+                            let max: [_; D] = std::array::from_fn(|i| r.coords[i] + 2 * len - 1);
+                            let hi = forestbal_octant::morton::interleave::<D>(&max);
+                            lo >= range_lo && hi <= range_hi
+                        };
+                    if interior {
+                        continue;
+                    }
+                    for dir in directions::<D>() {
+                        let n = r.neighbor(&dir);
+                        let Some((t2, n2)) = self.connectivity().transform(t, &n) else {
+                            continue;
+                        };
+                        let off: [_; D] = std::array::from_fn(|i| n2.coords[i] - n.coords[i]);
+                        for owner in self.owners_of_range(t2, n2.index(), n2.last_index()) {
+                            if owner == me && t2 == t && off == [0; D] {
+                                continue;
+                            }
+                            let buf = out.entry(owner).or_default();
+                            codec::put_tree_octant(
+                                buf,
+                                t2,
+                                &crate::connectivity::translate(r, &off),
+                            );
+                        }
+                    }
+                }
+            }
+
+            let receivers: Vec<usize> = out.keys().copied().filter(|&d| d != me).collect();
+            let senders: Vec<usize> = reverse_notify(ctx, &receivers)
+                .into_iter()
+                .filter(|&s| s != me)
+                .collect();
+            for &d in &receivers {
+                ctx.send(d, RIPPLE_TAG, out[&d].clone());
+            }
+            let mut ghosts: BTreeMap<TreeId, Vec<Octant<D>>> = BTreeMap::new();
+            let absorb = |data: &[u8], ghosts: &mut BTreeMap<TreeId, Vec<Octant<D>>>| {
+                let mut pos = 0;
+                while pos < data.len() {
+                    let (t, o) = codec::get_tree_octant::<D>(data, &mut pos);
+                    ghosts.entry(t).or_default().push(o);
+                }
+            };
+            for &s in &senders {
+                let (_, data) = ctx.recv(Some(s), RIPPLE_TAG);
+                absorb(&data, &mut ghosts);
+            }
+            if let Some(buf) = out.get(&me) {
+                absorb(buf, &mut ghosts);
+            }
+
+            changed |= self.split_against_ghosts(&ghosts, cond, &mut stats);
+
+            // Global convergence vote.
+            if !ctx.allreduce_or(changed) {
+                return stats;
+            }
+        }
+    }
+
+    /// Split local leaves until every pair of *local* neighbors satisfies
+    /// 2:1. Returns whether anything changed.
+    fn local_ripple_fixed_point(&mut self, cond: Condition, stats: &mut RippleStats) -> bool {
+        let mut changed = false;
+        for (_, v) in self.local.iter_mut() {
+            if v.is_empty() {
+                continue;
+            }
+            let (lo, hi) = (v[0].index(), v[v.len() - 1].last_index());
+            let mut set: BTreeSet<Octant<D>> = v.iter().copied().collect();
+            let mut work: VecDeque<Octant<D>> = v.iter().copied().collect();
+            while let Some(o) = work.pop_front() {
+                if !set.contains(&o) {
+                    continue;
+                }
+                for dir in directions::<D>() {
+                    if !cond.constrains(codim(&dir)) {
+                        continue;
+                    }
+                    let n = o.neighbor(&dir);
+                    if !n.is_inside_root() || n.index() < lo || n.last_index() > hi {
+                        continue; // outside this rank's slice: ghost rounds
+                    }
+                    while let Some(&c) = set.range(..=n).next_back() {
+                        if !c.contains(&n) || c.level + 1 >= o.level {
+                            break;
+                        }
+                        set.remove(&c);
+                        stats.splits += 1;
+                        changed = true;
+                        for i in 0..Octant::<D>::NUM_CHILDREN {
+                            let ch = c.child(i);
+                            set.insert(ch);
+                            work.push_back(ch);
+                        }
+                    }
+                }
+            }
+            if changed {
+                *v = set.into_iter().collect();
+                debug_assert!(is_linear(v));
+            }
+        }
+        changed
+    }
+
+    /// Split local leaves violating 2:1 against received ghost octants
+    /// (which may lie outside the tree root). Returns whether anything
+    /// changed.
+    fn split_against_ghosts(
+        &mut self,
+        ghosts: &BTreeMap<TreeId, Vec<Octant<D>>>,
+        cond: Condition,
+        stats: &mut RippleStats,
+    ) -> bool {
+        let mut changed = false;
+        for (t, gs) in ghosts {
+            let Some(v) = self.local.get_mut(t) else {
+                continue;
+            };
+            if v.is_empty() {
+                continue;
+            }
+            let mut set: BTreeSet<Octant<D>> = v.iter().copied().collect();
+            for g in gs {
+                for dir in directions::<D>() {
+                    if !cond.constrains(codim(&dir)) {
+                        continue;
+                    }
+                    let n = g.neighbor(&dir);
+                    // Only the part of the ghost's neighborhood inside
+                    // this tree matters here.
+                    if !n.is_inside_root() {
+                        continue;
+                    }
+                    while let Some(&c) = set.range(..=n).next_back() {
+                        if !c.contains(&n) || c.level + 1 >= g.level {
+                            break;
+                        }
+                        set.remove(&c);
+                        stats.splits += 1;
+                        changed = true;
+                        for i in 0..Octant::<D>::NUM_CHILDREN {
+                            set.insert(c.child(i));
+                        }
+                    }
+                }
+            }
+            if changed {
+                *v = set.into_iter().collect();
+                debug_assert!(is_linear(v));
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::BrickConnectivity;
+    use crate::serial::{is_forest_balanced, serial_forest_balance};
+    use forestbal_comm::Cluster;
+    use std::sync::Arc;
+
+    #[test]
+    fn ripple_matches_serial_oracle() {
+        let conn = Arc::new(BrickConnectivity::<2>::new([2, 1], [false; 2]));
+        for p in [1usize, 2, 5] {
+            let conn_run = Arc::clone(&conn);
+            let out = Cluster::run(p, move |ctx| {
+                let mut f = Forest::new_uniform(Arc::clone(&conn_run), ctx, 1);
+                f.refine(true, 5, |t, o| {
+                    t == 0
+                        && o.coords[0] + o.len() == (1 << 24)
+                        && o.coords[1] + o.len() == (1 << 24)
+                });
+                let input = f.gather(ctx);
+                let stats = f.balance_ripple(ctx, Condition::full(2));
+                (input, f.gather(ctx), stats)
+            });
+            let (input, got, stats) = &out.results[0];
+            let want = serial_forest_balance(&conn, input, Condition::full(2));
+            for (t, v) in &want {
+                assert_eq!(got.get(t), Some(v), "P={p} tree {t}");
+            }
+            assert!(stats.rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn ripple_matches_one_pass() {
+        let conn = Arc::new(BrickConnectivity::<2>::new([2, 2], [false; 2]));
+        let refine = |t: TreeId, o: &Octant<2>| {
+            t == 0 && o.coords[0] + o.len() == (1 << 24) && o.coords[1] + o.len() == (1 << 24)
+        };
+        let run = |ripple: bool| {
+            let conn = Arc::clone(&conn);
+            Cluster::run(4, move |ctx| {
+                let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 1);
+                f.refine(true, 5, refine);
+                if ripple {
+                    f.balance_ripple(ctx, Condition::full(2));
+                } else {
+                    f.balance(
+                        ctx,
+                        Condition::full(2),
+                        crate::balance::BalanceVariant::New,
+                        crate::balance::ReversalScheme::Notify,
+                    );
+                }
+                f.checksum(ctx)
+            })
+            .results[0]
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn ripple_needs_multiple_rounds_for_long_range_effects() {
+        // A very deep leaf hugging a partition boundary forces ripples
+        // through several ranks: the round count exceeds 1, the defect
+        // the one-pass algorithm removes.
+        let conn = Arc::new(BrickConnectivity::<2>::unit());
+        let out = Cluster::run(6, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 1);
+            f.refine(true, 7, |_, o| {
+                o.coords[0] + o.len() == (1 << 23) && o.coords[1] == 0
+            });
+            let stats = f.balance_ripple(ctx, Condition::full(2));
+            let g = f.gather(ctx);
+            assert!(is_forest_balanced(f.connectivity(), &g, Condition::full(2)));
+            stats.rounds
+        });
+        let max_rounds = out.results.iter().max().unwrap();
+        assert!(
+            *max_rounds >= 2,
+            "expected multi-round propagation, got {max_rounds}"
+        );
+    }
+
+    #[test]
+    fn ripple_on_balanced_forest_is_one_round() {
+        let conn = Arc::new(BrickConnectivity::<2>::unit());
+        Cluster::run(3, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 3);
+            let stats = f.balance_ripple(ctx, Condition::full(2));
+            assert_eq!(stats.rounds, 1, "uniform forest needs no splits");
+            assert_eq!(stats.splits, 0);
+        });
+    }
+}

@@ -1,0 +1,187 @@
+//! Serial (single-address-space) forest balance: the test oracle at the
+//! forest level.
+//!
+//! Extends the ripple reference of `forestbal_core::oracle` across tree
+//! boundaries: neighbor regions leaving a tree are remapped through the
+//! connectivity, and the split worklist spans all trees. Independent of
+//! the λ functions, seeds, and the parallel machinery it validates.
+
+use crate::connectivity::{BrickConnectivity, TreeId};
+use forestbal_core::Condition;
+use forestbal_octant::{codim, complete_subtree, directions, linearize, Octant};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Balance an entire forest in one address space: complete each tree from
+/// its pinned leaves, then ripple-split across faces/edges/corners and
+/// tree boundaries until the 2:1 condition holds everywhere.
+///
+/// Trees absent from `input` are treated as unrefined roots.
+pub fn serial_forest_balance<const D: usize>(
+    conn: &BrickConnectivity<D>,
+    input: &BTreeMap<TreeId, Vec<Octant<D>>>,
+    cond: Condition,
+) -> BTreeMap<TreeId, Vec<Octant<D>>> {
+    let root = Octant::<D>::root();
+    let mut leaves: BTreeMap<TreeId, BTreeSet<Octant<D>>> = BTreeMap::new();
+    let mut work: VecDeque<(TreeId, Octant<D>)> = VecDeque::new();
+    for t in 0..conn.num_trees() as TreeId {
+        let mut pins = input.get(&t).cloned().unwrap_or_default();
+        linearize(&mut pins);
+        let complete = complete_subtree(&root, &pins);
+        for o in &complete {
+            work.push_back((t, *o));
+        }
+        leaves.insert(t, complete.into_iter().collect());
+    }
+
+    while let Some((t, o)) = work.pop_front() {
+        if !leaves[&t].contains(&o) {
+            continue; // split since enqueued
+        }
+        for dir in directions::<D>() {
+            if !cond.constrains(codim(&dir)) {
+                continue;
+            }
+            let n = o.neighbor(&dir);
+            let Some((nt, n)) = conn.transform(t, &n) else {
+                continue; // leaves the forest
+            };
+            loop {
+                let set = leaves.get_mut(&nt).unwrap();
+                let Some(&container) = set.range(..=n).next_back() else {
+                    break;
+                };
+                if !container.contains(&n) || container.level + 1 >= o.level {
+                    break;
+                }
+                set.remove(&container);
+                for i in 0..Octant::<D>::NUM_CHILDREN {
+                    let c = container.child(i);
+                    set.insert(c);
+                    work.push_back((nt, c));
+                }
+            }
+        }
+    }
+
+    leaves
+        .into_iter()
+        .map(|(t, s)| (t, s.into_iter().collect()))
+        .collect()
+}
+
+/// Check the 2:1 condition across the whole forest (for assertions).
+pub fn is_forest_balanced<const D: usize>(
+    conn: &BrickConnectivity<D>,
+    forest: &BTreeMap<TreeId, Vec<Octant<D>>>,
+    cond: Condition,
+) -> bool {
+    let sets: BTreeMap<TreeId, BTreeSet<Octant<D>>> = forest
+        .iter()
+        .map(|(&t, v)| (t, v.iter().copied().collect()))
+        .collect();
+    for (&t, v) in forest {
+        for o in v {
+            for dir in directions::<D>() {
+                if !cond.constrains(codim(&dir)) {
+                    continue;
+                }
+                let n = o.neighbor(&dir);
+                let Some((nt, n)) = conn.transform(t, &n) else {
+                    continue;
+                };
+                let Some(set) = sets.get(&nt) else { continue };
+                if let Some(c) = set.range(..=n).next_back() {
+                    if c.contains(&n) && c.level + 1 < o.level {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forestbal_octant::{is_complete, is_linear};
+
+    #[test]
+    fn single_tree_matches_core_oracle() {
+        let conn = BrickConnectivity::<2>::unit();
+        let root = Octant::<2>::root();
+        let leaf = root.child(0).child(3).child(3).child(3);
+        let mut input = BTreeMap::new();
+        input.insert(0, vec![leaf]);
+        for k in 1..=2 {
+            let cond = Condition::new(k, 2).unwrap();
+            let got = serial_forest_balance(&conn, &input, cond);
+            let want = forestbal_core::oracle::ripple_balance(&root, &[leaf], cond);
+            assert_eq!(got[&0], want);
+            assert!(is_forest_balanced(&conn, &got, cond));
+        }
+    }
+
+    #[test]
+    fn refinement_ripples_across_tree_face() {
+        // A deep leaf hugging the right edge of tree 0 forces refinement
+        // in tree 1.
+        let conn = BrickConnectivity::<2>::new([2, 1], [false; 2]);
+        let mut o = Octant::<2>::root();
+        for _ in 0..5 {
+            o = o.child(3); // toward the (1,1) corner of tree 0
+        }
+        let mut input = BTreeMap::new();
+        input.insert(0, vec![o]);
+        let cond = Condition::full(2);
+        let out = serial_forest_balance(&conn, &input, cond);
+        assert!(is_forest_balanced(&conn, &out, cond));
+        assert!(out[&1].len() > 1, "tree 1 must refine: {:?}", out[&1].len());
+        for v in out.values() {
+            assert!(is_linear(v));
+            assert!(is_complete(v, &Octant::root()));
+        }
+        // Unbalanced input forest really was unbalanced.
+        let mut as_forest = BTreeMap::new();
+        as_forest.insert(0, out[&0].clone());
+        as_forest.insert(1, vec![Octant::<2>::root()]);
+        assert!(!is_forest_balanced(&conn, &as_forest, cond));
+    }
+
+    #[test]
+    fn periodic_wrap_ripples() {
+        // Periodic in x: refinement at the left edge of tree 0 reaches
+        // tree 1 from the "far" side.
+        let conn = BrickConnectivity::<2>::new([2, 1], [true, false]);
+        let mut o = Octant::<2>::root();
+        for _ in 0..5 {
+            o = o.child(2); // toward the (0,1) corner: left edge
+        }
+        let mut input = BTreeMap::new();
+        input.insert(0, vec![o]);
+        let cond = Condition::full(2);
+        let out = serial_forest_balance(&conn, &input, cond);
+        assert!(is_forest_balanced(&conn, &out, cond));
+        assert!(out[&1].len() > 1, "periodic neighbor must refine");
+    }
+
+    #[test]
+    fn corner_tree_coupling() {
+        // 2x2 brick: a leaf at the inner corner of tree 0 constrains the
+        // diagonal tree 3 through the shared corner.
+        let conn = BrickConnectivity::<2>::new([2, 2], [false; 2]);
+        let mut o = Octant::<2>::root();
+        for _ in 0..4 {
+            o = o.child(3);
+        }
+        let mut input = BTreeMap::new();
+        input.insert(0, vec![o]);
+        let out = serial_forest_balance(&conn, &input, Condition::full(2));
+        assert!(is_forest_balanced(&conn, &out, Condition::full(2)));
+        assert!(
+            out[&3].len() > 1,
+            "diagonal tree must refine under corner balance"
+        );
+    }
+}

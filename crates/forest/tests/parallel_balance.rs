@@ -1,0 +1,331 @@
+//! End-to-end validation of the one-pass parallel balance: for assorted
+//! forests, partitions, dimensions, and balance conditions, both variants
+//! and every reversal scheme must reproduce the serial forest oracle
+//! exactly, independent of the rank count.
+
+use forestbal_comm::Cluster;
+use forestbal_core::Condition;
+use forestbal_forest::serial::is_forest_balanced;
+use forestbal_forest::{
+    serial_forest_balance, BalanceVariant, BrickConnectivity, Forest, ReversalScheme, TreeId,
+};
+use forestbal_octant::Octant;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Run one scenario: build the forest by refinement on every rank count in
+/// `ranks`, balance with the given variant/scheme, and compare the
+/// gathered result against the serial oracle applied to the same input.
+fn check<const D: usize>(
+    conn: BrickConnectivity<D>,
+    ranks: &[usize],
+    cond: Condition,
+    variant: BalanceVariant,
+    scheme: ReversalScheme,
+    base_level: u8,
+    refine: impl Fn(TreeId, &Octant<D>) -> bool + Sync,
+) {
+    let conn = Arc::new(conn);
+    let mut reference: Option<BTreeMap<TreeId, Vec<Octant<D>>>> = None;
+    for &p in ranks {
+        let conn2 = Arc::clone(&conn);
+        let refine = &refine;
+        let out = Cluster::run(p, move |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn2), ctx, base_level);
+            f.refine(true, 6, |t, o| refine(t, o));
+            let input = f.gather(ctx);
+            f.balance(ctx, cond, variant, scheme);
+            let result = f.gather(ctx);
+            (input, result)
+        });
+        let (input, result) = &out.results[0];
+        // Every rank gathered the same global forest.
+        for (i2, r2) in &out.results {
+            assert_eq!(i2, input);
+            assert_eq!(r2, result);
+        }
+        let want = reference.get_or_insert_with(|| serial_forest_balance(&conn, input, cond));
+        assert!(
+            is_forest_balanced(&conn, result, cond),
+            "result not balanced (P={p}, {variant:?}, {scheme:?})"
+        );
+        for (t, v) in want.iter() {
+            assert_eq!(
+                result.get(t),
+                Some(v),
+                "tree {t} mismatch (P={p}, {variant:?}, {scheme:?}, k={})",
+                cond.k()
+            );
+        }
+        assert_eq!(result.len(), want.len());
+    }
+}
+
+/// Deep refinement toward the center point of a quadrant, the classic
+/// long-range-ripple stressor.
+fn center_hugger_2d(_t: TreeId, o: &Octant<2>) -> bool {
+    let c = 1 << 23; // tree midpoint
+    o.coords[0] + o.len() == c && o.coords[1] + o.len() == c
+}
+
+#[test]
+fn single_tree_2d_both_variants_all_schemes() {
+    for &variant in &[BalanceVariant::Old, BalanceVariant::New] {
+        for &scheme in &[
+            ReversalScheme::Naive,
+            ReversalScheme::Ranges(2),
+            ReversalScheme::Notify,
+        ] {
+            check(
+                BrickConnectivity::<2>::unit(),
+                &[1, 2, 5],
+                Condition::full(2),
+                variant,
+                scheme,
+                1,
+                center_hugger_2d,
+            );
+        }
+    }
+}
+
+#[test]
+fn single_tree_2d_face_balance() {
+    for &variant in &[BalanceVariant::Old, BalanceVariant::New] {
+        check(
+            BrickConnectivity::<2>::unit(),
+            &[1, 3, 4],
+            Condition::FACE,
+            variant,
+            ReversalScheme::Notify,
+            1,
+            center_hugger_2d,
+        );
+    }
+}
+
+#[test]
+fn multi_tree_2d_cross_tree_ripple() {
+    // Refinement hugging the corner shared by all four trees of a 2x2
+    // brick: queries and responses must cross tree boundaries.
+    let corner_hugger = |t: TreeId, o: &Octant<2>| {
+        let l = 1 << 24;
+        match t {
+            0 => o.coords[0] + o.len() == l && o.coords[1] + o.len() == l,
+            _ => false,
+        }
+    };
+    for &variant in &[BalanceVariant::Old, BalanceVariant::New] {
+        check(
+            BrickConnectivity::<2>::new([2, 2], [false; 2]),
+            &[1, 2, 7],
+            Condition::full(2),
+            variant,
+            ReversalScheme::Notify,
+            1,
+            corner_hugger,
+        );
+    }
+}
+
+#[test]
+fn multi_tree_2d_face_condition_diagonal_effect() {
+    // Face balance with corner-adjacent refinement: the diagonal tree is
+    // constrained only through the composite ripple — a regression test
+    // for insulation queries being independent of k.
+    let corner_hugger = |t: TreeId, o: &Octant<2>| {
+        t == 0 && o.coords[0] + o.len() == (1 << 24) && o.coords[1] + o.len() == (1 << 24)
+    };
+    for &variant in &[BalanceVariant::Old, BalanceVariant::New] {
+        check(
+            BrickConnectivity::<2>::new([2, 2], [false; 2]),
+            &[1, 3],
+            Condition::FACE,
+            variant,
+            ReversalScheme::Notify,
+            1,
+            corner_hugger,
+        );
+    }
+}
+
+#[test]
+fn periodic_brick_2d() {
+    // Periodicity makes tree 1 its own... tree 0's neighbor on both
+    // sides; refinement at the left edge wraps around.
+    let edge_hugger = |t: TreeId, o: &Octant<2>| t == 0 && o.coords[0] == 0;
+    for &variant in &[BalanceVariant::Old, BalanceVariant::New] {
+        check(
+            BrickConnectivity::<2>::new([2, 1], [true, false]),
+            &[1, 2, 4],
+            Condition::full(2),
+            variant,
+            ReversalScheme::Notify,
+            1,
+            edge_hugger,
+        );
+    }
+}
+
+#[test]
+fn three_dimensional_all_conditions() {
+    let hugger = |_t: TreeId, o: &Octant<3>| {
+        let c = 1 << 23;
+        (0..3).all(|i| o.coords[i] + o.len() == c)
+    };
+    for k in 1..=3u8 {
+        let cond = Condition::new(k, 3).unwrap();
+        for &variant in &[BalanceVariant::Old, BalanceVariant::New] {
+            check(
+                BrickConnectivity::<3>::unit(),
+                &[1, 3],
+                cond,
+                variant,
+                ReversalScheme::Notify,
+                1,
+                hugger,
+            );
+        }
+    }
+}
+
+#[test]
+fn three_dimensional_multitree() {
+    // The Figure 14 brick: 3x2x1 trees, refinement at an interior corner.
+    let hugger =
+        |t: TreeId, o: &Octant<3>| t == 0 && (0..3).all(|i| o.coords[i] + o.len() == (1 << 24));
+    for &variant in &[BalanceVariant::Old, BalanceVariant::New] {
+        check(
+            BrickConnectivity::<3>::new([3, 2, 1], [false; 3]),
+            &[1, 4],
+            Condition::full(3),
+            variant,
+            ReversalScheme::Notify,
+            1,
+            hugger,
+        );
+    }
+}
+
+#[test]
+fn random_refinement_many_partitions() {
+    // Pseudo-random refinement decided by a hash of the octant: identical
+    // on every rank count by construction.
+    let pseudo = |t: TreeId, o: &Octant<2>| {
+        let mut h = (t as u64).wrapping_mul(0x9e3779b97f4a7c15);
+        for &c in &o.coords {
+            h ^= (c as u64).wrapping_mul(0xff51afd7ed558ccd);
+            h = h.rotate_left(23);
+        }
+        h ^= o.level as u64;
+        h.wrapping_mul(0xc4ceb9fe1a85ec53) >> 61 == 0 // ~1/8 of octants
+    };
+    for &variant in &[BalanceVariant::Old, BalanceVariant::New] {
+        check(
+            BrickConnectivity::<2>::new([2, 2], [false; 2]),
+            &[1, 2, 6, 9],
+            Condition::full(2),
+            variant,
+            ReversalScheme::Notify,
+            2,
+            pseudo,
+        );
+    }
+}
+
+#[test]
+fn balance_is_idempotent_in_parallel() {
+    let conn = Arc::new(BrickConnectivity::<2>::unit());
+    Cluster::run(3, |ctx| {
+        let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 1);
+        f.refine(true, 5, center_hugger_2d);
+        f.balance(
+            ctx,
+            Condition::full(2),
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+        );
+        let c1 = f.checksum(ctx);
+        let n1 = f.num_global(ctx);
+        f.balance(
+            ctx,
+            Condition::full(2),
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+        );
+        assert_eq!(f.checksum(ctx), c1);
+        assert_eq!(f.num_global(ctx), n1);
+    });
+}
+
+#[test]
+fn balance_after_partition() {
+    // Partitioning before balancing must not change the outcome.
+    let conn = Arc::new(BrickConnectivity::<2>::new([2, 1], [false; 2]));
+    let mut sums = vec![];
+    for partition_first in [false, true] {
+        let conn = Arc::clone(&conn);
+        let out = Cluster::run(4, move |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 1);
+            f.refine(true, 5, |t, o| {
+                t == 0 && o.coords[0] + o.len() == (1 << 24) && o.coords[1] == 0
+            });
+            if partition_first {
+                f.partition_uniform(ctx);
+            }
+            f.balance(
+                ctx,
+                Condition::full(2),
+                BalanceVariant::New,
+                ReversalScheme::Notify,
+            );
+            f.checksum(ctx)
+        });
+        sums.push(out.results[0]);
+    }
+    assert_eq!(sums[0], sums[1]);
+}
+
+#[test]
+fn more_ranks_than_leaves() {
+    // P far above the leaf count: most ranks are empty at every stage.
+    let conn = Arc::new(BrickConnectivity::<2>::unit());
+    for &variant in &[BalanceVariant::Old, BalanceVariant::New] {
+        let conn_run = Arc::clone(&conn);
+        let out = Cluster::run(11, move |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn_run), ctx, 1);
+            f.refine(true, 4, |_, o| o.coords == [0, 0]);
+            let input = f.gather(ctx);
+            f.balance(ctx, Condition::full(2), variant, ReversalScheme::Notify);
+            (input, f.gather(ctx))
+        });
+        let (input, got) = &out.results[0];
+        let want = serial_forest_balance(&conn, input, Condition::full(2));
+        assert_eq!(got.get(&0), want.get(&0), "{variant:?}");
+    }
+}
+
+#[test]
+fn balance_weaker_condition_after_stronger_is_noop() {
+    // Corner balance implies face balance: re-balancing with k=1 after
+    // k=2 must not change the forest.
+    let conn = Arc::new(BrickConnectivity::<2>::unit());
+    Cluster::run(3, |ctx| {
+        let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 1);
+        f.refine(true, 5, center_hugger_2d);
+        f.balance(
+            ctx,
+            Condition::full(2),
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+        );
+        let c = f.checksum(ctx);
+        f.balance(
+            ctx,
+            Condition::FACE,
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+        );
+        assert_eq!(f.checksum(ctx), c);
+    });
+}

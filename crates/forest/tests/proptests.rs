@@ -1,0 +1,118 @@
+//! Property tests for the distributed forest: the parallel one-pass
+//! balance must match the serial oracle for arbitrary refinements, rank
+//! counts, variants, and reversal schemes.
+
+use forestbal_comm::Cluster;
+use forestbal_core::Condition;
+use forestbal_forest::serial::is_forest_balanced;
+use forestbal_forest::{
+    serial_forest_balance, BalanceVariant, BrickConnectivity, Forest, ReversalScheme, TreeId,
+};
+use forestbal_octant::Octant;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Deterministic pseudo-random refinement predicate from a seed.
+fn pseudo_refine(seed: u64, t: TreeId, o: &Octant<2>, denom: u64) -> bool {
+    let mut h = seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &c in &o.coords {
+        h ^= (c as u64).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h = h.rotate_left(31);
+    }
+    h ^= o.level as u64;
+    h = h.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    (h >> 33).is_multiple_of(denom)
+}
+
+proptest! {
+    // Each case spawns clusters; keep the counts modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_matches_serial_oracle(
+        seed in any::<u64>(),
+        p in 1usize..7,
+        k in 1u8..=2,
+        denom in 3u64..6,
+        variant_new in any::<bool>(),
+        nx in 1usize..3,
+        periodic in any::<bool>(),
+    ) {
+        let cond = Condition::new(k, 2).unwrap();
+        let variant = if variant_new { BalanceVariant::New } else { BalanceVariant::Old };
+        let conn = Arc::new(BrickConnectivity::<2>::new([nx, 1], [periodic && nx > 1, false]));
+        let conn2 = Arc::clone(&conn);
+        let out = Cluster::run(p, move |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn2), ctx, 1);
+            f.refine(true, 5, |t, o| pseudo_refine(seed, t, o, denom));
+            let input = f.gather(ctx);
+            f.balance(ctx, cond, variant, ReversalScheme::Notify);
+            (input, f.gather(ctx))
+        });
+        let (input, got) = &out.results[0];
+        for (i2, g2) in &out.results {
+            prop_assert_eq!(i2, input, "ranks disagree on input");
+            prop_assert_eq!(g2, got, "ranks disagree on result");
+        }
+        let want = serial_forest_balance(&conn, input, cond);
+        prop_assert!(is_forest_balanced(&conn, got, cond));
+        for (t, v) in &want {
+            prop_assert_eq!(
+                got.get(t),
+                Some(v),
+                "seed={} p={} k={} variant={:?}", seed, p, k, variant
+            );
+        }
+    }
+
+    #[test]
+    fn ripple_matches_one_pass_random(
+        seed in any::<u64>(),
+        p in 1usize..6,
+        denom in 3u64..6,
+    ) {
+        let cond = Condition::full(2);
+        let conn = Arc::new(BrickConnectivity::<2>::new([2, 1], [false, false]));
+        let run = |ripple: bool| {
+            let conn = Arc::clone(&conn);
+            Cluster::run(p, move |ctx| {
+                let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 1);
+                f.refine(true, 5, |t, o| pseudo_refine(seed, t, o, denom));
+                if ripple {
+                    f.balance_ripple(ctx, cond);
+                } else {
+                    f.balance(ctx, cond, BalanceVariant::New, ReversalScheme::Notify);
+                }
+                f.checksum(ctx)
+            })
+            .results[0]
+        };
+        prop_assert_eq!(run(true), run(false), "seed={} p={}", seed, p);
+    }
+
+    #[test]
+    fn partition_preserves_content_random(
+        seed in any::<u64>(),
+        p in 1usize..8,
+        weight_pow in 0u32..3,
+    ) {
+        let conn = Arc::new(BrickConnectivity::<2>::new([2, 2], [false, false]));
+        let conn2 = Arc::clone(&conn);
+        let out = Cluster::run(p, move |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn2), ctx, 1);
+            f.refine(true, 4, |t, o| pseudo_refine(seed, t, o, 4));
+            let before = f.checksum(ctx);
+            f.partition_weighted(ctx, |_, o| 1 + (o.level as u64).pow(weight_pow));
+            let after = f.checksum(ctx);
+            (before, after, f.num_local())
+        });
+        for (b, a, n) in &out.results {
+            prop_assert_eq!(b, a, "content changed");
+            if weight_pow == 0 {
+                // Uniform weights: counts within 1 of each other.
+                let total: usize = out.results.iter().map(|r| r.2).sum();
+                prop_assert!(n.abs_diff(total / p) <= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The fractal weak-scaling workload (Figures 14 and 15).
+//!
+//! "The refinement is defined by choosing the forest in Figure 14, and
+//! recursively splitting octants with child identifiers 0, 3, 5 and 6
+//! while not exceeding four levels of size difference in the forest."
+
+use forestbal_comm::RankCtx;
+use forestbal_forest::{BrickConnectivity, Forest};
+use forestbal_octant::Octant;
+use std::sync::Arc;
+
+/// Child ids that keep splitting in the fractal rule.
+pub const FRACTAL_CHILDREN: [usize; 4] = [0, 3, 5, 6];
+
+/// Build the fractal forest on the Figure 14 brick (3x2x1 octrees in 3D):
+/// start uniform at `base_level` and recursively split octants whose
+/// child id is in [`FRACTAL_CHILDREN`], up to `base_level + spread`
+/// levels (the paper uses a spread of 4 and grows `base_level` with the
+/// core count for isogranular scaling).
+pub fn fractal_forest(ctx: &RankCtx, base_level: u8, spread: u8) -> Forest<3> {
+    let conn = Arc::new(BrickConnectivity::<3>::new([3, 2, 1], [false; 3]));
+    let mut f = Forest::new_uniform(conn, ctx, base_level);
+    let max_level = base_level + spread;
+    f.refine(true, max_level, |_, o: &Octant<3>| {
+        o.level > 0 && FRACTAL_CHILDREN.contains(&o.child_id())
+    });
+    f
+}
+
+/// The same fractal rule on a single 2D quadtree, for cheap tests.
+pub fn fractal_forest_2d(ctx: &RankCtx, base_level: u8, spread: u8) -> Forest<2> {
+    let conn = Arc::new(BrickConnectivity::<2>::unit());
+    let mut f = Forest::new_uniform(conn, ctx, base_level);
+    f.refine(true, base_level + spread, |_, o: &Octant<2>| {
+        o.level > 0 && [0usize, 3].contains(&o.child_id())
+    });
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forestbal_comm::Cluster;
+
+    #[test]
+    fn fractal_counts_scale_with_level() {
+        let counts: Vec<u64> = [1u8, 2]
+            .iter()
+            .map(|&l| {
+                Cluster::run(2, move |ctx| {
+                    let f = fractal_forest(ctx, l, 2);
+                    f.num_global(ctx)
+                })
+                .results[0]
+            })
+            .collect();
+        // One level deeper multiplies the base mesh by 8; the fractal
+        // tail scales along.
+        assert!(counts[1] > 6 * counts[0]);
+    }
+
+    #[test]
+    fn fractal_respects_spread() {
+        Cluster::run(3, |ctx| {
+            let f = fractal_forest(ctx, 1, 3);
+            let all = ctx.allgather(vec![f.max_local_level()]);
+            let max = all.iter().map(|v| v[0]).max().unwrap();
+            assert_eq!(max, 4, "deepest level is base + spread");
+        });
+    }
+
+    #[test]
+    fn fractal_is_partition_independent() {
+        let mut sums = vec![];
+        for p in [1usize, 4] {
+            let out = Cluster::run(p, |ctx| {
+                let f = fractal_forest(ctx, 1, 2);
+                f.checksum(ctx)
+            });
+            sums.push(out.results[0]);
+        }
+        assert_eq!(sums[0], sums[1]);
+    }
+
+    #[test]
+    fn fractal_is_unbalanced_before_balance() {
+        // With spread 4 the raw fractal violates 2:1 (that is the point
+        // of the benchmark).
+        Cluster::run(1, |ctx| {
+            let f = fractal_forest(ctx, 1, 4);
+            let g = f.gather(ctx);
+            let balanced = forestbal_forest::serial::is_forest_balanced(
+                f.connectivity(),
+                &g,
+                forestbal_core::Condition::full(3),
+            );
+            assert!(!balanced);
+        });
+    }
+}

@@ -1,0 +1,89 @@
+//! Seeded random refinement, reproducible across rank counts.
+//!
+//! The refinement decision hashes the octant identity together with the
+//! seed, so every rank count produces the same global mesh — important
+//! for cross-`P` comparisons in tests and benchmarks.
+
+use forestbal_comm::RankCtx;
+use forestbal_forest::{BrickConnectivity, Forest, TreeId};
+use forestbal_octant::Octant;
+use std::sync::Arc;
+
+/// Splittable hash of (seed, tree, octant).
+fn decide<const D: usize>(seed: u64, t: TreeId, o: &Octant<D>, denom: u64) -> bool {
+    let mut h = seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &c in &o.coords {
+        h ^= (c as u32 as u64).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h = h.rotate_left(29);
+    }
+    h ^= (o.level as u64).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h = h.wrapping_mul(0x2545_f491_4f6c_dd1d);
+    (h >> 32).is_multiple_of(denom)
+}
+
+/// Build a randomly refined forest on a `D`-dimensional brick: uniform at
+/// `base_level`, then each octant splits with probability `1/denom`
+/// (recursively, capped at `max_level`).
+pub fn random_forest<const D: usize>(
+    ctx: &RankCtx,
+    conn: Arc<BrickConnectivity<D>>,
+    base_level: u8,
+    max_level: u8,
+    denom: u64,
+    seed: u64,
+) -> Forest<D> {
+    let mut f = Forest::new_uniform(conn, ctx, base_level);
+    f.refine(true, max_level, |t, o| decide(seed, t, o, denom));
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forestbal_comm::Cluster;
+
+    #[test]
+    fn random_forest_partition_invariant() {
+        let mut sums = vec![];
+        for p in [1usize, 3, 4] {
+            let out = Cluster::run(p, |ctx| {
+                let conn = Arc::new(BrickConnectivity::<2>::new([2, 2], [false; 2]));
+                let f = random_forest(ctx, conn, 2, 5, 4, 42);
+                f.checksum(ctx)
+            });
+            sums.push(out.results[0]);
+        }
+        assert_eq!(sums[0], sums[1]);
+        assert_eq!(sums[0], sums[2]);
+    }
+
+    #[test]
+    fn seeds_change_the_mesh() {
+        let counts: Vec<u64> = [1u64, 2]
+            .iter()
+            .map(|&s| {
+                Cluster::run(1, move |ctx| {
+                    let conn = Arc::new(BrickConnectivity::<2>::unit());
+                    random_forest(ctx, conn, 2, 6, 3, s).num_global(ctx)
+                })
+                .results[0]
+            })
+            .collect();
+        assert_ne!(counts[0], counts[1]);
+    }
+
+    #[test]
+    fn denom_controls_density() {
+        let counts: Vec<u64> = [2u64, 16]
+            .iter()
+            .map(|&d| {
+                Cluster::run(1, move |ctx| {
+                    let conn = Arc::new(BrickConnectivity::<2>::unit());
+                    random_forest(ctx, conn, 2, 6, d, 7).num_global(ctx)
+                })
+                .results[0]
+            })
+            .collect();
+        assert!(counts[0] > counts[1]);
+    }
+}

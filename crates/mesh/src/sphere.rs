@@ -1,0 +1,139 @@
+//! Spherical-shell refinement — the mantle-convection / seismic-wave
+//! style workload from the paper's introduction (refinement tracking a
+//! spherical interface, e.g. a plate boundary or wavefront).
+
+use forestbal_comm::RankCtx;
+use forestbal_forest::{BrickConnectivity, Forest, TreeId};
+use forestbal_octant::{Coord, Octant, ROOT_LEN};
+use std::sync::Arc;
+
+/// Parameters of the spherical-shell workload.
+#[derive(Clone, Copy, Debug)]
+pub struct SphereParams {
+    /// Trees per axis (a cube of trees).
+    pub n: usize,
+    /// Shell center in tree-grid units.
+    pub center: [f64; 3],
+    /// Shell radius in tree-grid units.
+    pub radius: f64,
+    /// Uniform background level.
+    pub base_level: u8,
+    /// Level at the shell.
+    pub max_level: u8,
+}
+
+impl Default for SphereParams {
+    fn default() -> Self {
+        SphereParams {
+            n: 2,
+            center: [1.0, 1.0, 1.0],
+            radius: 0.7,
+            base_level: 2,
+            max_level: 5,
+        }
+    }
+}
+
+/// Does the octant's global bounding box intersect the sphere surface?
+#[allow(clippy::needless_range_loop)] // indexing three parallel sequences
+fn crosses_shell<const D: usize>(
+    tc: &[usize; D],
+    o: &Octant<D>,
+    center: &[f64],
+    radius: f64,
+) -> bool {
+    // Distance from center to the box: min and max over the box.
+    let to_f = |c: Coord, i: usize| tc[i] as f64 + c as f64 / ROOT_LEN as f64;
+    let mut dmin2 = 0.0f64;
+    let mut dmax2 = 0.0f64;
+    for i in 0..D {
+        let lo = to_f(o.coords[i], i);
+        let hi = to_f(o.coords[i] + o.len(), i);
+        let c = center[i];
+        // Nearest and farthest points of the interval to the center.
+        let dmin = if c < lo {
+            lo - c
+        } else if c > hi {
+            c - hi
+        } else {
+            0.0
+        };
+        let dmax = (c - lo).abs().max((hi - c).abs());
+        dmin2 += dmin * dmin;
+        dmax2 += dmax * dmax;
+    }
+    dmin2.sqrt() <= radius && radius <= dmax2.sqrt()
+}
+
+/// Build the spherical-shell forest: an `n^3` brick refined wherever an
+/// octant crosses the shell surface.
+pub fn sphere_forest(ctx: &RankCtx, params: SphereParams) -> Forest<3> {
+    let conn = Arc::new(BrickConnectivity::<3>::new([params.n; 3], [false; 3]));
+    let conn2 = Arc::clone(&conn);
+    let mut f = Forest::new_uniform(conn, ctx, params.base_level);
+    f.refine(true, params.max_level, move |t: TreeId, o: &Octant<3>| {
+        let tc = conn2.tree_coords(t);
+        crosses_shell(&tc, o, &params.center, params.radius)
+    });
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forestbal_comm::Cluster;
+
+    #[test]
+    fn shell_refinement_is_localized() {
+        Cluster::run(2, |ctx| {
+            let p = SphereParams {
+                base_level: 1,
+                max_level: 4,
+                ..Default::default()
+            };
+            let f = sphere_forest(ctx, p);
+            let total = f.num_global(ctx);
+            let uniform_base = (2u64 * 2 * 2) * 8u64.pow(1);
+            let uniform_max = (2u64 * 2 * 2) * 8u64.pow(4);
+            assert!(total > uniform_base);
+            assert!(total < uniform_max / 4, "shell refinement must be sparse");
+        });
+    }
+
+    #[test]
+    fn crosses_shell_geometry() {
+        let o = Octant::<3>::root();
+        // Unit tree at origin; sphere centered at tree corner (1,1,1).
+        assert!(crosses_shell(&[0, 0, 0], &o, &[1.0, 1.0, 1.0], 0.5));
+        // Tiny radius around the far corner: the root still crosses.
+        assert!(crosses_shell(&[0, 0, 0], &o, &[1.0, 1.0, 1.0], 0.1));
+        // Shell entirely outside the box.
+        assert!(!crosses_shell(&[0, 0, 0], &o, &[3.0, 3.0, 3.0], 0.5));
+        // Shell entirely containing the box.
+        assert!(!crosses_shell(&[0, 0, 0], &o, &[0.5, 0.5, 0.5], 5.0));
+    }
+
+    #[test]
+    fn refined_leaves_hug_the_shell() {
+        Cluster::run(1, |ctx| {
+            let p = SphereParams {
+                base_level: 1,
+                max_level: 3,
+                ..Default::default()
+            };
+            let f = sphere_forest(ctx, p);
+            let conn = Arc::clone(f.connectivity());
+            for (t, v) in f.trees() {
+                let tc = conn.tree_coords(t);
+                for o in v.iter().filter(|o| o.level == 3) {
+                    // A finest leaf exists because its parent crossed the
+                    // shell (children themselves need not cross).
+                    assert!(
+                        crosses_shell(&tc, &o.parent(), &p.center, p.radius),
+                        "finest leaf {o:?} has a parent away from the shell"
+                    );
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,54 @@
+//! Coordinate conventions shared by every octant operation.
+
+/// Integer coordinate type of octant corners.
+///
+/// Signed so that neighbor constructions may leave the root cube transiently
+/// (e.g. when an insulation layer reaches into an adjacent tree of the
+/// forest), mirroring p4est's use of signed quadrant coordinates.
+pub type Coord = i32;
+
+/// Maximum refinement depth: the finest octant has side length `1` on a
+/// root of side `2^MAX_LEVEL`.
+///
+/// 24 levels leave ample headroom in an `i32` for out-of-root excursions of
+/// up to a full root length on either side, and keep the interleaved Morton
+/// index of a 3D octant within 72 bits (`u128`).
+pub const MAX_LEVEL: u8 = 24;
+
+/// Side length of the root octant in integer coordinates.
+pub const ROOT_LEN: Coord = 1 << MAX_LEVEL;
+
+/// Side length of an octant at `level` (level 0 = root).
+#[inline]
+pub fn len_at(level: u8) -> Coord {
+    debug_assert!(level <= MAX_LEVEL);
+    1 << (MAX_LEVEL - level)
+}
+
+/// The paper's "size" of an octant at `level`: its side length is
+/// `2^size_log2_at(level)`.
+#[inline]
+pub fn size_log2_at(level: u8) -> u8 {
+    debug_assert!(level <= MAX_LEVEL);
+    MAX_LEVEL - level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_len_is_consistent() {
+        assert_eq!(len_at(0), ROOT_LEN);
+        assert_eq!(len_at(MAX_LEVEL), 1);
+        assert_eq!(size_log2_at(0), MAX_LEVEL);
+        assert_eq!(size_log2_at(MAX_LEVEL), 0);
+    }
+
+    #[test]
+    fn lengths_halve_per_level() {
+        for l in 0..MAX_LEVEL {
+            assert_eq!(len_at(l), 2 * len_at(l + 1));
+        }
+    }
+}

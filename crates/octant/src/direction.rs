@@ -1,0 +1,105 @@
+//! Neighbor directions in `{-1, 0, 1}^D` grouped by codimension.
+//!
+//! A direction selects a boundary object of an octant: directions with one
+//! nonzero component cross a *face* (codimension 1), two nonzero components
+//! an *edge* in 3D or a *corner* in 2D (codimension 2), and so on. The
+//! `k`-balance conditions of the paper constrain neighbors across boundary
+//! objects of codimension `<= k`.
+
+/// A neighbor direction; each component is `-1`, `0`, or `1`.
+pub type Direction<const D: usize> = [i8; D];
+
+/// Codimension of the boundary object selected by `dir` (number of nonzero
+/// components). The zero direction has codimension 0 (the octant itself).
+#[inline]
+pub fn codim<const D: usize>(dir: &Direction<D>) -> u8 {
+    dir.iter().map(|&d| (d != 0) as u8).sum()
+}
+
+/// All `3^D - 1` nonzero directions, in a fixed deterministic order.
+pub fn directions<const D: usize>() -> impl Iterator<Item = Direction<D>> {
+    let total = 3usize.pow(D as u32);
+    (0..total).filter_map(move |mut code| {
+        let mut dir = [0i8; D];
+        let mut nonzero = false;
+        for d in dir.iter_mut() {
+            *d = (code % 3) as i8 - 1;
+            nonzero |= *d != 0;
+            code /= 3;
+        }
+        nonzero.then_some(dir)
+    })
+}
+
+/// All nonzero directions whose codimension is `<= k` — the directions
+/// constrained by the `k`-balance condition.
+pub fn directions_up_to_codim<const D: usize>(k: u8) -> impl Iterator<Item = Direction<D>> {
+    directions::<D>().filter(move |d| codim(d) <= k)
+}
+
+/// Number of boundary objects of exactly codimension `c` on a `D`-cube:
+/// `2^c * binom(D, c)`. (Faces: `2D`; 3D edges: 12; corners: `2^D`.)
+pub fn count_at_codim(d: u32, c: u32) -> u32 {
+    debug_assert!(c >= 1 && c <= d);
+    let binom = |n: u32, k: u32| -> u32 {
+        let mut r = 1;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    };
+    (1 << c) * binom(d, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_counts() {
+        assert_eq!(directions::<2>().count(), 8);
+        assert_eq!(directions::<3>().count(), 26);
+    }
+
+    #[test]
+    fn codim_partition_2d() {
+        let faces = directions::<2>().filter(|d| codim(d) == 1).count();
+        let corners = directions::<2>().filter(|d| codim(d) == 2).count();
+        assert_eq!(faces, 4);
+        assert_eq!(corners, 4);
+        assert_eq!(count_at_codim(2, 1), 4);
+        assert_eq!(count_at_codim(2, 2), 4);
+    }
+
+    #[test]
+    fn codim_partition_3d() {
+        let faces = directions::<3>().filter(|d| codim(d) == 1).count();
+        let edges = directions::<3>().filter(|d| codim(d) == 2).count();
+        let corners = directions::<3>().filter(|d| codim(d) == 3).count();
+        assert_eq!(faces, 6);
+        assert_eq!(edges, 12);
+        assert_eq!(corners, 8);
+        assert_eq!(count_at_codim(3, 1), 6);
+        assert_eq!(count_at_codim(3, 2), 12);
+        assert_eq!(count_at_codim(3, 3), 8);
+    }
+
+    #[test]
+    fn balance_condition_filters() {
+        assert_eq!(directions_up_to_codim::<3>(1).count(), 6);
+        assert_eq!(directions_up_to_codim::<3>(2).count(), 18);
+        assert_eq!(directions_up_to_codim::<3>(3).count(), 26);
+        assert_eq!(directions_up_to_codim::<2>(1).count(), 4);
+        assert_eq!(directions_up_to_codim::<2>(2).count(), 8);
+    }
+
+    #[test]
+    fn directions_are_unique() {
+        let dirs: Vec<_> = directions::<3>().collect();
+        for (i, a) in dirs.iter().enumerate() {
+            for b in &dirs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! A fast integer hasher for octant hash tables.
+//!
+//! The balance algorithms are dominated by hash-set membership tests on
+//! octants (small fixed-size integer keys). Rust's default SipHash is
+//! DoS-resistant but slow for such keys; this module provides an
+//! Fx-style multiplicative hasher (the rustc approach recommended by the
+//! Rust Performance Book) and type aliases for octant sets and maps.
+
+use crate::octant::Octant;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Fx-style multiplicative hasher: fast on small integer keys, not
+/// HashDoS-resistant (octant keys are program-generated, not adversarial).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.state = (self.state.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.mix(v as u32 as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Hash set of octants with the fast hasher.
+pub type OctantSet<const D: usize> = HashSet<Octant<D>, FxBuildHasher>;
+
+/// Hash map keyed by octants with the fast hasher.
+pub type OctantMap<const D: usize, V> = HashMap<Octant<D>, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_roundtrip() {
+        let r = Octant::<3>::root();
+        let mut s: OctantSet<3> = OctantSet::default();
+        for i in 0..8 {
+            assert!(s.insert(r.child(i)));
+        }
+        for i in 0..8 {
+            assert!(s.contains(&r.child(i)));
+            assert!(!s.insert(r.child(i)));
+        }
+        assert!(!s.contains(&r));
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn hash_differs_between_levels() {
+        // An octant and its first descendant share coordinates but must
+        // hash differently (level participates).
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let hash = |o: &Octant<2>| b.hash_one(o);
+        let r = Octant::<2>::root();
+        assert_ne!(hash(&r), hash(&r.first_descendant(3)));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let r = Octant::<2>::root();
+        let mut m: OctantMap<2, usize> = OctantMap::default();
+        for i in 0..4 {
+            m.insert(r.child(i), i);
+        }
+        for i in 0..4 {
+            assert_eq!(m[&r.child(i)], i);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Operations on *linear octrees*: sorted arrays of non-overlapping octants.
+//!
+//! A linear octree stores only leaves, in Morton order. Two additional
+//! predicates matter throughout the balance algorithms: *linearity* (no
+//! octant is an ancestor of another) and *completeness* (no holes between
+//! successive octants). `linearize` restores the former by dropping
+//! ancestors, `complete_subtree` restores the latter by filling every gap
+//! with the coarsest possible octants.
+
+use crate::morton::MortonIndex;
+use crate::octant::Octant;
+
+/// Is the slice strictly sorted in Morton order?
+pub fn is_sorted_strict<const D: usize>(a: &[Octant<D>]) -> bool {
+    a.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Is the sorted slice linear, i.e. free of overlapping octants?
+///
+/// Because ancestors sort immediately before their first descendant, it
+/// suffices to check adjacent entries.
+pub fn is_linear<const D: usize>(a: &[Octant<D>]) -> bool {
+    a.windows(2)
+        .all(|w| w[0] < w[1] && !w[0].is_ancestor_of(&w[1]))
+}
+
+/// Is the sorted linear slice a complete octree of `root` (no holes)?
+pub fn is_complete<const D: usize>(a: &[Octant<D>], root: &Octant<D>) -> bool {
+    if a.is_empty() {
+        return false;
+    }
+    if a[0].index() != root.index() {
+        return false;
+    }
+    if a[a.len() - 1].last_index() != root.last_index() {
+        return false;
+    }
+    a.windows(2).all(|w| w[0].last_index() + 1 == w[1].index())
+}
+
+/// Sort the array and remove every octant that overlaps a finer one (and
+/// exact duplicates), keeping the finest octants — the `Linearize` step of
+/// the old balance algorithm (Figure 6 of the paper).
+///
+/// Runs in O(n log n) for the sort plus O(n) for the sweep.
+pub fn linearize<const D: usize>(a: &mut Vec<Octant<D>>) {
+    a.sort_unstable();
+    a.dedup();
+    // An ancestor sorts directly before its first present descendant, so a
+    // single backward-looking sweep removes all overlaps.
+    let mut w = 0;
+    for r in 0..a.len() {
+        while w > 0 && a[w - 1].is_ancestor_of(&a[r]) {
+            w -= 1;
+        }
+        a[w] = a[r];
+        w += 1;
+    }
+    a.truncate(w);
+}
+
+/// Append to `out` the coarsest octants exactly covering the inclusive
+/// Morton-index interval `[lo, hi]` (indices of unit cells at `MAX_LEVEL`).
+///
+/// This is the canonical decomposition of an SFC interval into maximal
+/// aligned octants; it produces octants in Morton order.
+pub fn complete_region<const D: usize>(lo: MortonIndex, hi: MortonIndex, out: &mut Vec<Octant<D>>) {
+    use crate::coords::MAX_LEVEL;
+    if lo > hi {
+        return;
+    }
+    let d = D as u32;
+    let mut pos = lo;
+    while pos <= hi {
+        // Largest granularity allowed by the alignment of `pos`...
+        let align = if pos == 0 {
+            MAX_LEVEL as u32
+        } else {
+            (pos.trailing_zeros() / d).min(MAX_LEVEL as u32)
+        };
+        // ...and by the remaining extent of the interval.
+        let remaining = hi - pos + 1;
+        let extent = (127 - remaining.leading_zeros()) / d;
+        let s = align.min(extent);
+        out.push(Octant::from_index(pos, MAX_LEVEL - s as u8));
+        pos += 1u128 << (d * s);
+    }
+}
+
+/// Complete the subtree rooted at `root`: given sorted, linear, pinned
+/// leaves inside `root`, fill every gap (before the first leaf, between
+/// successive leaves, and after the last leaf) with the coarsest octants.
+///
+/// The result is a complete linear octree of `root` containing every input
+/// octant as a leaf. With an empty input the result is `[root]`.
+pub fn complete_subtree<const D: usize>(root: &Octant<D>, leaves: &[Octant<D>]) -> Vec<Octant<D>> {
+    debug_assert!(is_linear(leaves));
+    debug_assert!(leaves.iter().all(|o| root.contains(o)), "leaf outside root");
+    let mut out = Vec::with_capacity(leaves.len() * 2 + 1);
+    let mut cursor = root.index();
+    for leaf in leaves {
+        let start = leaf.index();
+        if start > cursor {
+            complete_region(cursor, start - 1, &mut out);
+        }
+        out.push(*leaf);
+        cursor = leaf.last_index() + 1;
+    }
+    if cursor <= root.last_index() {
+        complete_region(cursor, root.last_index(), &mut out);
+    }
+    out
+}
+
+/// Merge two sorted octant arrays into one sorted array (duplicates kept).
+pub fn merge_sorted<const D: usize>(a: &[Octant<D>], b: &[Octant<D>]) -> Vec<Octant<D>> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Oct2 = Octant<2>;
+    type Oct3 = Octant<3>;
+
+    #[test]
+    fn linearize_removes_ancestors() {
+        let r = Oct2::root();
+        let mut v = vec![r, r.child(0), r.child(0).child(2), r.child(3), r.child(0)];
+        linearize(&mut v);
+        assert_eq!(v, vec![r.child(0).child(2), r.child(3)]);
+        assert!(is_linear(&v));
+    }
+
+    #[test]
+    fn linearize_handles_ancestor_chains() {
+        let r = Oct3::root();
+        let deep = r.child(0).child(0).child(5);
+        let mut v = vec![r, r.child(0), r.child(0).child(0), deep];
+        linearize(&mut v);
+        assert_eq!(v, vec![deep]);
+    }
+
+    #[test]
+    fn uniform_tree_is_complete() {
+        let r = Oct2::root();
+        let mut v: Vec<_> = (0..4)
+            .flat_map(|i| (0..4).map(move |j| (i, j)))
+            .map(|(i, j)| r.child(i).child(j))
+            .collect();
+        v.sort();
+        assert!(is_linear(&v));
+        assert!(is_complete(&v, &r));
+    }
+
+    #[test]
+    fn incomplete_tree_detected() {
+        let r = Oct2::root();
+        let v = vec![r.child(0), r.child(1), r.child(3)];
+        assert!(is_linear(&v));
+        assert!(!is_complete(&v, &r));
+    }
+
+    #[test]
+    fn complete_region_whole_root() {
+        let r = Oct3::root();
+        let mut out = vec![];
+        complete_region::<3>(r.index(), r.last_index(), &mut out);
+        assert_eq!(out, vec![r]);
+    }
+
+    #[test]
+    fn complete_region_three_siblings() {
+        // Gap from after child 0 to end of root = children 1, 2, 3.
+        let r = Oct2::root();
+        let c0 = r.child(0);
+        let mut out = vec![];
+        complete_region::<2>(c0.last_index() + 1, r.last_index(), &mut out);
+        assert_eq!(out, vec![r.child(1), r.child(2), r.child(3)]);
+    }
+
+    #[test]
+    fn complete_subtree_empty_input() {
+        let root = Oct2::root().child(2);
+        let out = complete_subtree(&root, &[]);
+        assert_eq!(out, vec![root]);
+    }
+
+    #[test]
+    fn complete_subtree_single_deep_leaf() {
+        let root = Oct2::root();
+        let leaf = root.child(0).child(0).child(0);
+        let out = complete_subtree(&root, &[leaf]);
+        assert!(is_linear(&out));
+        assert!(is_complete(&out, &root));
+        assert!(out.contains(&leaf));
+        // Coarsest completion: siblings of the leaf at each level.
+        // 3 siblings at level 3, 3 at level 2, 3 at level 1, plus leaf.
+        assert_eq!(out.len(), 10);
+        // Everything other than the chain to the leaf stays maximal.
+        assert!(out.contains(&root.child(3)));
+        assert!(out.contains(&root.child(0).child(3)));
+        assert!(out.contains(&root.child(0).child(0).child(3)));
+    }
+
+    #[test]
+    fn complete_subtree_preserves_pins() {
+        let root = Oct3::root();
+        let pins = {
+            let mut p = vec![
+                root.child(1).child(7),
+                root.child(4),
+                root.child(6).child(0).child(0),
+            ];
+            p.sort();
+            p
+        };
+        let out = complete_subtree(&root, &pins);
+        assert!(is_linear(&out));
+        assert!(is_complete(&out, &root));
+        for p in &pins {
+            assert!(out.contains(p), "pinned leaf {p:?} missing");
+        }
+    }
+
+    #[test]
+    fn complete_region_matches_cell_counts() {
+        // Total cells covered equals interval length.
+        let r = Oct2::root();
+        let a = r.child(0).child(1).child(2);
+        let b = r.child(3).child(0);
+        let mut out = vec![];
+        complete_region::<2>(a.last_index() + 1, b.index() - 1, &mut out);
+        let total: u128 = out.iter().map(|o| o.cell_count()).sum();
+        assert_eq!(total, b.index() - a.last_index() - 1);
+        assert!(is_linear(&out));
+    }
+
+    #[test]
+    fn merge_sorted_interleaves() {
+        let r = Oct2::root();
+        let a = vec![r.child(0), r.child(2)];
+        let b = vec![r.child(1), r.child(3)];
+        let m = merge_sorted(&a, &b);
+        assert_eq!(m, vec![r.child(0), r.child(1), r.child(2), r.child(3)]);
+    }
+}

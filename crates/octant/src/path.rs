@@ -1,0 +1,223 @@
+//! Human-readable octant paths, compact sort keys, and curve traversal.
+//!
+//! * A *path* writes an octant as the child-id sequence from the root
+//!   (`"r"` for the root itself, `"0.3.1"` for `root.child(0).child(3)
+//!   .child(1)`), handy in logs, tests, and tools.
+//! * The *key* packs `(Morton index, level)` into one `u128` whose
+//!   natural integer order equals the octant Morton order — a drop-in
+//!   sort/dedup key for external containers.
+//! * [`Octant::next_at_level`] steps along the space-filling curve.
+
+use crate::coords::MAX_LEVEL;
+use crate::morton::MortonIndex;
+use crate::octant::Octant;
+
+impl<const D: usize> Octant<D> {
+    /// The child-id path from the root, e.g. `"0.3.1"`; `"r"` for the
+    /// root. Requires an in-root octant.
+    pub fn path(&self) -> String {
+        if self.level == 0 {
+            return "r".to_string();
+        }
+        let mut ids = Vec::with_capacity(self.level as usize);
+        let mut o = *self;
+        while o.level > 0 {
+            ids.push(o.child_id());
+            o = o.parent();
+        }
+        ids.reverse();
+        ids.iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+
+    /// Parse a path produced by [`Octant::path`]. Returns `None` for
+    /// malformed input, out-of-range child ids, or paths deeper than
+    /// `MAX_LEVEL`.
+    pub fn from_path(s: &str) -> Option<Octant<D>> {
+        let mut o = Octant::<D>::root();
+        if s == "r" {
+            return Some(o);
+        }
+        for part in s.split('.') {
+            let id: usize = part.parse().ok()?;
+            if id >= Self::NUM_CHILDREN || o.level >= MAX_LEVEL {
+                return None;
+            }
+            o = o.child(id);
+        }
+        Some(o)
+    }
+
+    /// Pack `(Morton index, level)` into a `u128` whose integer order is
+    /// exactly the octant Morton order (ancestors share the index of
+    /// their first descendant and sort first via the level bits).
+    /// In-root octants only.
+    pub fn key(&self) -> u128 {
+        const { assert!(MAX_LEVEL < 32) };
+        (self.index() << 5) | self.level as u128
+    }
+
+    /// Inverse of [`Octant::key`].
+    pub fn from_key(key: u128) -> Octant<D> {
+        let level = (key & 31) as u8;
+        Octant::from_index(key >> 5, level)
+    }
+
+    /// The next octant of the same size along the space-filling curve,
+    /// or `None` after the last one. In-root octants only.
+    pub fn next_at_level(&self) -> Option<Octant<D>> {
+        debug_assert!(self.is_inside_root());
+        let mut o = *self;
+        loop {
+            if o.level == 0 {
+                return None; // self was the last octant at its level
+            }
+            let id = o.child_id();
+            if id + 1 < Self::NUM_CHILDREN {
+                let next = o.sibling(id + 1);
+                return Some(next.first_descendant(self.level));
+            }
+            o = o.parent();
+        }
+    }
+
+    /// The previous octant of the same size along the curve, or `None`
+    /// before the first one.
+    pub fn prev_at_level(&self) -> Option<Octant<D>> {
+        debug_assert!(self.is_inside_root());
+        let mut o = *self;
+        loop {
+            if o.level == 0 {
+                return None;
+            }
+            let id = o.child_id();
+            if id > 0 {
+                let prev = o.sibling(id - 1);
+                return Some(prev.last_descendant(self.level));
+            }
+            o = o.parent();
+        }
+    }
+
+    /// The directions in which this octant touches the root boundary
+    /// (one entry per axis: `-1`, `+1`, or both as separate flags).
+    /// Returns `(low, high)` flag arrays.
+    pub fn boundary_flags(&self) -> ([bool; D], [bool; D]) {
+        let lo = std::array::from_fn(|i| self.coords[i] == 0);
+        let hi = std::array::from_fn(|i| self.coords[i] + self.len() == crate::coords::ROOT_LEN);
+        (lo, hi)
+    }
+
+    /// Does the octant touch the root boundary at all?
+    pub fn on_root_boundary(&self) -> bool {
+        let (lo, hi) = self.boundary_flags();
+        lo.iter().chain(hi.iter()).any(|&b| b)
+    }
+
+    /// Iterate all octants at `level` in curve order.
+    pub fn level_iter(level: u8) -> impl Iterator<Item = Octant<D>> {
+        let mut cur = Some(Octant::<D>::root().first_descendant(level));
+        std::iter::from_fn(move || {
+            let o = cur?;
+            cur = o.next_at_level();
+            Some(o)
+        })
+    }
+}
+
+/// Ordered key type alias for external use.
+pub type OctKey = MortonIndex;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Oct2 = Octant<2>;
+    type Oct3 = Octant<3>;
+
+    #[test]
+    fn path_roundtrip() {
+        let o = Oct3::root().child(5).child(0).child(7);
+        assert_eq!(o.path(), "5.0.7");
+        assert_eq!(Oct3::from_path("5.0.7"), Some(o));
+        assert_eq!(Oct3::root().path(), "r");
+        assert_eq!(Oct3::from_path("r"), Some(Oct3::root()));
+    }
+
+    #[test]
+    fn path_rejects_garbage() {
+        assert_eq!(Oct2::from_path(""), None);
+        assert_eq!(Oct2::from_path("4"), None); // child id out of range in 2D
+        assert_eq!(Oct2::from_path("1.x"), None);
+        assert_eq!(Oct3::from_path("8"), None);
+        // Too deep.
+        let deep = vec!["0"; MAX_LEVEL as usize + 1].join(".");
+        assert_eq!(Oct2::from_path(&deep), None);
+        let max = vec!["0"; MAX_LEVEL as usize].join(".");
+        assert!(Oct2::from_path(&max).is_some());
+    }
+
+    #[test]
+    fn key_order_matches_morton_order() {
+        let r = Oct2::root();
+        let mut octs = vec![
+            r,
+            r.child(0),
+            r.child(0).child(3),
+            r.child(2),
+            r.child(3).child(1),
+        ];
+        octs.sort();
+        let keys: Vec<u128> = octs.iter().map(|o| o.key()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        for o in &octs {
+            assert_eq!(Oct2::from_key(o.key()), *o);
+        }
+    }
+
+    #[test]
+    fn next_prev_traverse_the_level() {
+        let all: Vec<Oct2> = Oct2::level_iter(2).collect();
+        assert_eq!(all.len(), 16);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        // prev inverts next.
+        for w in all.windows(2) {
+            assert_eq!(w[1].prev_at_level(), Some(w[0]));
+        }
+        assert_eq!(all[0].prev_at_level(), None);
+        assert_eq!(all[15].next_at_level(), None);
+    }
+
+    #[test]
+    fn next_crosses_subtree_boundaries() {
+        // Last descendant of child 0 -> first descendant of child 1.
+        let r = Oct3::root();
+        let last_in_0 = r.child(0).last_descendant(3);
+        let first_in_1 = r.child(1).first_descendant(3);
+        assert_eq!(last_in_0.next_at_level(), Some(first_in_1));
+    }
+
+    #[test]
+    fn boundary_flags_2d() {
+        let r = Oct2::root();
+        let corner = r.child(0).child(0);
+        let (lo, hi) = corner.boundary_flags();
+        assert_eq!(lo, [true, true]);
+        assert_eq!(hi, [false, false]);
+        assert!(corner.on_root_boundary());
+        let inner = r.child(0).child(3);
+        assert!(!inner.on_root_boundary());
+        let (lo, hi) = r.boundary_flags();
+        assert_eq!(lo, [true, true]);
+        assert_eq!(hi, [true, true]);
+    }
+
+    #[test]
+    fn level_iter_matches_indices() {
+        for (i, o) in Oct3::level_iter(1).enumerate() {
+            assert_eq!(o, Oct3::root().child(i));
+        }
+    }
+}

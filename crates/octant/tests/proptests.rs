@@ -1,0 +1,199 @@
+//! Property-based tests for octant arithmetic and linear-octree operations.
+
+use forestbal_octant::{complete_subtree, is_complete, is_linear, linearize, Octant, MAX_LEVEL};
+use proptest::prelude::*;
+
+/// Strategy: a random in-root octant built by a random child-id path.
+fn arb_octant<const D: usize>(max_depth: u8) -> impl Strategy<Value = Octant<D>> {
+    prop::collection::vec(0usize..(1 << D), 0..=max_depth as usize).prop_map(|path| {
+        let mut o = Octant::<D>::root();
+        for id in path {
+            o = o.child(id);
+        }
+        o
+    })
+}
+
+/// Strategy: a random sorted linear set of octants (descend-and-prune).
+fn arb_linear_set<const D: usize>(max_depth: u8) -> impl Strategy<Value = Vec<Octant<D>>> {
+    prop::collection::vec(arb_octant::<D>(max_depth), 1..40).prop_map(|mut v| {
+        linearize(&mut v);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parent_contains_child_2d(o in arb_octant::<2>(8)) {
+        if o.level > 0 {
+            let p = o.parent();
+            prop_assert!(p.is_ancestor_of(&o));
+            prop_assert!(p.contains(&o));
+            prop_assert!(p < o);
+            prop_assert_eq!(p.child(o.child_id()), o);
+        }
+    }
+
+    #[test]
+    fn parent_contains_child_3d(o in arb_octant::<3>(8)) {
+        if o.level > 0 {
+            let p = o.parent();
+            prop_assert!(p.is_ancestor_of(&o));
+            prop_assert_eq!(p.child(o.child_id()), o);
+        }
+    }
+
+    #[test]
+    fn morton_matches_index_2d(a in arb_octant::<2>(8), b in arb_octant::<2>(8)) {
+        // For disjoint octants the coordinate comparison agrees with the
+        // interleaved-index comparison.
+        if !a.overlaps(&b) {
+            prop_assert_eq!(a.cmp(&b), a.index().cmp(&b.index()));
+        } else {
+            // Overlapping octants: the ancestor comes first.
+            let (anc, desc) = if a.contains(&b) { (a, b) } else { (b, a) };
+            if anc != desc {
+                prop_assert!(anc < desc);
+            }
+        }
+    }
+
+    #[test]
+    fn morton_matches_index_3d(a in arb_octant::<3>(6), b in arb_octant::<3>(6)) {
+        if !a.overlaps(&b) {
+            prop_assert_eq!(a.cmp(&b), a.index().cmp(&b.index()));
+        }
+    }
+
+    #[test]
+    fn nca_is_common_and_nearest_3d(a in arb_octant::<3>(6), b in arb_octant::<3>(6)) {
+        let n = a.nearest_common_ancestor(&b);
+        prop_assert!(n.contains(&a) && n.contains(&b));
+        // No strictly deeper common ancestor exists.
+        if n.level < a.level.min(b.level) {
+            let deeper = a.ancestor(n.level + 1);
+            prop_assert!(!(deeper.contains(&a) && deeper.contains(&b)));
+        }
+    }
+
+    #[test]
+    fn linearize_idempotent_2d(v in prop::collection::vec(arb_octant::<2>(7), 1..50)) {
+        let mut once = v.clone();
+        linearize(&mut once);
+        prop_assert!(is_linear(&once));
+        let mut twice = once.clone();
+        linearize(&mut twice);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn linearize_keeps_finest_2d(v in prop::collection::vec(arb_octant::<2>(7), 1..50)) {
+        let mut lin = v.clone();
+        linearize(&mut lin);
+        // Every input octant is represented: it survives or an input
+        // descendant of it survives.
+        for o in &v {
+            prop_assert!(
+                lin.iter().any(|l| o.contains(l)),
+                "input octant {:?} lost entirely", o
+            );
+        }
+    }
+
+    #[test]
+    fn completion_is_complete_2d(v in arb_linear_set::<2>(7)) {
+        let root = Octant::<2>::root();
+        let full = complete_subtree(&root, &v);
+        prop_assert!(is_linear(&full));
+        prop_assert!(is_complete(&full, &root));
+        for o in &v {
+            prop_assert!(full.binary_search(o).is_ok(), "pinned leaf lost");
+        }
+    }
+
+    #[test]
+    fn completion_is_complete_3d(v in arb_linear_set::<3>(5)) {
+        let root = Octant::<3>::root();
+        let full = complete_subtree(&root, &v);
+        prop_assert!(is_linear(&full));
+        prop_assert!(is_complete(&full, &root));
+        for o in &v {
+            prop_assert!(full.binary_search(o).is_ok());
+        }
+    }
+
+    #[test]
+    fn completion_is_coarsest_2d(v in arb_linear_set::<2>(6)) {
+        // No filler octant could be replaced by its parent without
+        // overlapping a pinned leaf or another filler outside the parent.
+        let root = Octant::<2>::root();
+        let full = complete_subtree(&root, &v);
+        let pinned: std::collections::BTreeSet<_> = v.iter().copied().collect();
+        for o in &full {
+            if pinned.contains(o) || o.level == 0 {
+                continue;
+            }
+            let p = o.parent();
+            // Replacing o by p must break something: p overlaps a pinned
+            // leaf not inside o, or p's extent is not fully covered by
+            // fillers (i.e. some sibling region holds a pinned leaf or a
+            // finer structure).
+            let p_ok = full
+                .iter()
+                .filter(|f| p.contains(f))
+                .all(|f| !pinned.contains(f))
+                && full.iter().filter(|f| p.contains(f)).map(|f| f.cell_count()).sum::<u128>()
+                    == p.cell_count()
+                && full.iter().filter(|f| p.contains(f)).all(|f| f.level == o.level);
+            prop_assert!(!p_ok, "filler {:?} could be coarsened to {:?}", o, p);
+        }
+    }
+
+    #[test]
+    fn descendant_indices_nest_3d(o in arb_octant::<3>(6)) {
+        if o.level < MAX_LEVEL {
+            for i in 0..8 {
+                let c = o.child(i);
+                prop_assert!(c.index() >= o.index());
+                prop_assert!(c.last_index() <= o.last_index());
+            }
+            prop_assert_eq!(o.child(0).index(), o.index());
+            prop_assert_eq!(o.child(7).last_index(), o.last_index());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn key_is_order_isomorphic_2d(a in arb_octant::<2>(8), b in arb_octant::<2>(8)) {
+        // The packed u128 key orders exactly like the Morton comparison
+        // and round-trips.
+        prop_assert_eq!(a.key().cmp(&b.key()), a.cmp(&b));
+        prop_assert_eq!(Octant::<2>::from_key(a.key()), a);
+    }
+
+    #[test]
+    fn path_roundtrips_3d(o in arb_octant::<3>(8)) {
+        prop_assert_eq!(Octant::<3>::from_path(&o.path()), Some(o));
+    }
+
+    #[test]
+    fn next_at_level_is_successor_3d(o in arb_octant::<3>(6)) {
+        match o.next_at_level() {
+            Some(n) => {
+                prop_assert_eq!(n.level, o.level);
+                prop_assert_eq!(n.index(), o.last_index() + 1);
+                prop_assert_eq!(n.prev_at_level(), Some(o));
+            }
+            None => prop_assert_eq!(
+                o.last_index(),
+                Octant::<3>::root().last_index(),
+                "only the curve's last octant has no successor"
+            ),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Dynamic AMR: the "frequent (dynamic) adaptation at extremely large
+//! scales" use case from the paper's introduction. A spherical interface
+//! sweeps through a 3D brick; every step coarsens the mesh behind it,
+//! refines around it, restores 2:1 balance, and repartitions — printing
+//! the per-operation timings that motivated making balance cheap.
+//!
+//! ```text
+//! cargo run --release --example amr_loop [RANKS] [STEPS] [MAX_LEVEL]
+//! ```
+
+use forestbal::comm::Cluster;
+use forestbal::core::Condition;
+use forestbal::forest::{BalanceVariant, BrickConnectivity, Forest, ReversalScheme};
+use forestbal::octant::{Octant, ROOT_LEN};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Does the octant's box cross the sphere of `radius` at `center`
+/// (tree-grid units)?
+fn crosses(tc: [usize; 3], o: &Octant<3>, center: [f64; 3], radius: f64) -> bool {
+    let mut dmin2 = 0.0;
+    let mut dmax2 = 0.0;
+    for i in 0..3 {
+        let lo = tc[i] as f64 + o.coords[i] as f64 / ROOT_LEN as f64;
+        let hi = tc[i] as f64 + (o.coords[i] + o.len()) as f64 / ROOT_LEN as f64;
+        let c = center[i];
+        let dmin = if c < lo {
+            lo - c
+        } else if c > hi {
+            c - hi
+        } else {
+            0.0
+        };
+        let dmax = (c - lo).abs().max((hi - c).abs());
+        dmin2 += dmin * dmin;
+        dmax2 += dmax * dmax;
+    }
+    dmin2.sqrt() <= radius && radius <= dmax2.sqrt()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ranks: usize = args.next().map(|s| s.parse().expect("RANKS")).unwrap_or(4);
+    let steps: u32 = args.next().map(|s| s.parse().expect("STEPS")).unwrap_or(6);
+    let max_level: u8 = args
+        .next()
+        .map(|s| s.parse().expect("MAX_LEVEL"))
+        .unwrap_or(4);
+
+    let conn = Arc::new(BrickConnectivity::<3>::new([2, 2, 2], [false; 3]));
+    println!("dynamic AMR: 2x2x2 brick, {steps} steps, levels 1..{max_level}, {ranks} ranks");
+    println!(
+        "{:>4}  {:>9}  {:>9}  {:>8}  {:>8}  {:>8}  {:>8}",
+        "step", "octants", "balanced", "adapt s", "balance s", "part s", "imbalance"
+    );
+
+    Cluster::run(ranks, |ctx| {
+        let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 1);
+        for step in 0..steps {
+            // The interface moves along the main diagonal.
+            let s = 0.3 + 1.4 * step as f64 / steps.max(1) as f64;
+            let center = [s, s, s];
+            let radius = 0.5;
+
+            let t0 = Instant::now();
+            // Coarsen cells away from the interface...
+            for _ in 0..max_level {
+                let conn2 = Arc::clone(&conn);
+                f.coarsen(|t, o| {
+                    o.level > 1 && !crosses(conn2.tree_coords(t), &o.parent(), center, radius)
+                });
+            }
+            // ...and refine cells on it.
+            let conn2 = Arc::clone(&conn);
+            f.refine(true, max_level, move |t, o| {
+                crosses(conn2.tree_coords(t), o, center, radius)
+            });
+            let adapted = f.num_global(ctx);
+            let t_adapt = t0.elapsed();
+
+            let t0 = Instant::now();
+            f.balance(
+                ctx,
+                Condition::full(3),
+                BalanceVariant::New,
+                ReversalScheme::Notify,
+            );
+            let balanced = f.num_global(ctx);
+            let t_balance = t0.elapsed();
+
+            let t0 = Instant::now();
+            let before_max = ctx.allreduce_max(f.num_local() as u64);
+            f.partition_uniform(ctx);
+            let t_part = t0.elapsed();
+
+            if ctx.rank() == 0 {
+                println!(
+                    "{step:>4}  {adapted:>9}  {balanced:>9}  {:>8.3}  {:>8.3}  {:>8.3}  {:>7.2}x",
+                    t_adapt.as_secs_f64(),
+                    t_balance.as_secs_f64(),
+                    t_part.as_secs_f64(),
+                    before_max as f64 / (balanced as f64 / ctx.size() as f64),
+                );
+            }
+        }
+        // Final sanity: globally balanced.
+        assert!(f.is_balanced_distributed(ctx, Condition::full(3)));
+    });
+    println!("final mesh verified 2:1 balanced across all ranks");
+}

@@ -1,0 +1,57 @@
+//! The paper's weak-scaling workload end to end: build the fractal forest
+//! on the six-octree brick of Figure 14, balance it in parallel with both
+//! algorithm variants, and report per-phase timings and mesh statistics.
+//!
+//! ```text
+//! cargo run --release --example fractal_amr [RANKS] [LEVEL]
+//! ```
+
+use forestbal::comm::Cluster;
+use forestbal::core::Condition;
+use forestbal::forest::{BalanceVariant, ReversalScheme};
+use forestbal::mesh;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ranks: usize = args.next().map(|s| s.parse().expect("RANKS")).unwrap_or(4);
+    let level: u8 = args.next().map(|s| s.parse().expect("LEVEL")).unwrap_or(2);
+    let spread = 4;
+
+    println!("fractal forest: 3x2x1 brick, base level {level}, spread {spread}, {ranks} ranks");
+
+    for (name, variant) in [("old", BalanceVariant::Old), ("new", BalanceVariant::New)] {
+        let out = Cluster::run(ranks, |ctx| {
+            let mut f = mesh::fractal_forest(ctx, level, spread);
+            let before = f.num_global(ctx);
+            let hist_before = mesh::level_histogram(&f);
+            ctx.barrier();
+            let t = f.balance(ctx, Condition::full(3), variant, ReversalScheme::Notify);
+            let after = f.num_global(ctx);
+            (before, after, t, hist_before)
+        });
+        let (before, after, _, _) = out.results[0];
+        let slowest = out
+            .results
+            .iter()
+            .map(|r| r.2)
+            .fold(forestbal::forest::BalanceTimings::default(), |a, b| {
+                a.max(&b)
+            });
+        println!(
+            "\n[{name}] octants: {before} -> {after} (+{:.1}%)",
+            100.0 * (after as f64 / before as f64 - 1.0)
+        );
+        println!(
+            "[{name}] local balance {:.3}s | reversal {:.3}s | query+response {:.3}s | \
+             rebalance {:.3}s | total {:.3}s",
+            slowest.local_balance.as_secs_f64(),
+            slowest.reversal.as_secs_f64(),
+            slowest.query_response.as_secs_f64(),
+            slowest.rebalance.as_secs_f64(),
+            slowest.total.as_secs_f64(),
+        );
+        let msgs: u64 = out.stats.iter().map(|s| s.messages_sent).sum();
+        let bytes: u64 = out.stats.iter().map(|s| s.bytes_sent).sum();
+        println!("[{name}] p2p messages {msgs}, payload bytes {bytes}");
+    }
+}

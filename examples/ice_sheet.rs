@@ -1,0 +1,100 @@
+//! The strong-scaling workload: a synthetic Antarctic-style ice-sheet
+//! mesh, refined to a procedural grounding line, balanced in parallel.
+//! Prints the level histogram before and after balance and a bottom-layer
+//! map of the grounding line refinement (cf. Figure 16).
+//!
+//! ```text
+//! cargo run --release --example ice_sheet [RANKS] [MAX_LEVEL]
+//! ```
+
+use forestbal::comm::Cluster;
+use forestbal::core::Condition;
+use forestbal::forest::{BalanceVariant, ReversalScheme};
+use forestbal::mesh::{ice_sheet_forest, level_histogram, GroundingLine, IceSheetParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let ranks: usize = args.next().map(|s| s.parse().expect("RANKS")).unwrap_or(4);
+    let max_level: u8 = args
+        .next()
+        .map(|s| s.parse().expect("MAX_LEVEL"))
+        .unwrap_or(5);
+    let params = IceSheetParams {
+        nx: 4,
+        ny: 4,
+        base_level: 2,
+        max_level,
+        seed: 2012,
+    };
+
+    // Map of the grounding line itself (bottom surface).
+    let line = GroundingLine::new(params.seed, params.nx, params.ny);
+    println!(
+        "grounding line on the {}x{} tree grid:",
+        params.nx, params.ny
+    );
+    let res = 40;
+    for j in (0..res).rev() {
+        let row: String = (0..res * 2)
+            .map(|i| {
+                let x = params.nx as f64 * (i as f64 + 0.5) / (res * 2) as f64;
+                let y = params.ny as f64 * (j as f64 + 0.5) / res as f64;
+                let s = line.signed([x, y]);
+                if s.abs() < 0.05 {
+                    '#' // the grounding line: where refinement concentrates
+                } else if s < 0.0 {
+                    '.' // grounded ice
+                } else {
+                    ' ' // floating / open
+                }
+            })
+            .collect();
+        println!("{row}");
+    }
+
+    let out = Cluster::run(ranks, |ctx| {
+        let mut f = ice_sheet_forest(ctx, params);
+        f.partition_uniform(ctx);
+        let before = f.num_global(ctx);
+        let h_before = level_histogram(&f);
+        let t = f.balance(
+            ctx,
+            Condition::full(3),
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+        );
+        let after = f.num_global(ctx);
+        let h_after = level_histogram(&f);
+        (before, after, h_before, h_after, t)
+    });
+
+    let (before, after, ref hb, ref ha, _) = out.results[0];
+    // Histograms are per-rank; sum across ranks.
+    let mut sum_b = [0u64; 25];
+    let mut sum_a = [0u64; 25];
+    for (b, a, _, _) in out.results.iter().map(|r| (&r.2, &r.3, &r.0, &r.1)) {
+        for l in 0..sum_b.len() {
+            sum_b[l] += b[l];
+            sum_a[l] += a[l];
+        }
+    }
+    let _ = (hb, ha);
+    println!("\noctants: {before} -> {after} after 2:1 balance (paper: 55M -> 85M)");
+    println!("level histogram (before -> after):");
+    for l in 0..sum_b.len() {
+        if sum_b[l] + sum_a[l] > 0 {
+            println!("  level {l:2}: {:>9} -> {:>9}", sum_b[l], sum_a[l]);
+        }
+    }
+    let slowest = out
+        .results
+        .iter()
+        .map(|r| r.4)
+        .fold(forestbal::forest::BalanceTimings::default(), |a, b| {
+            a.max(&b)
+        });
+    println!(
+        "balance time (slowest rank): {:.3}s",
+        slowest.total.as_secs_f64()
+    );
+}

@@ -1,0 +1,253 @@
+//! Poisson on an adaptive quadtree: the reason 2:1 balance exists.
+//!
+//! Solves `-Δu = 1` on the unit square with `u = 0` on the boundary,
+//! using bilinear (Q1) finite elements on a corner-balanced quadtree that
+//! is refined toward the domain center. 2:1 balance guarantees each leaf
+//! edge carries at most one hanging node, so the hanging-node constraint
+//! is always "midpoint = average of the two edge endpoints" — exactly the
+//! T-intersection interpolation the paper's introduction refers to.
+//!
+//! ```text
+//! cargo run --release --example poisson [BASE_LEVEL] [EXTRA_LEVELS]
+//! ```
+//!
+//! Prints mesh/node statistics and compares the computed maximum of `u`
+//! against the known reference value for the unit square (~0.0736714).
+
+use forestbal::comm::Cluster;
+use forestbal::core::Condition;
+use forestbal::forest::{BalanceVariant, BrickConnectivity, Forest, ReversalScheme};
+use forestbal::octant::{Octant, ROOT_LEN};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Q1 stiffness matrix for the Laplacian on a square (size-independent in
+/// 2D), node order (x0y0, x1y0, x0y1, x1y1).
+const K_ELEM: [[f64; 4]; 4] = [
+    [2.0 / 3.0, -1.0 / 6.0, -1.0 / 6.0, -1.0 / 3.0],
+    [-1.0 / 6.0, 2.0 / 3.0, -1.0 / 3.0, -1.0 / 6.0],
+    [-1.0 / 6.0, -1.0 / 3.0, 2.0 / 3.0, -1.0 / 6.0],
+    [-1.0 / 3.0, -1.0 / 6.0, -1.0 / 6.0, 2.0 / 3.0],
+];
+
+/// Sparse matrix in triplet-accumulated row form.
+struct Sparse {
+    rows: Vec<HashMap<usize, f64>>,
+}
+
+impl Sparse {
+    fn new(n: usize) -> Sparse {
+        Sparse {
+            rows: vec![HashMap::new(); n],
+        }
+    }
+    fn add(&mut self, i: usize, j: usize, v: f64) {
+        *self.rows[i].entry(j).or_insert(0.0) += v;
+    }
+    fn matvec(&self, x: &[f64], y: &mut [f64]) {
+        for (i, row) in self.rows.iter().enumerate() {
+            y[i] = row.iter().map(|(&j, &a)| a * x[j]).sum();
+        }
+    }
+}
+
+/// Conjugate gradients for SPD systems; returns (solution, iterations,
+/// final residual norm).
+fn cg(a: &Sparse, b: &[f64], tol: f64, max_it: usize) -> (Vec<f64>, usize, f64) {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let dot = |u: &[f64], v: &[f64]| -> f64 { u.iter().zip(v).map(|(a, b)| a * b).sum() };
+    let mut rr = dot(&r, &r);
+    let b_norm = rr.sqrt().max(1e-300);
+    for it in 0..max_it {
+        if rr.sqrt() / b_norm < tol {
+            return (x, it, rr.sqrt());
+        }
+        a.matvec(&p, &mut ap);
+        let alpha = rr / dot(&p, &ap);
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rr_new = dot(&r, &r);
+        let beta = rr_new / rr;
+        rr = rr_new;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+    }
+    (x, max_it, rr.sqrt())
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let base: u8 = args
+        .next()
+        .map(|s| s.parse().expect("BASE_LEVEL"))
+        .unwrap_or(3);
+    let extra: u8 = args
+        .next()
+        .map(|s| s.parse().expect("EXTRA_LEVELS"))
+        .unwrap_or(3);
+
+    let conn = Arc::new(BrickConnectivity::<2>::unit());
+    let out = Cluster::run(1, |ctx| {
+        // Mesh: refine toward the center point, then corner-balance.
+        let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, base);
+        let c = ROOT_LEN / 2;
+        f.refine(true, base + extra, |_, o: &Octant<2>| {
+            (o.coords[0] <= c && c <= o.coords[0] + o.len())
+                && (o.coords[1] <= c && c <= o.coords[1] + o.len())
+        });
+        f.balance(
+            ctx,
+            Condition::full(2),
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+        );
+        let nodes = f.enumerate_nodes(ctx);
+        let leaves: Vec<Octant<2>> = f.trees().flat_map(|(_, v)| v.iter().copied()).collect();
+        (leaves, nodes)
+    });
+    let (leaves, nodes) = &out.results[0];
+    println!(
+        "mesh: {} leaves, {} nodes ({} hanging, {} independent)",
+        leaves.len(),
+        nodes.nodes.len(),
+        nodes.num_hanging(),
+        nodes.num_global_independent,
+    );
+
+    // --- Node numbering -------------------------------------------------
+    // Global index for every node coordinate; hanging nodes are
+    // eliminated via the midpoint constraint, boundary nodes via u = 0.
+    let coord_of = |g: &[i64; 2]| -> [f64; 2] {
+        [g[0] as f64 / ROOT_LEN as f64, g[1] as f64 / ROOT_LEN as f64]
+    };
+    let index: HashMap<[i64; 2], usize> = nodes
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.gcoord, i))
+        .collect();
+    let n_all = nodes.nodes.len();
+    let on_boundary = |g: &[i64; 2]| -> bool { g.iter().any(|&c| c == 0 || c == ROOT_LEN as i64) };
+
+    // Hanging constraint: u_h = (u_a + u_b)/2 where a,b are the endpoints
+    // of the coarse edge the node hangs on. Find them by walking along
+    // the edge direction to the nearest existing non-hanging nodes.
+    let mut masters: Vec<Option<([usize; 2], f64)>> = vec![None; n_all];
+    for (i, n) in nodes.nodes.iter().enumerate() {
+        if !n.hanging {
+            continue;
+        }
+        // The hanging node lies at the midpoint of a coarse edge along
+        // exactly one axis; detect the axis by finding the smallest
+        // symmetric step h with existing neighbor nodes on both sides.
+        let mut found = None;
+        'axes: for axis in 0..2 {
+            let mut h = 1i64;
+            while h <= ROOT_LEN as i64 {
+                let mut lo = n.gcoord;
+                let mut hi = n.gcoord;
+                lo[axis] -= h;
+                hi[axis] += h;
+                if let (Some(&a), Some(&b)) = (index.get(&lo), index.get(&hi)) {
+                    if !nodes.nodes[a].hanging && !nodes.nodes[b].hanging {
+                        found = Some(([a, b], 0.5));
+                        break 'axes;
+                    }
+                }
+                h *= 2;
+            }
+        }
+        masters[i] = Some(found.expect("hanging node without masters"));
+    }
+
+    // Independent interior dofs.
+    let mut dof: Vec<Option<usize>> = vec![None; n_all];
+    let mut n_dof = 0;
+    for (i, n) in nodes.nodes.iter().enumerate() {
+        if !n.hanging && !on_boundary(&n.gcoord) {
+            dof[i] = Some(n_dof);
+            n_dof += 1;
+        }
+    }
+    println!("dofs: {n_dof}");
+
+    // Expansion of a node into weighted interior dofs (empty for
+    // boundary; hanging nodes expand through their masters).
+    let expand = |i: usize| -> Vec<(usize, f64)> {
+        match masters[i] {
+            None => dof[i].map(|d| (d, 1.0)).into_iter().collect(),
+            Some(([a, b], w)) => {
+                let mut out = Vec::new();
+                if let Some(d) = dof[a] {
+                    out.push((d, w));
+                }
+                if let Some(d) = dof[b] {
+                    out.push((d, w));
+                }
+                out
+            }
+        }
+    };
+
+    // --- Assembly ---------------------------------------------------------
+    let mut a = Sparse::new(n_dof);
+    let mut b = vec![0.0; n_dof];
+    for leaf in leaves {
+        let h = leaf.len() as f64 / ROOT_LEN as f64;
+        // Element nodes in (x0y0, x1y0, x0y1, x1y1) order.
+        let elem: Vec<usize> = (0..4)
+            .map(|corner| {
+                let g = [
+                    leaf.coords[0] as i64 + (corner & 1) as i64 * leaf.len() as i64,
+                    leaf.coords[1] as i64 + ((corner >> 1) & 1) as i64 * leaf.len() as i64,
+                ];
+                index[&g]
+            })
+            .collect();
+        for (li, &ni) in elem.iter().enumerate() {
+            for (di, wi) in expand(ni) {
+                for (lj, &nj) in elem.iter().enumerate() {
+                    for (dj, wj) in expand(nj) {
+                        a.add(di, dj, wi * wj * K_ELEM[li][lj]);
+                    }
+                }
+                // Load: f = 1, lumped element integral h^2 / 4 per node.
+                b[di] += wi * h * h / 4.0;
+            }
+        }
+    }
+
+    // --- Solve -------------------------------------------------------------
+    let (u, iters, res) = cg(&a, &b, 1e-10, 10 * n_dof.max(100));
+    println!("CG: {iters} iterations, residual {res:.3e}");
+
+    // Max of u (attained at the center, where the mesh is finest).
+    let mut u_max = 0.0f64;
+    let mut at = [0.0, 0.0];
+    for (i, n) in nodes.nodes.iter().enumerate() {
+        let val: f64 = expand(i).iter().map(|&(d, w)| w * u[d]).sum();
+        if val > u_max {
+            u_max = val;
+            at = coord_of(&n.gcoord);
+        }
+    }
+    const REFERENCE: f64 = 0.07367135; // max of u on the unit square
+    println!(
+        "max u = {u_max:.6} at ({:.3}, {:.3});  reference {REFERENCE:.6}  ({:+.2}%)",
+        at[0],
+        at[1],
+        100.0 * (u_max / REFERENCE - 1.0)
+    );
+    assert!(
+        (u_max - REFERENCE).abs() / REFERENCE < 0.05,
+        "solution too far from reference"
+    );
+    println!("OK: hanging-node interpolation on the balanced mesh reproduces the reference");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: adapt a quadtree, balance it, and see the 2:1 grading —
+//! the Figure 1 story (unbalanced → face balanced → corner balanced) as
+//! ASCII art.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use forestbal::core::{balance_subtree_new, Condition};
+use forestbal::octant::{Octant, ROOT_LEN};
+
+/// Render a (small) quadtree as a character grid: each cell is labeled
+/// with its level.
+fn render(leaves: &[Octant<2>], cells: usize) -> String {
+    let cell = ROOT_LEN / cells as i32;
+    let mut grid = vec![vec![' '; cells]; cells];
+    for o in leaves {
+        let x0 = (o.coords[0] / cell) as usize;
+        let y0 = (o.coords[1] / cell) as usize;
+        let w = (o.len() / cell).max(1) as usize;
+        let label = char::from_digit(o.level as u32, 16).unwrap();
+        for row in grid.iter_mut().take((y0 + w).min(cells)).skip(y0) {
+            for c in row.iter_mut().take((x0 + w).min(cells)).skip(x0) {
+                *c = label;
+            }
+        }
+    }
+    // y grows upward: print top row first.
+    grid.into_iter()
+        .rev()
+        .map(|row| row.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let root = Octant::<2>::root();
+
+    // Refine toward the domain center: a level-5 leaf whose upper-right
+    // corner touches the center point.
+    let mut leaf = root.child(0);
+    for _ in 0..4 {
+        leaf = leaf.child(3);
+    }
+    println!("input: one level-{} leaf at {:?}", leaf.level, leaf.coords);
+
+    let face = balance_subtree_new(&root, &[leaf], Condition::FACE);
+    let corner = balance_subtree_new(&root, &[leaf], Condition::full(2));
+
+    println!("\nface balanced (1-balance): {} leaves", face.len());
+    println!("{}", render(&face, 32));
+    println!("\ncorner balanced (2-balance): {} leaves", corner.len());
+    println!("{}", render(&corner, 32));
+
+    assert!(
+        corner.len() >= face.len(),
+        "corner balance refines at least as much as face balance"
+    );
+    println!(
+        "\ncorner balance added {} leaves over face balance",
+        corner.len() - face.len()
+    );
+}

@@ -1,0 +1,99 @@
+//! Large-scale stress tests, `#[ignore]`d by default (run with
+//! `cargo test --release -- --ignored` — debug builds would be slow).
+
+use forestbal::forest::serial::is_forest_balanced;
+use forestbal::prelude::*;
+
+#[test]
+#[ignore = "release-scale: run with --release -- --ignored"]
+fn fractal_million_octants() {
+    // Weak-scaling workload at a bigger size than the unit tests use.
+    let out = Cluster::run(6, |ctx| {
+        let mut f = forestbal::mesh::fractal_forest(ctx, 3, 4);
+        let before = f.num_global(ctx);
+        f.balance(
+            ctx,
+            Condition::full(3),
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+        );
+        let after = f.num_global(ctx);
+        (before, after, f.checksum(ctx))
+    });
+    let (before, after, _) = out.results[0];
+    assert!(before > 900_000, "workload too small: {before}");
+    assert!(after >= before);
+    for r in &out.results {
+        assert_eq!(r, &out.results[0]);
+    }
+}
+
+#[test]
+#[ignore = "release-scale: run with --release -- --ignored"]
+fn old_new_agree_at_scale() {
+    let run = |variant: BalanceVariant| {
+        Cluster::run(4, move |ctx| {
+            let mut f = forestbal::mesh::fractal_forest(ctx, 2, 4);
+            f.balance(ctx, Condition::full(3), variant, ReversalScheme::Notify);
+            (f.num_global(ctx), f.checksum(ctx))
+        })
+        .results[0]
+    };
+    assert_eq!(run(BalanceVariant::Old), run(BalanceVariant::New));
+}
+
+#[test]
+#[ignore = "release-scale: run with --release -- --ignored"]
+fn ice_sheet_full_pipeline_at_scale() {
+    use forestbal::mesh::{ice_sheet_forest, IceSheetParams};
+    let params = IceSheetParams {
+        nx: 6,
+        ny: 6,
+        base_level: 2,
+        max_level: 6,
+        seed: 2012,
+    };
+    Cluster::run(8, move |ctx| {
+        let mut f = ice_sheet_forest(ctx, params);
+        f.partition_uniform(ctx);
+        f.balance(
+            ctx,
+            Condition::full(3),
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+        );
+        f.partition_weighted(ctx, |_, o| 1 + o.level as u64);
+        let n = f.num_global(ctx);
+        assert!(n > 100_000, "expected a six-figure mesh, got {n}");
+        // Spot-check global balance on a gathered copy.
+        let g = f.gather(ctx);
+        if ctx.rank() == 0 {
+            assert!(is_forest_balanced(f.connectivity(), &g, Condition::full(3)));
+        }
+        let nodes = f.enumerate_nodes(ctx);
+        assert!(nodes.num_global_independent > 0);
+    });
+}
+
+#[test]
+#[ignore = "release-scale: run with --release -- --ignored"]
+fn notify_at_hundreds_of_ranks() {
+    for p in [96usize, 144, 200] {
+        let out = Cluster::run(p, move |ctx| {
+            let rs: Vec<usize> = (1..=5).map(|i| (ctx.rank() + i * 7) % p).collect();
+            forestbal::comm::reverse_notify(ctx, &rs)
+        });
+        // Verify against the transpose.
+        let mut want = vec![vec![]; p];
+        for (r, _) in out.results.iter().enumerate() {
+            for i in 1..=5usize {
+                want[(r + i * 7) % p].push(r);
+            }
+        }
+        for w in want.iter_mut() {
+            w.sort_unstable();
+            w.dedup();
+        }
+        assert_eq!(out.results, want, "P={p}");
+    }
+}
