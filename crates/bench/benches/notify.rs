@@ -1,7 +1,7 @@
 //! Criterion benchmark: the three pattern-reversal schemes (§V).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use forestbal_comm::{reverse_naive, reverse_notify, reverse_ranges, Cluster};
+use forestbal_comm::{reverse_naive, reverse_notify, reverse_ranges, Cluster, Comm};
 
 fn bench_reversal(c: &mut Criterion) {
     let mut g = c.benchmark_group("pattern_reversal");

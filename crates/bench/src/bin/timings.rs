@@ -4,16 +4,23 @@
 //! to reproduce our results ... can be invoked by the timings example").
 //!
 //! ```text
-//! timings [--exp weak|strong|notify|subtree|seeds|ripple|all] [--max-ranks N] [--big]
+//! timings [--exp weak|strong|notify|subtree|seeds|ripple|simscale|all] [--max-ranks N] [--big]
 //! ```
 //!
 //! Each experiment prints a table whose rows mirror a figure of the
 //! paper; see EXPERIMENTS.md for the mapping and for paper-vs-measured
 //! notes. Absolute times are laptop-scale; shapes are the deliverable.
+//!
+//! `--exp simscale` is the exception: it runs on the discrete-event
+//! simulator at the paper's rank counts (P = 1024/4096, 16384 with
+//! `--big`), reports deterministic *virtual* time, and additionally
+//! emits machine-readable `BENCH {...}` JSON lines. It is not part of
+//! `all` — run it explicitly (and in release mode).
 
 use forestbal_bench::experiments::*;
-use forestbal_bench::report::{ratio, Table};
+use forestbal_bench::report::{ratio, BenchRecord, Table};
 use forestbal_mesh::IceSheetParams;
+use forestbal_sim::SimConfig;
 
 type PhaseGetter = fn(&forestbal_forest::BalanceTimings) -> std::time::Duration;
 
@@ -315,6 +322,100 @@ fn run_ripple(max_ranks: usize) {
     t.print();
 }
 
+fn run_simscale(big: bool) {
+    let cfg = SimConfig::default();
+    println!("\n#### Simulated scaling (discrete-event, virtual time)");
+    println!(
+        "cost model: α = {} ns, β = {} ns/B, collectives ⌈log2 P⌉·α + β·bytes",
+        cfg.latency_ns, cfg.ns_per_byte
+    );
+
+    // Reversal curves at the paper's §V scale. Pure communication, cheap
+    // even at 16k simulated ranks.
+    let rev_ranks: &[usize] = if big {
+        &[1024, 4096, 16384]
+    } else {
+        &[1024, 4096]
+    };
+    let rev = sim_reversal_scaling(rev_ranks, 4, 25, cfg);
+    let mut t = Table::new(
+        "Reversal schemes at scale (virtual ms, cluster totals)",
+        &["P", "scheme", "virtual ms", "p2p msgs", "p2p B", "coll B"],
+    );
+    for r in &rev {
+        t.row(vec![
+            r.ranks.to_string(),
+            r.scheme.to_string(),
+            format!("{:.3}", r.makespan_ns as f64 / 1e6),
+            r.stats.messages_sent.to_string(),
+            r.stats.bytes_sent.to_string(),
+            r.stats.collective_bytes.to_string(),
+        ]);
+        BenchRecord::new("sim_reversal")
+            .u("ranks", r.ranks as u64)
+            .s("scheme", r.scheme)
+            .u("makespan_ns", r.makespan_ns)
+            .f("virtual_ms", r.makespan_ns as f64 / 1e6)
+            .u("messages", r.stats.messages_sent)
+            .u("p2p_bytes", r.stats.bytes_sent)
+            .u("collective_bytes", r.stats.collective_bytes)
+            .emit();
+    }
+    t.print();
+
+    // Full one-pass balance: every variant x scheme at large P. The
+    // fractal workload is per-rank local, so the mesh grows with P and
+    // per-rank work stays bounded.
+    let bal_ranks: &[usize] = if big {
+        &[1024, 4096, 16384]
+    } else {
+        &[1024, 4096]
+    };
+    let rows = sim_balance_scaling(bal_ranks, 2, 3, 25, cfg);
+    let mut t = Table::new(
+        "One-pass balance at scale (virtual ms per phase)",
+        &[
+            "P", "variant", "scheme", "total", "local", "reversal", "qry/rsp", "rebal", "msgs",
+        ],
+    );
+    for r in &rows {
+        let ms = |d: std::time::Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
+        t.row(vec![
+            r.ranks.to_string(),
+            format!("{:?}", r.variant),
+            r.scheme.to_string(),
+            ms(r.report.timings.total),
+            ms(r.report.timings.local_balance),
+            ms(r.report.timings.reversal),
+            ms(r.report.timings.query_response),
+            ms(r.report.timings.rebalance),
+            r.stats.messages_sent.to_string(),
+        ]);
+        BenchRecord::new("sim_balance")
+            .u("ranks", r.ranks as u64)
+            .s("variant", &format!("{:?}", r.variant))
+            .s("scheme", r.scheme)
+            .u("octants_in", r.octants_in)
+            .u("octants_out", r.octants_out)
+            .u("makespan_ns", r.makespan_ns)
+            .u("total_ns", r.report.timings.total.as_nanos() as u64)
+            .u(
+                "local_balance_ns",
+                r.report.timings.local_balance.as_nanos() as u64,
+            )
+            .u("reversal_ns", r.report.timings.reversal.as_nanos() as u64)
+            .u(
+                "query_response_ns",
+                r.report.timings.query_response.as_nanos() as u64,
+            )
+            .u("rebalance_ns", r.report.timings.rebalance.as_nanos() as u64)
+            .u("messages", r.stats.messages_sent)
+            .u("p2p_bytes", r.stats.bytes_sent)
+            .emit();
+    }
+    t.print();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut exp = "all".to_string();
@@ -324,11 +425,20 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--exp" => {
-                exp = args[i + 1].clone();
+                exp = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--exp requires a value");
+                    std::process::exit(2);
+                });
                 i += 2;
             }
             "--max-ranks" => {
-                max_ranks = args[i + 1].parse().expect("--max-ranks N");
+                max_ranks = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--max-ranks requires an integer");
+                        std::process::exit(2);
+                    });
                 i += 2;
             }
             "--big" => {
@@ -338,12 +448,23 @@ fn main() {
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
-                    "usage: timings [--exp weak|strong|notify|subtree|seeds|ripple|all] \
+                    "usage: timings [--exp weak|strong|notify|subtree|seeds|ripple|simscale|all] \
                      [--max-ranks N] [--big]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    let known = [
+        "all", "subtree", "seeds", "notify", "weak", "strong", "ripple", "simscale",
+    ];
+    if !known.contains(&exp.as_str()) {
+        eprintln!("unknown experiment {exp}");
+        eprintln!(
+            "usage: timings [--exp weak|strong|notify|subtree|seeds|ripple|simscale|all] \
+             [--max-ranks N] [--big]"
+        );
+        std::process::exit(2);
     }
     let all = exp == "all";
     if all || exp == "subtree" {
@@ -363,5 +484,10 @@ fn main() {
     }
     if all || exp == "ripple" {
         run_ripple(max_ranks);
+    }
+    // Deliberately not part of `all`: large simulated rank counts are
+    // only sensible in release builds.
+    if exp == "simscale" {
+        run_simscale(big);
     }
 }

@@ -8,7 +8,7 @@
 //! subtree algorithms (§III), and distance-independence of seed-based
 //! responses (§IV).
 
-use forestbal_comm::{reverse_naive, reverse_notify, reverse_ranges, Cluster, CommStats};
+use forestbal_comm::{reverse_naive, reverse_notify, reverse_ranges, Cluster, Comm, CommStats};
 use forestbal_core::{
     balance_subtree_new_with_stats, balance_subtree_old_ext, balance_subtree_old_with_stats,
     find_seeds, reconstruct_from_seeds, BalanceStats, Condition,
@@ -16,6 +16,7 @@ use forestbal_core::{
 use forestbal_forest::{BalanceReport, BalanceVariant, Forest, ReversalScheme};
 use forestbal_mesh::{fractal_forest, ice_sheet_forest, IceSheetParams};
 use forestbal_octant::{complete_subtree, linearize, Octant};
+use forestbal_sim::{SimCluster, SimConfig};
 use std::time::{Duration, Instant};
 
 /// One row of a scaling study: both variants on the same mesh. Timings
@@ -181,20 +182,156 @@ pub fn notify_experiment(ranks: &[usize], fanout: usize, max_ranges: usize) -> V
         .collect()
 }
 
-/// Rayon-parallel 2:1 verification of a sorted linear octree — lets the
+/// One (rank count, scheme) point of the simulated reversal scaling
+/// study: the same pattern as [`notify_experiment`] but on the
+/// discrete-event simulator, so `ranks` can reach the paper's §V scale
+/// (thousands to tens of thousands) and `makespan_ns` is deterministic
+/// virtual cluster time instead of noisy wall clock.
+#[derive(Clone, Debug)]
+pub struct SimReversalRow {
+    /// Simulated rank count.
+    pub ranks: usize,
+    /// `"naive"`, `"ranges"`, or `"notify"`.
+    pub scheme: &'static str,
+    /// Virtual time when the last rank finished, in nanoseconds.
+    pub makespan_ns: u64,
+    /// Cluster-total communication counters.
+    pub stats: CommStats,
+}
+
+/// Run the three reversal schemes on the curve-local `fanout`-successor
+/// pattern under the simulator, one row per `(P, scheme)`.
+pub fn sim_reversal_scaling(
+    ranks: &[usize],
+    fanout: usize,
+    max_ranges: usize,
+    cfg: SimConfig,
+) -> Vec<SimReversalRow> {
+    let mut rows = Vec::new();
+    for &p in ranks {
+        let receivers_of = move |r: usize| -> Vec<usize> {
+            (1..=fanout)
+                .map(|i| (r + i) % p)
+                .filter(|&q| q != r)
+                .collect()
+        };
+        for (scheme, which) in [("naive", 0u8), ("ranges", 1), ("notify", 2)] {
+            let out = SimCluster::run(p, cfg, move |ctx| {
+                let rs = receivers_of(ctx.rank());
+                ctx.barrier();
+                let senders = match which {
+                    0 => reverse_naive(ctx, &rs),
+                    1 => reverse_ranges(ctx, &rs, max_ranges),
+                    _ => reverse_notify(ctx, &rs),
+                };
+                assert!(!senders.is_empty() || p == 1);
+            });
+            rows.push(SimReversalRow {
+                ranks: p,
+                scheme,
+                makespan_ns: out.makespan_ns(),
+                stats: out.total_stats(),
+            });
+        }
+    }
+    rows
+}
+
+/// One (rank count, variant, scheme) point of the simulated balance
+/// scaling study (§VI at Jaguar-like rank counts).
+#[derive(Clone, Debug)]
+pub struct SimBalanceRow {
+    /// Simulated rank count.
+    pub ranks: usize,
+    /// Balance variant under test.
+    pub variant: BalanceVariant,
+    /// `"naive"`, `"ranges"`, or `"notify"`.
+    pub scheme: &'static str,
+    /// Global octants before balance.
+    pub octants_in: u64,
+    /// Global octants after balance.
+    pub octants_out: u64,
+    /// Cluster-combined per-phase report; timings are per-rank *virtual
+    /// time* maxima (measured through `Comm::now_ns`).
+    pub report: BalanceReport,
+    /// Virtual time when the last rank finished, in nanoseconds.
+    pub makespan_ns: u64,
+    /// Cluster-total communication counters.
+    pub stats: CommStats,
+}
+
+/// Run a full one-pass balance of the fractal forest on the simulator for
+/// every `(P, variant, scheme)` combination. All rows for a given `P`
+/// must agree on the balanced mesh size (asserted), so this doubles as a
+/// large-P cross-check of the schemes against each other.
+pub fn sim_balance_scaling(
+    ranks: &[usize],
+    level: u8,
+    spread: u8,
+    max_ranges: usize,
+    cfg: SimConfig,
+) -> Vec<SimBalanceRow> {
+    let mut rows = Vec::new();
+    for &p in ranks {
+        let mut sizes: Option<(u64, u64)> = None;
+        for (scheme_name, scheme) in [
+            ("naive", ReversalScheme::Naive),
+            ("ranges", ReversalScheme::Ranges(max_ranges)),
+            ("notify", ReversalScheme::Notify),
+        ] {
+            for variant in [BalanceVariant::Old, BalanceVariant::New] {
+                let out = SimCluster::run(p, cfg, move |ctx| {
+                    let mut f = fractal_forest(ctx, level, spread);
+                    let before = f.num_global(ctx);
+                    ctx.barrier();
+                    let rep = f.balance_with_report(ctx, Condition::full(3), variant, scheme);
+                    let after = f.num_global(ctx);
+                    (before, after, rep)
+                });
+                let (before, after, _) = out.results[0];
+                match sizes {
+                    None => sizes = Some((before, after)),
+                    Some(s) => assert_eq!(
+                        s,
+                        (before, after),
+                        "P={p}: {scheme_name}/{variant:?} disagrees on mesh size"
+                    ),
+                }
+                let report = out
+                    .results
+                    .iter()
+                    .map(|r| r.2)
+                    .fold(BalanceReport::default(), |a, b| a.combine(&b));
+                rows.push(SimBalanceRow {
+                    ranks: p,
+                    variant,
+                    scheme: scheme_name,
+                    octants_in: before,
+                    octants_out: after,
+                    report,
+                    makespan_ns: out.makespan_ns(),
+                    stats: out.total_stats(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Thread-parallel 2:1 verification of a sorted linear octree — lets the
 /// benchmark harness validate multi-million-leaf outputs without paying
-/// the serial oracle's cost.
+/// the serial oracle's cost. Leaves are checked in contiguous chunks, one
+/// scoped thread per available core.
 pub fn par_is_balanced<const D: usize>(
     leaves: &[Octant<D>],
     root: &Octant<D>,
     cond: Condition,
 ) -> bool {
-    use rayon::prelude::*;
     let containing = |q: &Octant<D>| -> Option<&Octant<D>> {
         let i = leaves.partition_point(|x| x <= q);
         (i > 0 && leaves[i - 1].contains(q)).then(|| &leaves[i - 1])
     };
-    leaves.par_iter().all(|o| {
+    let check = |o: &Octant<D>| {
         forestbal_octant::directions::<D>().all(|dir| {
             if !cond.constrains(forestbal_octant::codim(&dir)) {
                 return true;
@@ -208,6 +345,18 @@ pub fn par_is_balanced<const D: usize>(
                 None => true,
             }
         })
+    };
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let chunk = leaves.len().div_ceil(threads).max(1);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = leaves
+            .chunks(chunk)
+            .map(|c| {
+                let check = &check;
+                s.spawn(move || c.iter().all(check))
+            })
+            .collect();
+        handles.into_iter().all(|h| h.join().unwrap())
     })
 }
 
@@ -449,6 +598,35 @@ mod tests {
             // collectives).
             assert_eq!(r.naive.stats.messages_sent, 0);
             assert!(r.notify.stats.messages_sent > 0);
+        }
+    }
+
+    #[test]
+    fn sim_reversal_rows_are_deterministic() {
+        let cfg = SimConfig::default().with_seed(9).with_jitter(300);
+        let a = sim_reversal_scaling(&[32], 3, 2, cfg);
+        let b = sim_reversal_scaling(&[32], 3, 2, cfg);
+        assert_eq!(a.len(), 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.makespan_ns, y.makespan_ns, "{}", x.scheme);
+            assert_eq!(x.stats, y.stats, "{}", x.scheme);
+        }
+        // Notify must beat the naive collectives in virtual time at a
+        // local pattern (the paper's core claim).
+        let naive = a.iter().find(|r| r.scheme == "naive").unwrap();
+        let notify = a.iter().find(|r| r.scheme == "notify").unwrap();
+        assert!(notify.makespan_ns < naive.makespan_ns);
+    }
+
+    #[test]
+    fn sim_balance_rows_agree_on_sizes() {
+        let rows = sim_balance_scaling(&[4], 2, 3, 2, SimConfig::default());
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert_eq!(r.octants_in, rows[0].octants_in);
+            assert_eq!(r.octants_out, rows[0].octants_out);
+            assert!(r.makespan_ns > 0);
+            assert!(r.report.timings.total.as_nanos() > 0);
         }
     }
 

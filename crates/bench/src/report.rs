@@ -1,4 +1,6 @@
-//! Minimal fixed-width table printing for the experiment drivers.
+//! Minimal fixed-width table printing for the experiment drivers, plus
+//! machine-readable `BENCH {...}` JSON lines for scraping scaling curves
+//! out of CI logs.
 
 /// A printable table: header row plus data rows of equal arity.
 pub struct Table {
@@ -58,6 +60,79 @@ impl Table {
     }
 }
 
+/// One machine-readable benchmark record, emitted as a single
+/// `BENCH {"bench":"...",...}` line on stdout. Hand-rolled (the workspace
+/// builds offline with no serde) but valid JSON: keys are emitted in
+/// insertion order, strings minimally escaped, floats rendered via Rust's
+/// shortest-roundtrip formatting.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    fields: Vec<(String, String)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BenchRecord {
+    /// New record named `bench` (the curve/table it belongs to).
+    pub fn new(bench: &str) -> BenchRecord {
+        BenchRecord {
+            fields: vec![("bench".into(), format!("\"{}\"", json_escape(bench)))],
+        }
+    }
+
+    /// Append an unsigned-integer field.
+    pub fn u(mut self, key: &str, v: u64) -> Self {
+        self.fields.push((key.into(), v.to_string()));
+        self
+    }
+
+    /// Append a float field (`null` if not finite — JSON has no NaN).
+    pub fn f(mut self, key: &str, v: f64) -> Self {
+        let rendered = if v.is_finite() {
+            format!("{v:?}")
+        } else {
+            "null".into()
+        };
+        self.fields.push((key.into(), rendered));
+        self
+    }
+
+    /// Append a string field.
+    pub fn s(mut self, key: &str, v: &str) -> Self {
+        self.fields
+            .push((key.into(), format!("\"{}\"", json_escape(v))));
+        self
+    }
+
+    /// The record as one JSON object.
+    pub fn json(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Print the `BENCH {...}` line.
+    pub fn emit(&self) {
+        println!("BENCH {}", self.json());
+    }
+}
+
 /// Format seconds with 3 significant-ish decimals.
 pub fn secs(d: std::time::Duration) -> String {
     format!("{:.4}", d.as_secs_f64())
@@ -100,5 +175,20 @@ mod tests {
     fn ratio_handles_zero() {
         assert_eq!(ratio(1.0, 0.0), "-");
         assert_eq!(ratio(7.0, 2.0), "3.50x");
+    }
+
+    #[test]
+    fn bench_record_is_valid_json() {
+        let r = BenchRecord::new("sim_reversal")
+            .u("ranks", 4096)
+            .s("scheme", "notify")
+            .f("virtual_ms", 1.25)
+            .f("bad", f64::NAN);
+        assert_eq!(
+            r.json(),
+            r#"{"bench":"sim_reversal","ranks":4096,"scheme":"notify","virtual_ms":1.25,"bad":null}"#
+        );
+        let q = BenchRecord::new("a\"b\\c").json();
+        assert_eq!(q, r#"{"bench":"a\"b\\c"}"#);
     }
 }

@@ -1,40 +1,29 @@
-//! Ranks, point-to-point messaging, and collectives.
+//! The threaded runtime: ranks as OS threads, messages as channel sends.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
+use crate::comm::{install_quiet_panic_hook, Comm, CommStats, RunOutput, ShutdownSignal};
+use std::any::Any;
 use std::cell::RefCell;
-use std::sync::Arc;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Lock a mutex, tolerating poisoning: a rank that panics while holding a
+/// lock is already being propagated as the run's failure, so peers may
+/// still inspect the shared state to unwind cleanly.
+fn lock_anyway<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One message in flight.
 struct Envelope {
     src: usize,
     tag: u32,
     data: Vec<u8>,
-}
-
-/// Per-rank communication counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CommStats {
-    /// Point-to-point messages sent.
-    pub messages_sent: u64,
-    /// Point-to-point payload bytes sent.
-    pub bytes_sent: u64,
-    /// Collective operations entered (allgather, barrier).
-    pub collective_calls: u64,
-    /// Bytes this rank contributed to collectives.
-    pub collective_bytes: u64,
-}
-
-impl CommStats {
-    /// Componentwise sum, for cluster-wide totals.
-    pub fn merge(&self, other: &CommStats) -> CommStats {
-        CommStats {
-            messages_sent: self.messages_sent + other.messages_sent,
-            bytes_sent: self.bytes_sent + other.bytes_sent,
-            collective_calls: self.collective_calls + other.collective_calls,
-            collective_bytes: self.collective_bytes + other.collective_bytes,
-        }
-    }
+    /// True for the wake-up sentinel broadcast when a rank panicked.
+    shutdown: bool,
 }
 
 /// Reusable generation-counted allgather/barrier state.
@@ -54,58 +43,106 @@ struct Shared {
     mailboxes: Vec<Sender<Envelope>>,
     gather: Mutex<GatherState>,
     gather_cv: Condvar,
+    /// Epoch of the run, for [`Comm::now_ns`].
+    start: Instant,
+    /// Set when any rank panicked; peers unwind out of blocking calls.
+    shutdown: AtomicBool,
+    /// The first panic payload, re-raised by [`Cluster::run`].
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
-/// Handle through which a simulated rank communicates.
+impl Shared {
+    /// Record a rank's panic and wake every blocked peer so the whole run
+    /// fails fast with the original panic.
+    fn abort(&self, payload: Box<dyn Any + Send>) {
+        {
+            let mut slot = lock_anyway(&self.panic_payload);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake receivers: a sentinel envelope per rank (sends to already
+        // finished ranks fail harmlessly)...
+        for mb in &self.mailboxes {
+            let _ = mb.send(Envelope {
+                src: 0,
+                tag: 0,
+                data: Vec::new(),
+                shutdown: true,
+            });
+        }
+        // ...and collective waiters.
+        let _guard = lock_anyway(&self.gather);
+        self.gather_cv.notify_all();
+    }
+
+    fn check_shutdown(&self) {
+        if self.shutdown.load(Ordering::SeqCst) {
+            panic_any(ShutdownSignal);
+        }
+    }
+}
+
+/// Handle through which a threaded rank communicates.
 ///
-/// Not `Clone`: exactly one per rank, owned by the rank's closure.
+/// Not `Clone`: exactly one per rank, owned by the rank's closure. All
+/// communication goes through the [`Comm`] trait.
 pub struct RankCtx {
     rank: usize,
     shared: Arc<Shared>,
     inbox: Receiver<Envelope>,
-    /// Messages received but not yet matched by a `recv` call.
-    pending: RefCell<Vec<Envelope>>,
+    /// Messages received but not yet matched by a `recv` call, indexed by
+    /// tag and kept in arrival order, so tag-heavy query/response rounds
+    /// match in O(messages of that tag) instead of scanning everything.
+    pending: RefCell<BTreeMap<u32, VecDeque<Envelope>>>,
     stats: RefCell<CommStats>,
 }
 
-impl RankCtx {
-    /// This rank's id in `0..size()`.
+impl Comm for RankCtx {
     #[inline]
-    pub fn rank(&self) -> usize {
+    fn rank(&self) -> usize {
         self.rank
     }
 
-    /// Number of ranks in the cluster.
     #[inline]
-    pub fn size(&self) -> usize {
+    fn size(&self) -> usize {
         self.shared.size
     }
 
-    /// Send `data` to rank `dst` with a matching `tag`.
-    pub fn send(&self, dst: usize, tag: u32, data: Vec<u8>) {
+    fn send(&self, dst: usize, tag: u32, data: Vec<u8>) {
         let mut st = self.stats.borrow_mut();
         st.messages_sent += 1;
         st.bytes_sent += data.len() as u64;
         drop(st);
-        self.shared.mailboxes[dst]
-            .send(Envelope {
-                src: self.rank,
-                tag,
-                data,
-            })
-            .expect("destination rank hung up");
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            data,
+            shutdown: false,
+        };
+        if self.shared.mailboxes[dst].send(env).is_err() {
+            self.shared.check_shutdown();
+            panic!("destination rank hung up");
+        }
     }
 
-    /// Receive a message with tag `tag`, optionally from a specific
-    /// source. Blocks until a matching message arrives; non-matching
-    /// messages are buffered. Returns `(src, data)`.
-    pub fn recv(&self, src: Option<usize>, tag: u32) -> (usize, Vec<u8>) {
-        let matches = |e: &Envelope| e.tag == tag && src.is_none_or(|s| s == e.src);
+    fn recv(&self, src: Option<usize>, tag: u32) -> (usize, Vec<u8>) {
+        self.shared.check_shutdown();
         {
             let mut pending = self.pending.borrow_mut();
-            if let Some(i) = pending.iter().position(&matches) {
-                let e = pending.swap_remove(i);
-                return (e.src, e.data);
+            if let Some(q) = pending.get_mut(&tag) {
+                let hit = match src {
+                    None => (!q.is_empty()).then_some(0),
+                    Some(s) => q.iter().position(|e| e.src == s),
+                };
+                if let Some(i) = hit {
+                    let e = q.remove(i).expect("index in bounds");
+                    if q.is_empty() {
+                        pending.remove(&tag);
+                    }
+                    return (e.src, e.data);
+                }
             }
         }
         loop {
@@ -113,24 +150,29 @@ impl RankCtx {
                 .inbox
                 .recv()
                 .expect("cluster shut down while receiving");
-            if matches(&e) {
+            if e.shutdown {
+                panic_any(ShutdownSignal);
+            }
+            if e.tag == tag && src.is_none_or(|s| s == e.src) {
                 return (e.src, e.data);
             }
-            self.pending.borrow_mut().push(e);
+            self.pending
+                .borrow_mut()
+                .entry(e.tag)
+                .or_default()
+                .push_back(e);
         }
     }
 
-    /// Gather one variable-length buffer from every rank (the semantics of
-    /// `MPI_Allgatherv`; with equal lengths this is `MPI_Allgather`).
-    /// Returns the contributions indexed by rank.
-    pub fn allgather(&self, data: Vec<u8>) -> Arc<Vec<Vec<u8>>> {
+    fn allgather(&self, data: Vec<u8>) -> Arc<Vec<Vec<u8>>> {
         {
             let mut st = self.stats.borrow_mut();
             st.collective_calls += 1;
             st.collective_bytes += data.len() as u64;
         }
         let shared = &self.shared;
-        let mut g = shared.gather.lock();
+        shared.check_shutdown();
+        let mut g = lock_anyway(&shared.gather);
         let my_gen = g.gen;
         debug_assert!(g.entries[self.rank].is_none(), "double allgather entry");
         g.entries[self.rank] = Some(data);
@@ -143,85 +185,48 @@ impl RankCtx {
             g.arrived = 0;
             shared.gather_cv.notify_all();
         } else {
-            shared
+            g = shared
                 .gather_cv
-                .wait_while(&mut g, |g| g.result_gen != Some(my_gen));
+                .wait_while(g, |g| {
+                    g.result_gen != Some(my_gen) && !shared.shutdown.load(Ordering::SeqCst)
+                })
+                .unwrap_or_else(PoisonError::into_inner);
+            if g.result_gen != Some(my_gen) {
+                drop(g);
+                panic_any(ShutdownSignal);
+            }
         }
         Arc::clone(g.result.as_ref().unwrap())
     }
 
-    /// Block until every rank has entered the barrier.
-    pub fn barrier(&self) {
-        self.allgather(Vec::new());
-    }
-
-    /// Allreduce a `u64` with a combining function (sum, max, ...).
-    pub fn allreduce_u64(&self, v: u64, combine: impl Fn(u64, u64) -> u64) -> u64 {
-        let all = self.allgather(v.to_le_bytes().to_vec());
-        all.iter()
-            .map(|b| u64::from_le_bytes(b.as_slice().try_into().unwrap()))
-            .reduce(&combine)
-            .expect("at least one rank")
-    }
-
-    /// Allreduce: cluster-wide sum of a `u64`.
-    pub fn allreduce_sum(&self, v: u64) -> u64 {
-        self.allreduce_u64(v, |a, b| a.wrapping_add(b))
-    }
-
-    /// Allreduce: cluster-wide maximum of a `u64`.
-    pub fn allreduce_max(&self, v: u64) -> u64 {
-        self.allreduce_u64(v, u64::max)
-    }
-
-    /// Allreduce: do all ranks agree this flag is true?
-    pub fn allreduce_and(&self, v: bool) -> bool {
-        self.allreduce_u64(v as u64, |a, b| a & b) != 0
-    }
-
-    /// Allreduce: does any rank set this flag?
-    pub fn allreduce_or(&self, v: bool) -> bool {
-        self.allreduce_u64(v as u64, |a, b| a | b) != 0
-    }
-
-    /// Snapshot of this rank's communication counters.
-    pub fn stats(&self) -> CommStats {
+    fn stats(&self) -> CommStats {
         *self.stats.borrow()
     }
-}
 
-/// Results of a cluster run: per-rank closure outputs and counters, both
-/// indexed by rank.
-pub struct RunOutput<T> {
-    /// The closure's return value per rank.
-    pub results: Vec<T>,
-    /// Communication counters per rank.
-    pub stats: Vec<CommStats>,
-}
-
-impl<T> RunOutput<T> {
-    /// Cluster-wide total of the per-rank counters.
-    pub fn total_stats(&self) -> CommStats {
-        self.stats
-            .iter()
-            .fold(CommStats::default(), |a, b| a.merge(b))
+    fn now_ns(&self) -> u64 {
+        self.shared.start.elapsed().as_nanos() as u64
     }
 }
 
-/// A simulated cluster.
+/// The threaded cluster runtime: real parallelism, wall-clock time,
+/// nondeterministic interleavings (capped at a few hundred ranks in
+/// practice). For deterministic large-P runs use `forestbal_sim`.
 pub struct Cluster;
 
 impl Cluster {
     /// Run `f` on `size` ranks, each on its own thread, and collect the
-    /// per-rank results. Panics in any rank propagate.
+    /// per-rank results. If any rank panics, every peer is unwound out of
+    /// its blocking communication calls and the original panic is
+    /// re-raised from this call (fail-fast instead of deadlock).
     pub fn run<T, F>(size: usize, f: F) -> RunOutput<T>
     where
         T: Send,
         F: Fn(&RankCtx) -> T + Send + Sync,
     {
         assert!(size >= 1, "a cluster needs at least one rank");
+        install_quiet_panic_hook();
         let (senders, receivers): (Vec<_>, Vec<_>) =
-            (0..size).map(|_| unbounded::<Envelope>()).unzip();
+            (0..size).map(|_| channel::<Envelope>()).unzip();
         let shared = Arc::new(Shared {
             size,
             mailboxes: senders,
@@ -233,6 +238,9 @@ impl Cluster {
                 result: None,
             }),
             gather_cv: Condvar::new(),
+            start: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
         });
 
         let f = &f;
@@ -248,21 +256,36 @@ impl Cluster {
                             rank,
                             shared,
                             inbox,
-                            pending: RefCell::new(Vec::new()),
+                            pending: RefCell::new(BTreeMap::new()),
                             stats: RefCell::new(CommStats::default()),
                         };
-                        let r = f(&ctx);
-                        let stats = ctx.stats();
-                        (r, stats)
+                        match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                            Ok(r) => {
+                                let stats = ctx.stats();
+                                Some((r, stats))
+                            }
+                            Err(payload) => {
+                                if payload.downcast_ref::<ShutdownSignal>().is_none() {
+                                    ctx.shared.abort(payload);
+                                }
+                                None
+                            }
+                        }
                     })
                 })
                 .collect();
             for (slot, h) in out.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("rank panicked"));
+                *slot = h.join().expect("rank thread cannot panic past its catch");
             }
         });
 
-        let (results, stats) = out.into_iter().map(Option::unwrap).unzip();
+        if let Some(payload) = lock_anyway(&shared.panic_payload).take() {
+            resume_unwind(payload);
+        }
+        let (results, stats) = out
+            .into_iter()
+            .map(|s| s.expect("rank produced no result yet did not panic"))
+            .unzip();
         RunOutput { results, stats }
     }
 }
@@ -330,6 +353,26 @@ mod tests {
             }
         });
         assert_eq!(out.results[0], 3);
+    }
+
+    #[test]
+    fn pending_preserves_per_source_order() {
+        // Two messages with the same tag from the same source, buffered
+        // while an unrelated tag is received first: FIFO order must hold.
+        let out = Cluster::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, vec![10]);
+                ctx.send(1, 5, vec![20]);
+                ctx.send(1, 6, vec![30]);
+                0
+            } else {
+                let (_, d6) = ctx.recv(Some(0), 6);
+                let (_, a) = ctx.recv(Some(0), 5);
+                let (_, b) = ctx.recv(None, 5);
+                (d6[0] as usize) * 100 + (a[0] as usize) + (b[0] as usize) / 10
+            }
+        });
+        assert_eq!(out.results[1], 3012);
     }
 
     #[test]
@@ -403,5 +446,51 @@ mod tests {
         assert_eq!(out.stats[0].messages_sent, 1);
         assert_eq!(out.stats[0].bytes_sent, 100);
         assert_eq!(out.stats[1].messages_sent, 0);
+    }
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        Cluster::run(2, |ctx| {
+            let a = ctx.now_ns();
+            ctx.barrier();
+            let b = ctx.now_ns();
+            assert!(b >= a);
+        });
+    }
+
+    #[test]
+    fn rank_panic_fails_fast_through_recv() {
+        // Rank 1 panics; rank 0 is blocked in a recv that will never be
+        // satisfied. The run must unwind promptly with the original
+        // panic message rather than deadlock.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Cluster::run(3, |ctx| {
+                if ctx.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+                ctx.recv(Some(1), 77); // never sent
+            });
+        }));
+        let payload = result.expect_err("run must propagate the panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("rank 1 exploded"), "got: {msg}");
+    }
+
+    #[test]
+    fn rank_panic_fails_fast_through_collectives() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            Cluster::run(4, |ctx| {
+                if ctx.rank() == 2 {
+                    panic!("collective abort");
+                }
+                ctx.barrier(); // three ranks wait, one never arrives
+            });
+        }));
+        assert!(result.is_err(), "run must propagate the panic");
     }
 }

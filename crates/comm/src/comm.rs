@@ -1,0 +1,169 @@
+//! The [`Comm`] trait: the runtime-independent communication interface.
+//!
+//! Every parallel algorithm in this workspace (pattern reversal, the
+//! one-pass balance, ghost layers, partitioning, ...) is written against
+//! this trait, so the same code runs unmodified on the threaded
+//! [`crate::Cluster`] runtime and on the deterministic discrete-event
+//! simulator in `forestbal-sim`.
+
+use std::sync::Arc;
+
+/// Per-rank communication counters.
+///
+/// Both runtimes count identically, which is what lets differential tests
+/// assert bit-equal message/byte counts between a threaded run and a
+/// simulated run of the same algorithm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages sent.
+    pub messages_sent: u64,
+    /// Point-to-point payload bytes sent.
+    pub bytes_sent: u64,
+    /// Collective operations entered (allgather, barrier).
+    pub collective_calls: u64,
+    /// Bytes this rank contributed to collectives.
+    pub collective_bytes: u64,
+}
+
+impl CommStats {
+    /// Componentwise sum, for cluster-wide totals.
+    pub fn merge(&self, other: &CommStats) -> CommStats {
+        CommStats {
+            messages_sent: self.messages_sent + other.messages_sent,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            collective_calls: self.collective_calls + other.collective_calls,
+            collective_bytes: self.collective_bytes + other.collective_bytes,
+        }
+    }
+}
+
+/// Results of a cluster run: per-rank closure outputs and counters, both
+/// indexed by rank.
+pub struct RunOutput<T> {
+    /// The closure's return value per rank.
+    pub results: Vec<T>,
+    /// Communication counters per rank.
+    pub stats: Vec<CommStats>,
+}
+
+impl<T> RunOutput<T> {
+    /// Cluster-wide total of the per-rank counters.
+    pub fn total_stats(&self) -> CommStats {
+        self.stats
+            .iter()
+            .fold(CommStats::default(), |a, b| a.merge(b))
+    }
+}
+
+/// The message-passing interface the paper's algorithms rely on:
+/// asymmetric point-to-point messages with tag matching, plus
+/// `Allgather`/`Allgatherv`-style collectives.
+///
+/// Implemented by the threaded [`crate::RankCtx`] (ranks are OS threads,
+/// wall-clock time) and by `forestbal_sim::SimCtx` (ranks are simulated,
+/// [`Comm::now_ns`] is deterministic virtual time).
+pub trait Comm {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the cluster.
+    fn size(&self) -> usize;
+
+    /// Send `data` to rank `dst` with a matching `tag`. Non-blocking.
+    fn send(&self, dst: usize, tag: u32, data: Vec<u8>);
+
+    /// Receive a message with tag `tag`, optionally from a specific
+    /// source. Blocks until a matching message arrives; non-matching
+    /// messages are buffered. Returns `(src, data)`.
+    fn recv(&self, src: Option<usize>, tag: u32) -> (usize, Vec<u8>);
+
+    /// Gather one variable-length buffer from every rank (the semantics of
+    /// `MPI_Allgatherv`; with equal lengths this is `MPI_Allgather`).
+    /// Returns the contributions indexed by rank.
+    fn allgather(&self, data: Vec<u8>) -> Arc<Vec<Vec<u8>>>;
+
+    /// Snapshot of this rank's communication counters.
+    fn stats(&self) -> CommStats;
+
+    /// Monotonic per-rank clock in nanoseconds: wall clock since the run
+    /// started on the threaded runtime, *virtual* time on the simulator.
+    /// Phase timings derived from this clock therefore report simulated
+    /// cluster time when the algorithm runs under `forestbal-sim`.
+    fn now_ns(&self) -> u64;
+
+    /// Block until every rank has entered the barrier.
+    fn barrier(&self) {
+        self.allgather(Vec::new());
+    }
+
+    /// Allreduce a `u64` with a combining function (sum, max, ...).
+    fn allreduce_u64(&self, v: u64, combine: impl Fn(u64, u64) -> u64) -> u64
+    where
+        Self: Sized,
+    {
+        let all = self.allgather(v.to_le_bytes().to_vec());
+        all.iter()
+            .map(|b| u64::from_le_bytes(b.as_slice().try_into().unwrap()))
+            .reduce(&combine)
+            .expect("at least one rank")
+    }
+
+    /// Allreduce: cluster-wide sum of a `u64`.
+    fn allreduce_sum(&self, v: u64) -> u64
+    where
+        Self: Sized,
+    {
+        self.allreduce_u64(v, |a, b| a.wrapping_add(b))
+    }
+
+    /// Allreduce: cluster-wide maximum of a `u64`.
+    fn allreduce_max(&self, v: u64) -> u64
+    where
+        Self: Sized,
+    {
+        self.allreduce_u64(v, u64::max)
+    }
+
+    /// Allreduce: do all ranks agree this flag is true?
+    fn allreduce_and(&self, v: bool) -> bool
+    where
+        Self: Sized,
+    {
+        self.allreduce_u64(v as u64, |a, b| a & b) != 0
+    }
+
+    /// Allreduce: does any rank set this flag?
+    fn allreduce_or(&self, v: bool) -> bool
+    where
+        Self: Sized,
+    {
+        self.allreduce_u64(v as u64, |a, b| a | b) != 0
+    }
+}
+
+/// Panic payload used to unwind ranks out of blocking communication calls
+/// when a *different* rank failed and the runtime is shutting down. The
+/// original panic is preserved and re-raised by the runtime's `run`; ranks
+/// unwound with this sentinel stay silent (see
+/// [`install_quiet_panic_hook`]).
+#[derive(Debug)]
+pub struct ShutdownSignal;
+
+/// Install (once per process) a panic hook that suppresses the default
+/// "thread panicked" report for [`ShutdownSignal`] unwinds, delegating
+/// everything else to the previously installed hook. Runtimes call this
+/// before spawning ranks so a single failing rank produces a single panic
+/// report instead of one per peer.
+pub fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ShutdownSignal>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

@@ -3,10 +3,14 @@
 //! The paper's parallel algorithms are formulated against MPI. Rust MPI
 //! bindings are immature, so this crate reproduces the *semantics* the
 //! algorithms rely on — asymmetric point-to-point messages, `Allgather`/
-//! `Allgatherv` collectives, barriers — with ranks running as OS threads
-//! and messages as channel sends. Every rank records message and byte
-//! counters so benchmarks can compare communication volumes exactly as the
-//! paper does.
+//! `Allgatherv` collectives, barriers — behind the runtime-independent
+//! [`Comm`] trait. The threaded [`Cluster`] runtime here runs ranks as OS
+//! threads with messages as channel sends; the `forestbal-sim` crate
+//! implements the same trait with a deterministic discrete-event
+//! scheduler under virtual time, so every algorithm written against
+//! [`Comm`] runs unmodified on either. Every rank records message and
+//! byte counters so benchmarks can compare communication volumes exactly
+//! as the paper does.
 //!
 //! [`reversal`] implements the three schemes of §V for reversing an
 //! asymmetric communication pattern (determining one's senders from one's
@@ -17,7 +21,7 @@
 //! # Example
 //!
 //! ```
-//! use forestbal_comm::{reverse_notify, Cluster};
+//! use forestbal_comm::{reverse_notify, Cluster, Comm};
 //!
 //! // Five ranks; each addresses its successor, plus rank 0 -> rank 3.
 //! let out = Cluster::run(5, |ctx| {
@@ -36,7 +40,9 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod comm;
 pub mod reversal;
 
-pub use cluster::{Cluster, CommStats, RankCtx, RunOutput};
+pub use cluster::{Cluster, RankCtx};
+pub use comm::{install_quiet_panic_hook, Comm, CommStats, RunOutput, ShutdownSignal};
 pub use reversal::{ranges_expansion, reverse_naive, reverse_notify, reverse_ranges};

@@ -19,7 +19,7 @@
 //!   `p xor 2^l >= P` to `p - 2^l`, which balances duplicate messages
 //!   across peers instead of bottlenecking the highest rank.
 
-use crate::cluster::RankCtx;
+use crate::comm::Comm;
 
 /// Message tag space reserved by the reversal algorithms.
 const NOTIFY_TAG_BASE: u32 = 0xB000_0000;
@@ -42,7 +42,7 @@ fn decode_u32s(data: &[u8]) -> Vec<u32> {
 /// Naive reversal (Figure 12): allgather counts, then receiver lists.
 /// Returns the exact sorted list of ranks that name `ctx.rank()` among
 /// their receivers.
-pub fn reverse_naive(ctx: &RankCtx, receivers: &[usize]) -> Vec<usize> {
+pub fn reverse_naive(ctx: &impl Comm, receivers: &[usize]) -> Vec<usize> {
     // Allgather the counts (mirrors the MPI_Allgather of |R|)...
     let counts = ctx.allgather(encode_u32s(&[receivers.len() as u32]));
     debug_assert_eq!(counts.len(), ctx.size());
@@ -64,7 +64,7 @@ pub fn reverse_naive(ctx: &RankCtx, receivers: &[usize]) -> Vec<usize> {
 /// budget), allgather the fixed-size encoding, scan. The result is a
 /// superset of the true sender list — callers must tolerate the
 /// corresponding zero-length messages.
-pub fn reverse_ranges(ctx: &RankCtx, receivers: &[usize], max_ranges: usize) -> Vec<usize> {
+pub fn reverse_ranges(ctx: &impl Comm, receivers: &[usize], max_ranges: usize) -> Vec<usize> {
     assert!(max_ranges >= 1);
     let ranges = encode_ranges(receivers, max_ranges);
     // Fixed-size encoding: 2 * max_ranges u32 slots, unused slots marked
@@ -136,7 +136,7 @@ fn encode_ranges(receivers: &[usize], max_ranges: usize) -> Vec<(usize, usize)> 
 /// concern receivers `q` with `q ≡ p (mod 2^l)`, distributed across the
 /// residue class. After the last level each rank holds exactly the items
 /// addressed to itself; their original senders are the answer.
-pub fn reverse_notify(ctx: &RankCtx, receivers: &[usize]) -> Vec<usize> {
+pub fn reverse_notify(ctx: &impl Comm, receivers: &[usize]) -> Vec<usize> {
     let p = ctx.rank();
     let size = ctx.size();
     // (receiver, original sender) pairs.

@@ -1,6 +1,8 @@
 //! Property tests for the simulated runtime and the reversal schemes.
 
-use forestbal_comm::{ranges_expansion, reverse_naive, reverse_notify, reverse_ranges, Cluster};
+use forestbal_comm::{
+    ranges_expansion, reverse_naive, reverse_notify, reverse_ranges, Cluster, Comm,
+};
 use proptest::prelude::*;
 
 /// Transpose of a pattern: who sends to whom.

@@ -25,14 +25,14 @@
 use crate::codec;
 use crate::connectivity::{translate, TreeId};
 use crate::forest::Forest;
-use forestbal_comm::{ranges_expansion, reverse_naive, reverse_notify, reverse_ranges, RankCtx};
+use forestbal_comm::{ranges_expansion, reverse_naive, reverse_notify, reverse_ranges, Comm};
 use forestbal_core::{
     balance_subtree_new, balance_subtree_old, balance_subtree_old_ext, find_seeds,
     reconstruct_from_seeds, Condition,
 };
 use forestbal_octant::{directions, is_linear, linearize, Coord, Octant};
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 const QUERY_TAG: u32 = 0xBA1A_0001;
 const RESPONSE_TAG: u32 = 0xBA1A_0002;
@@ -60,7 +60,10 @@ pub enum ReversalScheme {
     Notify,
 }
 
-/// Wall-clock time per phase on this rank.
+/// Time per phase on this rank, measured through [`Comm::now_ns`]: wall
+/// clock on the threaded runtime, *virtual* cluster time under the
+/// `forestbal-sim` discrete-event runtime (where computation is free and
+/// only communication advances the clock).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BalanceTimings {
     /// Phase 1: serial subtree balance of the local partition.
@@ -134,7 +137,7 @@ impl<const D: usize> Forest<D> {
     /// Returns per-phase timings for this rank.
     pub fn balance(
         &mut self,
-        ctx: &RankCtx,
+        ctx: &impl Comm,
         cond: Condition,
         variant: BalanceVariant,
         reversal: ReversalScheme,
@@ -147,17 +150,17 @@ impl<const D: usize> Forest<D> {
     /// communication volume.
     pub fn balance_with_report(
         &mut self,
-        ctx: &RankCtx,
+        ctx: &impl Comm,
         cond: Condition,
         variant: BalanceVariant,
         reversal: ReversalScheme,
     ) -> BalanceReport {
-        let t_total = Instant::now();
+        let t_total = ctx.now_ns();
         let mut report = BalanceReport::default();
         self.update_markers(ctx);
 
         // ---- Phase 1: local balance --------------------------------
-        let t0 = Instant::now();
+        let t0 = ctx.now_ns();
         for (_, v) in self.local.iter_mut() {
             if v.is_empty() {
                 continue;
@@ -174,10 +177,10 @@ impl<const D: usize> Forest<D> {
                 .collect();
             debug_assert!(is_linear(v));
         }
-        report.timings.local_balance = t0.elapsed();
+        report.timings.local_balance = Duration::from_nanos(ctx.now_ns() - t0);
 
         // ---- Phase 2: build queries --------------------------------
-        let t0 = Instant::now();
+        let t0 = ctx.now_ns();
         let me = ctx.rank();
         // Flat list of queried local octants.
         let mut queries: Vec<(TreeId, Octant<D>)> = Vec::new();
@@ -255,10 +258,10 @@ impl<const D: usize> Forest<D> {
         };
 
         let receivers: Vec<usize> = per_rank.keys().copied().filter(|&d| d != me).collect();
-        report.timings.query_response = t0.elapsed();
+        report.timings.query_response = Duration::from_nanos(ctx.now_ns() - t0);
 
         // ---- Pattern reversal (timed separately, like Figure 15e) ---
-        let t0 = Instant::now();
+        let t0 = ctx.now_ns();
         let (senders, effective_receivers) = match reversal {
             ReversalScheme::Naive => (reverse_naive(ctx, &receivers), receivers.clone()),
             ReversalScheme::Notify => (reverse_notify(ctx, &receivers), receivers.clone()),
@@ -272,10 +275,10 @@ impl<const D: usize> Forest<D> {
             }
         };
         let senders: Vec<usize> = senders.into_iter().filter(|&s| s != me).collect();
-        report.timings.reversal = t0.elapsed();
+        report.timings.reversal = Duration::from_nanos(ctx.now_ns() - t0);
 
         // ---- Phase 3: query / response exchange ---------------------
-        let t0 = Instant::now();
+        let t0 = ctx.now_ns();
         for &d in &effective_receivers {
             let buf = per_rank
                 .get(&d)
@@ -322,16 +325,16 @@ impl<const D: usize> Forest<D> {
         if let Some(data) = self_reply {
             absorb(&data, &mut per_qid);
         }
-        report.timings.query_response += t0.elapsed();
+        report.timings.query_response += Duration::from_nanos(ctx.now_ns() - t0);
 
         // ---- Phase 4: local rebalance -------------------------------
-        let t0 = Instant::now();
+        let t0 = ctx.now_ns();
         match variant {
             BalanceVariant::New => self.rebalance_new(&queries, per_qid, cond),
             BalanceVariant::Old => self.rebalance_old(&queries, per_qid, cond),
         }
-        report.timings.rebalance = t0.elapsed();
-        report.timings.total = t_total.elapsed();
+        report.timings.rebalance = Duration::from_nanos(ctx.now_ns() - t0);
+        report.timings.total = Duration::from_nanos(ctx.now_ns() - t_total);
         report
     }
 

@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn forest_serialization_roundtrip() {
         use crate::connectivity::BrickConnectivity;
-        use forestbal_comm::Cluster;
+        use forestbal_comm::{Cluster, Comm};
         use std::sync::Arc;
         let conn = Arc::new(BrickConnectivity::<2>::new([2, 1], [false; 2]));
         Cluster::run(3, |ctx| {

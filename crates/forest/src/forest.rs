@@ -9,7 +9,7 @@
 
 use crate::codec;
 use crate::connectivity::{BrickConnectivity, TreeId};
-use forestbal_comm::RankCtx;
+use forestbal_comm::Comm;
 use forestbal_octant::{is_linear, MortonIndex, Octant, MAX_LEVEL};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -50,7 +50,7 @@ pub struct Forest<const D: usize> {
 impl<const D: usize> Forest<D> {
     /// Create a uniformly refined forest at `level`, partitioned into
     /// equal contiguous slices of the space-filling curve.
-    pub fn new_uniform(conn: Arc<BrickConnectivity<D>>, ctx: &RankCtx, level: u8) -> Forest<D> {
+    pub fn new_uniform(conn: Arc<BrickConnectivity<D>>, ctx: &impl Comm, level: u8) -> Forest<D> {
         assert!(level <= MAX_LEVEL);
         let per_tree: u128 = 1u128 << (D as u32 * level as u32);
         let total = per_tree * conn.num_trees() as u128;
@@ -91,7 +91,7 @@ impl<const D: usize> Forest<D> {
     /// (equal-count split). Intended for tests and workload setup.
     pub fn from_global(
         conn: Arc<BrickConnectivity<D>>,
-        ctx: &RankCtx,
+        ctx: &impl Comm,
         global: &BTreeMap<TreeId, Vec<Octant<D>>>,
     ) -> Forest<D> {
         let total: usize = global.values().map(|v| v.len()).sum();
@@ -146,7 +146,7 @@ impl<const D: usize> Forest<D> {
     }
 
     /// Global leaf count (one allreduce).
-    pub fn num_global(&self, ctx: &RankCtx) -> u64 {
+    pub fn num_global(&self, ctx: &impl Comm) -> u64 {
         ctx.allreduce_sum(self.num_local() as u64)
     }
 
@@ -169,7 +169,7 @@ impl<const D: usize> Forest<D> {
 
     /// Recompute the partition markers (one allgather). Called after any
     /// operation that changes leaf ownership.
-    pub fn update_markers(&mut self, ctx: &RankCtx) {
+    pub fn update_markers(&mut self, ctx: &impl Comm) {
         let mut payload = Vec::with_capacity(1 + 4 + 16);
         match self.first_local_pos() {
             Some(pos) => {
@@ -296,7 +296,7 @@ impl<const D: usize> Forest<D> {
     }
 
     /// Gather the whole forest on every rank (tests and tools only).
-    pub fn gather(&self, ctx: &RankCtx) -> BTreeMap<TreeId, Vec<Octant<D>>> {
+    pub fn gather(&self, ctx: &impl Comm) -> BTreeMap<TreeId, Vec<Octant<D>>> {
         let mut payload = Vec::new();
         for (t, v) in self.trees() {
             for o in v {
@@ -323,7 +323,7 @@ impl<const D: usize> Forest<D> {
 
     /// A position-independent checksum of the local leaves (xor-fold of
     /// coordinates and levels), combined globally by xor.
-    pub fn checksum(&self, ctx: &RankCtx) -> u64 {
+    pub fn checksum(&self, ctx: &impl Comm) -> u64 {
         let mut h = 0u64;
         for (t, v) in self.trees() {
             for o in v {

@@ -11,7 +11,7 @@
 use crate::codec;
 use crate::connectivity::TreeId;
 use crate::forest::Forest;
-use forestbal_comm::{reverse_notify, RankCtx};
+use forestbal_comm::{reverse_notify, Comm};
 use forestbal_octant::{directions, Octant};
 use std::collections::BTreeMap;
 
@@ -53,7 +53,7 @@ impl<const D: usize> Forest<D> {
     /// Collect the ghost layer: every remote leaf whose insulation layer
     /// overlaps this rank's partition (equivalently, every remote leaf
     /// adjacent to one of ours, across tree boundaries included).
-    pub fn ghost_layer(&mut self, ctx: &RankCtx) -> GhostLayer<D> {
+    pub fn ghost_layer(&mut self, ctx: &impl Comm) -> GhostLayer<D> {
         self.update_markers(ctx);
         let me = ctx.rank();
 
@@ -108,7 +108,7 @@ impl<const D: usize> Forest<D> {
     /// two owners through its ghosts.)
     pub fn is_balanced_distributed(
         &mut self,
-        ctx: &RankCtx,
+        ctx: &impl Comm,
         cond: forestbal_core::Condition,
     ) -> bool {
         let ghosts = self.ghost_layer(ctx);
@@ -179,7 +179,7 @@ impl<const D: usize> Forest<D> {
 mod tests {
     use super::*;
     use crate::connectivity::BrickConnectivity;
-    use forestbal_comm::Cluster;
+    use forestbal_comm::{Cluster, Comm};
     use std::sync::Arc;
 
     #[test]

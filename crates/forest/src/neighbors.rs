@@ -94,7 +94,7 @@ mod tests {
     use super::*;
     use crate::balance::{BalanceVariant, ReversalScheme};
     use crate::connectivity::BrickConnectivity;
-    use forestbal_comm::Cluster;
+    use forestbal_comm::{Cluster, Comm};
     use forestbal_core::Condition;
     use std::sync::Arc;
 

@@ -15,7 +15,7 @@
 use crate::connectivity::TreeId;
 use crate::forest::{Forest, GlobalPos};
 use crate::ghost::GhostLayer;
-use forestbal_comm::RankCtx;
+use forestbal_comm::Comm;
 use forestbal_octant::{Coord, Octant, MAX_LEVEL, ROOT_LEN};
 
 /// One node incident to this rank's leaves.
@@ -56,7 +56,7 @@ impl<const D: usize> Forest<D> {
     ///
     /// The forest must be 2:1 balanced for the hanging classification to
     /// be meaningful (the method itself tolerates any forest).
-    pub fn enumerate_nodes(&mut self, ctx: &RankCtx) -> Nodes<D> {
+    pub fn enumerate_nodes(&mut self, ctx: &impl Comm) -> Nodes<D> {
         let ghosts = self.ghost_layer(ctx);
         let dims = self.connectivity().dims();
         let extent: [i64; D] = std::array::from_fn(|i| dims[i] as i64 * ROOT_LEN as i64);

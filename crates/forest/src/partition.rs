@@ -8,7 +8,7 @@
 
 use crate::codec;
 use crate::forest::Forest;
-use forestbal_comm::RankCtx;
+use forestbal_comm::Comm;
 use forestbal_octant::Octant;
 use std::collections::BTreeMap;
 
@@ -16,7 +16,7 @@ const PARTITION_TAG: u32 = 0xA110_0001;
 
 impl<const D: usize> Forest<D> {
     /// Repartition so every rank owns an equal (±1) number of leaves.
-    pub fn partition_uniform(&mut self, ctx: &RankCtx) {
+    pub fn partition_uniform(&mut self, ctx: &impl Comm) {
         self.partition_weighted(ctx, |_, _| 1);
     }
 
@@ -25,7 +25,7 @@ impl<const D: usize> Forest<D> {
     /// using the same cut rule as p4est (cuts at weight quantiles).
     pub fn partition_weighted(
         &mut self,
-        ctx: &RankCtx,
+        ctx: &impl Comm,
         mut weight: impl FnMut(crate::connectivity::TreeId, &Octant<D>) -> u64,
     ) {
         let p = ctx.size();
@@ -121,7 +121,7 @@ impl<const D: usize> Forest<D> {
 mod tests {
     use super::*;
     use crate::connectivity::BrickConnectivity;
-    use forestbal_comm::Cluster;
+    use forestbal_comm::{Cluster, Comm};
     use std::sync::Arc;
 
     #[test]

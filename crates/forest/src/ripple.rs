@@ -17,7 +17,7 @@
 use crate::codec;
 use crate::connectivity::TreeId;
 use crate::forest::Forest;
-use forestbal_comm::{reverse_notify, RankCtx};
+use forestbal_comm::{reverse_notify, Comm};
 use forestbal_core::Condition;
 use forestbal_octant::{codim, directions, is_linear, Octant};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -37,7 +37,7 @@ impl<const D: usize> Forest<D> {
     /// Balance by neighbor-only ripple propagation with multiple
     /// communication rounds. Produces exactly the same forest as
     /// [`Forest::balance`], at a different (usually worse) cost.
-    pub fn balance_ripple(&mut self, ctx: &RankCtx, cond: Condition) -> RippleStats {
+    pub fn balance_ripple(&mut self, ctx: &impl Comm, cond: Condition) -> RippleStats {
         self.update_markers(ctx);
         let mut stats = RippleStats::default();
         loop {

@@ -53,7 +53,7 @@ impl<const D: usize> Forest<D> {
 mod tests {
     use super::*;
     use crate::connectivity::BrickConnectivity;
-    use forestbal_comm::Cluster;
+    use forestbal_comm::{Cluster, Comm};
     use std::sync::Arc;
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property tests for node enumeration and face iteration on random
 //! balanced forests.
 
-use forestbal_comm::Cluster;
+use forestbal_comm::{Cluster, Comm};
 use forestbal_core::Condition;
 use forestbal_forest::{BalanceVariant, BrickConnectivity, Forest, ReversalScheme, TreeId};
 use forestbal_octant::Octant;
@@ -15,7 +15,7 @@ fn pseudo_refine(seed: u64, t: TreeId, o: &Octant<2>, denom: u64) -> bool {
         h = h.rotate_left(31);
     }
     h ^= o.level as u64;
-    (h.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 33) % denom == 0
+    (h.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 33).is_multiple_of(denom)
 }
 
 proptest! {

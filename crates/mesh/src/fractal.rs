@@ -4,7 +4,7 @@
 //! recursively splitting octants with child identifiers 0, 3, 5 and 6
 //! while not exceeding four levels of size difference in the forest."
 
-use forestbal_comm::RankCtx;
+use forestbal_comm::Comm;
 use forestbal_forest::{BrickConnectivity, Forest};
 use forestbal_octant::Octant;
 use std::sync::Arc;
@@ -17,7 +17,7 @@ pub const FRACTAL_CHILDREN: [usize; 4] = [0, 3, 5, 6];
 /// child id is in [`FRACTAL_CHILDREN`], up to `base_level + spread`
 /// levels (the paper uses a spread of 4 and grows `base_level` with the
 /// core count for isogranular scaling).
-pub fn fractal_forest(ctx: &RankCtx, base_level: u8, spread: u8) -> Forest<3> {
+pub fn fractal_forest(ctx: &impl Comm, base_level: u8, spread: u8) -> Forest<3> {
     let conn = Arc::new(BrickConnectivity::<3>::new([3, 2, 1], [false; 3]));
     let mut f = Forest::new_uniform(conn, ctx, base_level);
     let max_level = base_level + spread;
@@ -28,7 +28,7 @@ pub fn fractal_forest(ctx: &RankCtx, base_level: u8, spread: u8) -> Forest<3> {
 }
 
 /// The same fractal rule on a single 2D quadtree, for cheap tests.
-pub fn fractal_forest_2d(ctx: &RankCtx, base_level: u8, spread: u8) -> Forest<2> {
+pub fn fractal_forest_2d(ctx: &impl Comm, base_level: u8, spread: u8) -> Forest<2> {
     let conn = Arc::new(BrickConnectivity::<2>::unit());
     let mut f = Forest::new_uniform(conn, ctx, base_level);
     f.refine(true, base_level + spread, |_, o: &Octant<2>| {
@@ -40,7 +40,7 @@ pub fn fractal_forest_2d(ctx: &RankCtx, base_level: u8, spread: u8) -> Forest<2>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use forestbal_comm::Cluster;
+    use forestbal_comm::{Cluster, Comm};
 
     #[test]
     fn fractal_counts_scale_with_level() {

@@ -9,7 +9,7 @@
 //! modulated by a few random Fourier modes, evaluated exactly against
 //! octant footprints, on a masked (continent-shaped) brick.
 
-use forestbal_comm::RankCtx;
+use forestbal_comm::Comm;
 use forestbal_forest::{BrickConnectivity, Forest, TreeId};
 use forestbal_octant::{Coord, Octant, ROOT_LEN};
 use rand::prelude::*;
@@ -122,7 +122,7 @@ impl Default for IceSheetParams {
 /// 28,000-plus-tree Antarctica connectivity — refined toward the grounding
 /// line on the bottom surface (z = 0), with refinement depth decaying
 /// upward.
-pub fn ice_sheet_forest(ctx: &RankCtx, params: IceSheetParams) -> Forest<3> {
+pub fn ice_sheet_forest(ctx: &impl Comm, params: IceSheetParams) -> Forest<3> {
     let line = GroundingLine::new(params.seed, params.nx, params.ny);
     let mask_line = line.clone();
     let conn = Arc::new(BrickConnectivity::<3>::masked(

@@ -4,7 +4,7 @@
 //! seed, so every rank count produces the same global mesh — important
 //! for cross-`P` comparisons in tests and benchmarks.
 
-use forestbal_comm::RankCtx;
+use forestbal_comm::Comm;
 use forestbal_forest::{BrickConnectivity, Forest, TreeId};
 use forestbal_octant::Octant;
 use std::sync::Arc;
@@ -25,7 +25,7 @@ fn decide<const D: usize>(seed: u64, t: TreeId, o: &Octant<D>, denom: u64) -> bo
 /// `base_level`, then each octant splits with probability `1/denom`
 /// (recursively, capped at `max_level`).
 pub fn random_forest<const D: usize>(
-    ctx: &RankCtx,
+    ctx: &impl Comm,
     conn: Arc<BrickConnectivity<D>>,
     base_level: u8,
     max_level: u8,

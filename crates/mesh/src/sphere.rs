@@ -2,7 +2,7 @@
 //! style workload from the paper's introduction (refinement tracking a
 //! spherical interface, e.g. a plate boundary or wavefront).
 
-use forestbal_comm::RankCtx;
+use forestbal_comm::Comm;
 use forestbal_forest::{BrickConnectivity, Forest, TreeId};
 use forestbal_octant::{Coord, Octant, ROOT_LEN};
 use std::sync::Arc;
@@ -67,7 +67,7 @@ fn crosses_shell<const D: usize>(
 
 /// Build the spherical-shell forest: an `n^3` brick refined wherever an
 /// octant crosses the shell surface.
-pub fn sphere_forest(ctx: &RankCtx, params: SphereParams) -> Forest<3> {
+pub fn sphere_forest(ctx: &impl Comm, params: SphereParams) -> Forest<3> {
     let conn = Arc::new(BrickConnectivity::<3>::new([params.n; 3], [false; 3]));
     let conn2 = Arc::clone(&conn);
     let mut f = Forest::new_uniform(conn, ctx, params.base_level);

@@ -1,0 +1,93 @@
+//! Simulator tuning knobs.
+
+/// Cost model and determinism parameters for a [`crate::SimCluster`] run.
+///
+/// The defaults model a commodity cluster interconnect: 1 µs message
+/// latency and 1 GB/s effective bandwidth (1 ns per byte). They are
+/// deliberately round so virtual-time numbers are easy to read; scaling
+/// *trends* (the paper's subject) are insensitive to the exact constants.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// α: fixed per-message latency in nanoseconds.
+    pub latency_ns: u64,
+    /// β: transfer time per payload byte in nanoseconds.
+    pub ns_per_byte: f64,
+    /// Seed for the fault-injection PRNG (and any future stochastic
+    /// model). Two runs with equal seeds are bit-identical.
+    pub seed: u64,
+    /// Maximum extra random per-message delay in nanoseconds, drawn
+    /// deterministically from `seed` and the message sequence number.
+    /// `0` disables jitter. Nonzero values reorder message arrivals,
+    /// which is the fault model used to test order-robustness.
+    pub jitter_ns: u64,
+    /// Enforce MPI's non-overtaking rule: two messages from the same
+    /// source to the same destination arrive in send order even under
+    /// jitter. Disable to inject pairwise reordering faults.
+    pub fifo: bool,
+    /// Stack size for each simulated rank's coroutine thread. Ranks run
+    /// one at a time, but each still needs its own (mostly untouched)
+    /// stack; keep this small so P = 16384 ranks stay cheap.
+    pub stack_size: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            latency_ns: 1_000,
+            ns_per_byte: 1.0,
+            seed: 0,
+            jitter_ns: 0,
+            fifo: true,
+            stack_size: 1 << 20,
+        }
+    }
+}
+
+impl SimConfig {
+    /// This config with a different fault-injection seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// This config with message-delay jitter up to `jitter_ns`.
+    pub fn with_jitter(mut self, jitter_ns: u64) -> Self {
+        self.jitter_ns = jitter_ns;
+        self
+    }
+
+    /// Transfer cost of a `bytes`-byte payload, in nanoseconds.
+    pub(crate) fn transfer_ns(&self, bytes: usize) -> u64 {
+        (bytes as f64 * self.ns_per_byte).round() as u64
+    }
+
+    /// Cost of one point-to-point message.
+    pub(crate) fn message_ns(&self, bytes: usize) -> u64 {
+        self.latency_ns + self.transfer_ns(bytes)
+    }
+
+    /// Cost of an allgather over `size` ranks moving `total_bytes` in
+    /// aggregate: a `⌈log₂ size⌉`-depth tree of latencies plus the full
+    /// payload over the wire once (recursive-doubling model).
+    pub(crate) fn collective_ns(&self, size: usize, total_bytes: usize) -> u64 {
+        let depth = usize::BITS - size.saturating_sub(1).leading_zeros();
+        depth as u64 * self.latency_ns + self.transfer_ns(total_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_shapes() {
+        let c = SimConfig::default();
+        assert_eq!(c.message_ns(0), 1_000);
+        assert_eq!(c.message_ns(500), 1_500);
+        // Barrier over one rank is free of tree depth.
+        assert_eq!(c.collective_ns(1, 0), 0);
+        assert_eq!(c.collective_ns(2, 0), 1_000);
+        assert_eq!(c.collective_ns(1024, 0), 10_000);
+        assert_eq!(c.collective_ns(1025, 0), 11_000);
+    }
+}

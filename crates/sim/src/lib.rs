@@ -1,0 +1,49 @@
+//! A deterministic discrete-event cluster simulator.
+//!
+//! The threaded `forestbal_comm::Cluster` runs one OS thread per rank
+//! with real parallelism, which caps experiments at a few hundred ranks
+//! and makes interleavings nondeterministic. This crate provides
+//! [`SimCluster`]: the *same* [`Comm`](forestbal_comm::Comm) interface,
+//! but ranks execute one at a time under a discrete-event scheduler and
+//! all communication advances a *virtual* clock:
+//!
+//! - every point-to-point message costs `α + β·bytes` (configurable
+//!   latency and inverse bandwidth, [`SimConfig`]),
+//! - collectives cost `⌈log₂P⌉·α + β·(total payload)`, the classic
+//!   tree/recursive-doubling model,
+//! - ties are resolved deterministically by `(virtual time, rank id,
+//!   sequence number)`, so a seeded run is bit-identical every time,
+//! - seeded per-message delay jitter ([`SimConfig::jitter_ns`]) injects
+//!   message reordering faults without giving up reproducibility.
+//!
+//! Because the paper's algorithms are written against the `Comm` trait,
+//! they run unmodified here at P = 4096–65536 on one machine — which is
+//! what lets the benches reproduce the Notify-vs-Naive-vs-Ranges scaling
+//! behavior of §V and the balance scaling of §VI at Jaguar-like rank
+//! counts. Phase timings taken through [`Comm::now_ns`]
+//! (forestbal-forest's `BalanceTimings`) automatically report virtual
+//! cluster time under this runtime.
+//!
+//! # Example
+//!
+//! ```
+//! use forestbal_comm::{reverse_notify, Comm};
+//! use forestbal_sim::{SimCluster, SimConfig};
+//!
+//! let out = SimCluster::run(64, SimConfig::default(), |ctx| {
+//!     let receivers = vec![(ctx.rank() + 1) % ctx.size()];
+//!     reverse_notify(ctx, &receivers)
+//! });
+//! assert_eq!(out.results[1], vec![0]);
+//! assert!(out.makespan_ns() > 0); // virtual, not wall-clock, time
+//! ```
+//!
+//! [`Comm::now_ns`]: forestbal_comm::Comm::now_ns
+
+#![warn(missing_docs)]
+
+mod config;
+mod runtime;
+
+pub use config::SimConfig;
+pub use runtime::{SimCluster, SimCtx, SimRunOutput};

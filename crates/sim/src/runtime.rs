@@ -1,0 +1,914 @@
+//! The discrete-event scheduler and its [`Comm`] implementation.
+//!
+//! # How ranks execute
+//!
+//! Each simulated rank runs the user closure on its own (small-stack) OS
+//! thread, but the scheduler enforces that **exactly one rank executes at
+//! a time**: a rank only runs between a `Resume` message from the
+//! scheduler and its next blocking communication call, at which point it
+//! hands control back (with its outbox of sends) and parks. The threads
+//! are coroutines by baton-passing — there is no parallelism, no shared
+//! mutable state between ranks, and therefore no nondeterminism.
+//!
+//! # How time advances
+//!
+//! The scheduler owns a priority queue of events ordered by
+//! `(virtual time, destination rank, sequence number)` — the total order
+//! that makes runs bit-identical. Computation between communication calls
+//! is charged zero virtual time (the paper's experiments measure
+//! communication structure; CPU cost is measured by the real benches).
+//! A rank's clock advances only when a blocking call completes:
+//!
+//! - `send` is asynchronous and free for the sender; the message's
+//!   *arrival* event is scheduled `α + β·bytes (+ jitter)` after the
+//!   send time,
+//! - `recv` completes at `max(arrival time, receiver's clock)`,
+//! - `allgather` completes for every participant at
+//!   `max(entry times) + ⌈log₂P⌉·α + β·total_bytes`.
+
+use crate::config::SimConfig;
+use forestbal_comm::{install_quiet_panic_hook, Comm, CommStats, ShutdownSignal};
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// A send buffered in the rank's outbox, flushed at the next yield.
+struct OutMsg {
+    dst: usize,
+    tag: u32,
+    data: Vec<u8>,
+}
+
+/// Why a rank handed control back to the scheduler.
+enum BlockKind {
+    Recv { src: Option<usize>, tag: u32 },
+    Allgather { data: Vec<u8> },
+}
+
+/// Rank → scheduler.
+enum RankYield {
+    Block {
+        kind: BlockKind,
+        outbox: Vec<OutMsg>,
+    },
+    Finished {
+        outbox: Vec<OutMsg>,
+        stats: CommStats,
+    },
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// Scheduler → rank.
+enum Resume {
+    Start,
+    Deliver { src: usize, data: Vec<u8>, now: u64 },
+    Gather { all: Arc<Vec<Vec<u8>>>, now: u64 },
+    Shutdown,
+}
+
+/// An entry in the event queue. Ordered by `(time, rank, seq)` — `seq` is
+/// globally unique, so the order is total and runs are reproducible.
+struct Event {
+    time: u64,
+    rank: usize,
+    seq: u64,
+    kind: EventKind,
+}
+
+enum EventKind {
+    /// Begin executing the rank's closure at t = 0.
+    Start,
+    /// A point-to-point message reaches its destination.
+    Arrival { src: usize, tag: u32, data: Vec<u8> },
+    /// An allgather round completes for this rank.
+    GatherDone { gen: u64 },
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we pop smallest first.
+        (other.time, other.rank, other.seq).cmp(&(self.time, self.rank, self.seq))
+    }
+}
+
+/// What a parked rank is blocked on, for deadlock diagnostics and
+/// arrival matching.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Parked {
+    /// Running, or has a wake event already queued.
+    No,
+    Recv {
+        src: Option<usize>,
+        tag: u32,
+    },
+    Gather,
+}
+
+struct RankState {
+    resume_tx: Sender<Resume>,
+    clock: u64,
+    /// Arrived-but-unmatched messages, per tag, in arrival order.
+    pending: BTreeMap<u32, VecDeque<(usize, Vec<u8>)>>,
+    parked: Parked,
+    alive: bool,
+    stats: CommStats,
+    finish_ns: u64,
+}
+
+/// In-progress allgather round. Rounds are strictly sequential (a rank
+/// cannot enter round `g+1` before every rank finished round `g`), so one
+/// accumulator plus one outstanding result is enough.
+struct GatherRound {
+    gen: u64,
+    entries: Vec<Option<Vec<u8>>>,
+    arrived: usize,
+    latest_entry: u64,
+}
+
+/// A completed allgather: `(gen, result, undelivered wake events)`.
+type GatherResult = (u64, Arc<Vec<Vec<u8>>>, usize);
+
+struct Scheduler {
+    cfg: SimConfig,
+    size: usize,
+    ranks: Vec<RankState>,
+    yield_rx: Receiver<(usize, RankYield)>,
+    heap: BinaryHeap<Event>,
+    gather: GatherRound,
+    gather_result: Option<GatherResult>,
+    /// Latest arrival time per (src, dst), for FIFO (non-overtaking)
+    /// delivery under jitter.
+    fifo_floor: HashMap<(usize, usize), u64>,
+    event_seq: u64,
+    msg_seq: u64,
+    live: usize,
+    /// First rank panic, re-raised after the threads are torn down.
+    panic_payload: Option<Box<dyn Any + Send>>,
+    /// Scheduler-detected failure (deadlock, send to finished rank).
+    fatal: Option<String>,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Scheduler {
+    fn push(&mut self, time: u64, rank: usize, kind: EventKind) {
+        let seq = self.event_seq;
+        self.event_seq += 1;
+        self.heap.push(Event {
+            time,
+            rank,
+            seq,
+            kind,
+        });
+    }
+
+    /// Schedule arrivals for everything the rank sent since it last
+    /// yielded, stamped at its current clock.
+    fn flush_outbox(&mut self, src: usize, outbox: Vec<OutMsg>) {
+        let now = self.ranks[src].clock;
+        for m in outbox {
+            let seq = self.msg_seq;
+            self.msg_seq += 1;
+            let jitter = if self.cfg.jitter_ns == 0 {
+                0
+            } else {
+                splitmix64(self.cfg.seed ^ seq.wrapping_mul(0xA24B_AED4_963E_E407))
+                    % (self.cfg.jitter_ns + 1)
+            };
+            let mut t = now + self.cfg.message_ns(m.data.len()) + jitter;
+            if self.cfg.fifo {
+                let floor = self.fifo_floor.entry((src, m.dst)).or_insert(0);
+                t = t.max(*floor);
+                *floor = t;
+            }
+            self.push(
+                t,
+                m.dst,
+                EventKind::Arrival {
+                    src,
+                    tag: m.tag,
+                    data: m.data,
+                },
+            );
+        }
+    }
+
+    /// Pop a pending message matching `(src, tag)`, oldest first.
+    fn match_pending(
+        &mut self,
+        rank: usize,
+        src: Option<usize>,
+        tag: u32,
+    ) -> Option<(usize, Vec<u8>)> {
+        let pending = &mut self.ranks[rank].pending;
+        let q = pending.get_mut(&tag)?;
+        let i = match src {
+            None => 0,
+            Some(s) => q.iter().position(|(qs, _)| *qs == s)?,
+        };
+        let hit = q.remove(i)?;
+        if q.is_empty() {
+            pending.remove(&tag);
+        }
+        Some(hit)
+    }
+
+    fn gather_enter(&mut self, rank: usize, data: Vec<u8>) {
+        self.ranks[rank].parked = Parked::Gather;
+        let clock = self.ranks[rank].clock;
+        let g = &mut self.gather;
+        debug_assert!(g.entries[rank].is_none(), "double allgather entry");
+        g.entries[rank] = Some(data);
+        g.arrived += 1;
+        g.latest_entry = g.latest_entry.max(clock);
+        if g.arrived == self.size {
+            let entries: Vec<Vec<u8>> = g.entries.iter_mut().map(|e| e.take().unwrap()).collect();
+            let total: usize = entries.iter().map(Vec::len).sum();
+            let done = g.latest_entry + self.cfg.collective_ns(self.size, total);
+            let gen = g.gen;
+            g.gen += 1;
+            g.arrived = 0;
+            g.latest_entry = 0;
+            debug_assert!(self.gather_result.is_none(), "overlapping gather results");
+            self.gather_result = Some((gen, Arc::new(entries), self.size));
+            for r in 0..self.size {
+                self.push(done, r, EventKind::GatherDone { gen });
+            }
+        }
+    }
+
+    /// Resume rank `r` and keep it running until it parks, finishes, or
+    /// panics. Instant recv hits (matched from pending) loop without
+    /// advancing time.
+    fn run_rank(&mut self, r: usize, mut resume: Resume) {
+        loop {
+            self.ranks[r].parked = Parked::No;
+            self.ranks[r]
+                .resume_tx
+                .send(resume)
+                .expect("parked rank thread is alive");
+            let (yr, y) = self
+                .yield_rx
+                .recv()
+                .expect("the running rank always yields");
+            debug_assert_eq!(yr, r, "only the resumed rank can yield");
+            match y {
+                RankYield::Block { kind, outbox } => {
+                    self.flush_outbox(r, outbox);
+                    match kind {
+                        BlockKind::Recv { src, tag } => {
+                            if let Some((s, data)) = self.match_pending(r, src, tag) {
+                                resume = Resume::Deliver {
+                                    src: s,
+                                    data,
+                                    now: self.ranks[r].clock,
+                                };
+                                continue;
+                            }
+                            self.ranks[r].parked = Parked::Recv { src, tag };
+                            return;
+                        }
+                        BlockKind::Allgather { data } => {
+                            self.gather_enter(r, data);
+                            return;
+                        }
+                    }
+                }
+                RankYield::Finished { outbox, stats } => {
+                    self.flush_outbox(r, outbox);
+                    let st = &mut self.ranks[r];
+                    st.alive = false;
+                    st.stats = stats;
+                    st.finish_ns = st.clock;
+                    self.live -= 1;
+                    return;
+                }
+                RankYield::Panicked(payload) => {
+                    self.ranks[r].alive = false;
+                    self.live -= 1;
+                    if self.panic_payload.is_none() {
+                        self.panic_payload = Some(payload);
+                    }
+                    self.shutdown_survivors();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Unwind every still-parked rank (they panic with [`ShutdownSignal`]
+    /// and exit silently).
+    fn shutdown_survivors(&mut self) {
+        for st in &mut self.ranks {
+            if st.alive {
+                st.alive = false;
+                self.live -= 1;
+                let _ = st.resume_tx.send(Resume::Shutdown);
+            }
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.fatal.is_none() {
+            self.fatal = Some(msg);
+        }
+        self.shutdown_survivors();
+    }
+
+    fn run(&mut self) {
+        while let Some(ev) = self.heap.pop() {
+            if self.panic_payload.is_some() || self.fatal.is_some() {
+                return;
+            }
+            match ev.kind {
+                EventKind::Start => self.run_rank(ev.rank, Resume::Start),
+                EventKind::Arrival { src, tag, data } => {
+                    let dst = ev.rank;
+                    if !self.ranks[dst].alive {
+                        self.fail(format!(
+                            "rank {src} sent tag {tag:#x} to rank {dst}, which finished \
+                             before the message arrived (t = {} ns)",
+                            ev.time
+                        ));
+                        return;
+                    }
+                    let matched = matches!(
+                        self.ranks[dst].parked,
+                        Parked::Recv { src: wsrc, tag: wtag }
+                            if wtag == tag && wsrc.is_none_or(|s| s == src)
+                    );
+                    if matched {
+                        let st = &mut self.ranks[dst];
+                        st.clock = st.clock.max(ev.time);
+                        let now = st.clock;
+                        self.run_rank(dst, Resume::Deliver { src, data, now });
+                    } else {
+                        self.ranks[dst]
+                            .pending
+                            .entry(tag)
+                            .or_default()
+                            .push_back((src, data));
+                    }
+                }
+                EventKind::GatherDone { gen } => {
+                    let r = ev.rank;
+                    let all = {
+                        let (rgen, arc, remaining) = self
+                            .gather_result
+                            .as_mut()
+                            .expect("gather result outstanding");
+                        debug_assert_eq!(*rgen, gen, "gather generations interleaved");
+                        let all = Arc::clone(arc);
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            self.gather_result = None;
+                        }
+                        all
+                    };
+                    let st = &mut self.ranks[r];
+                    st.clock = st.clock.max(ev.time);
+                    let now = st.clock;
+                    self.run_rank(r, Resume::Gather { all, now });
+                }
+            }
+        }
+        if self.live > 0 {
+            let blocked: Vec<String> = self
+                .ranks
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| st.alive)
+                .map(|(r, st)| match st.parked {
+                    Parked::Recv { src, tag } => format!(
+                        "rank {r} in recv(src={src:?}, tag={tag:#x}) at t={} ns",
+                        st.clock
+                    ),
+                    Parked::Gather => format!("rank {r} in allgather at t={} ns", st.clock),
+                    Parked::No => format!("rank {r} (runnable?) at t={} ns", st.clock),
+                })
+                .collect();
+            self.fail(format!(
+                "simulated deadlock: no events left but {} rank(s) blocked: {}",
+                blocked.len(),
+                blocked.join("; ")
+            ));
+        }
+    }
+}
+
+/// Handle through which a simulated rank communicates. Rank code is
+/// generic over [`Comm`] and cannot tell this apart from the threaded
+/// `RankCtx` — except that [`Comm::now_ns`] reports virtual time.
+pub struct SimCtx {
+    rank: usize,
+    size: usize,
+    yield_tx: Sender<(usize, RankYield)>,
+    resume_rx: Receiver<Resume>,
+    outbox: RefCell<Vec<OutMsg>>,
+    stats: RefCell<CommStats>,
+    now: Cell<u64>,
+}
+
+impl SimCtx {
+    /// Park until the scheduler hands back a resume, yielding the outbox.
+    fn block(&self, kind: BlockKind) -> Resume {
+        let outbox = self.outbox.take();
+        if self
+            .yield_tx
+            .send((self.rank, RankYield::Block { kind, outbox }))
+            .is_err()
+        {
+            panic_any(ShutdownSignal);
+        }
+        match self.resume_rx.recv() {
+            Ok(Resume::Shutdown) | Err(_) => panic_any(ShutdownSignal),
+            Ok(r) => r,
+        }
+    }
+}
+
+impl Comm for SimCtx {
+    #[inline]
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn send(&self, dst: usize, tag: u32, data: Vec<u8>) {
+        assert!(dst < self.size, "destination rank out of range");
+        let mut st = self.stats.borrow_mut();
+        st.messages_sent += 1;
+        st.bytes_sent += data.len() as u64;
+        drop(st);
+        self.outbox.borrow_mut().push(OutMsg { dst, tag, data });
+    }
+
+    fn recv(&self, src: Option<usize>, tag: u32) -> (usize, Vec<u8>) {
+        match self.block(BlockKind::Recv { src, tag }) {
+            Resume::Deliver { src, data, now } => {
+                self.now.set(now);
+                (src, data)
+            }
+            _ => unreachable!("recv resumed with a non-delivery"),
+        }
+    }
+
+    fn allgather(&self, data: Vec<u8>) -> Arc<Vec<Vec<u8>>> {
+        {
+            let mut st = self.stats.borrow_mut();
+            st.collective_calls += 1;
+            st.collective_bytes += data.len() as u64;
+        }
+        match self.block(BlockKind::Allgather { data }) {
+            Resume::Gather { all, now } => {
+                self.now.set(now);
+                all
+            }
+            _ => unreachable!("allgather resumed with a non-gather"),
+        }
+    }
+
+    fn stats(&self) -> CommStats {
+        *self.stats.borrow()
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.now.get()
+    }
+}
+
+/// Per-rank outputs of a simulated run, indexed by rank.
+pub struct SimRunOutput<T> {
+    /// The closure's return value per rank.
+    pub results: Vec<T>,
+    /// Communication counters per rank (identical to a threaded run of
+    /// the same deterministic algorithm).
+    pub stats: Vec<CommStats>,
+    /// Virtual time at which each rank's closure returned.
+    pub finish_ns: Vec<u64>,
+}
+
+impl<T> SimRunOutput<T> {
+    /// Cluster-wide total of the per-rank counters.
+    pub fn total_stats(&self) -> CommStats {
+        self.stats
+            .iter()
+            .fold(CommStats::default(), |a, b| a.merge(b))
+    }
+
+    /// Virtual time at which the last rank finished — the simulated
+    /// wall-clock of the whole run.
+    pub fn makespan_ns(&self) -> u64 {
+        self.finish_ns.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Preflight for large `size`: every simulated rank parks on one OS
+/// thread, and each thread costs ~4 kernel memory maps (stack, guard
+/// page, alternate signal stack). Exhausting `vm.max_map_count`
+/// mid-spawn aborts the whole process from inside the std runtime —
+/// uncatchable — so predict the shortfall and panic cleanly instead.
+#[cfg(target_os = "linux")]
+fn map_count_shortfall(size: usize) -> Option<String> {
+    const MAPS_PER_THREAD: u64 = 4;
+    const SLACK: u64 = 256;
+    let max: u64 = std::fs::read_to_string("/proc/sys/vm/max_map_count")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()?;
+    let used = std::fs::read_to_string("/proc/self/maps")
+        .ok()?
+        .lines()
+        .count() as u64;
+    let needed = used + MAPS_PER_THREAD * size as u64 + SLACK;
+    (needed > max).then(|| {
+        format!(
+            "{size} simulated ranks need ~{needed} kernel memory maps but \
+             vm.max_map_count is {max}; raise it (e.g. `sysctl -w \
+             vm.max_map_count={}`) or lower P",
+            needed.next_multiple_of(65536)
+        )
+    })
+}
+
+#[cfg(not(target_os = "linux"))]
+fn map_count_shortfall(_size: usize) -> Option<String> {
+    None
+}
+
+/// The deterministic discrete-event cluster runtime.
+pub struct SimCluster;
+
+impl SimCluster {
+    /// Run `f` on `size` simulated ranks under `config` and collect the
+    /// per-rank results, counters, and virtual finish times.
+    ///
+    /// Identical `(size, config, f)` produce bit-identical outputs. A
+    /// panic in any rank unwinds the whole run with the original payload;
+    /// a communication pattern that can never complete (e.g. a recv
+    /// nothing will send) panics with a "simulated deadlock" report
+    /// instead of hanging.
+    pub fn run<T, F>(size: usize, config: SimConfig, f: F) -> SimRunOutput<T>
+    where
+        T: Send,
+        F: Fn(&SimCtx) -> T + Send + Sync,
+    {
+        assert!(size >= 1, "a cluster needs at least one rank");
+        if let Some(msg) = map_count_shortfall(size) {
+            panic!("{msg}");
+        }
+        install_quiet_panic_hook();
+        let (yield_tx, yield_rx) = channel::<(usize, RankYield)>();
+        let (resume_txs, resume_rxs): (Vec<_>, Vec<_>) =
+            (0..size).map(|_| channel::<Resume>()).unzip();
+        let mut sched = Scheduler {
+            cfg: config,
+            size,
+            ranks: resume_txs
+                .into_iter()
+                .map(|resume_tx| RankState {
+                    resume_tx,
+                    clock: 0,
+                    pending: BTreeMap::new(),
+                    parked: Parked::No,
+                    alive: true,
+                    stats: CommStats::default(),
+                    finish_ns: 0,
+                })
+                .collect(),
+            yield_rx,
+            heap: BinaryHeap::new(),
+            gather: GatherRound {
+                gen: 0,
+                entries: (0..size).map(|_| None).collect(),
+                arrived: 0,
+                latest_entry: 0,
+            },
+            gather_result: None,
+            fifo_floor: HashMap::new(),
+            event_seq: 0,
+            msg_seq: 0,
+            live: size,
+            panic_payload: None,
+            fatal: None,
+        };
+        for r in 0..size {
+            sched.push(0, r, EventKind::Start);
+        }
+
+        let f = &f;
+        let mut results: Vec<Option<T>> = Vec::new();
+        std::thread::scope(|scope| {
+            // Spawn failures (e.g. hitting the OS thread limit at large P)
+            // must not leave already-parked ranks blocked in `recv` — shut
+            // the cluster down and report, instead of deadlocking the join.
+            let mut spawn_error = None;
+            let mut handles = Vec::with_capacity(size);
+            for (rank, resume_rx) in resume_rxs.into_iter().enumerate() {
+                let yield_tx = yield_tx.clone();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("simrank-{rank}"))
+                    .stack_size(config.stack_size)
+                    .spawn_scoped(scope, move || -> Option<T> {
+                        let ctx = SimCtx {
+                            rank,
+                            size,
+                            yield_tx,
+                            resume_rx,
+                            outbox: RefCell::new(Vec::new()),
+                            stats: RefCell::new(CommStats::default()),
+                            now: Cell::new(0),
+                        };
+                        match ctx.resume_rx.recv() {
+                            Ok(Resume::Start) => {}
+                            _ => return None,
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                            Ok(v) => {
+                                let _ = ctx.yield_tx.send((
+                                    rank,
+                                    RankYield::Finished {
+                                        outbox: ctx.outbox.take(),
+                                        stats: ctx.stats(),
+                                    },
+                                ));
+                                Some(v)
+                            }
+                            Err(payload) => {
+                                if payload.downcast_ref::<ShutdownSignal>().is_none() {
+                                    let _ = ctx.yield_tx.send((rank, RankYield::Panicked(payload)));
+                                }
+                                None
+                            }
+                        }
+                    });
+                match spawned {
+                    Ok(h) => handles.push(h),
+                    Err(e) => {
+                        spawn_error = Some((rank, e));
+                        break;
+                    }
+                }
+            }
+            drop(yield_tx);
+            match spawn_error {
+                None => sched.run(),
+                Some((rank, e)) => sched.fail(format!(
+                    "failed to spawn simulated rank {rank} of {size}: {e}; each \
+                     simulated rank needs one OS thread (and a few memory maps), \
+                     so raise the process limit (`ulimit -u`) and, beyond ~16k \
+                     ranks, `vm.max_map_count` — or lower P"
+                )),
+            }
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread cannot panic past its catch"))
+                .collect();
+        });
+
+        if let Some(payload) = sched.panic_payload.take() {
+            resume_unwind(payload);
+        }
+        if let Some(msg) = sched.fatal.take() {
+            panic!("{msg}");
+        }
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result yet did not panic"))
+            .collect();
+        SimRunOutput {
+            results,
+            stats: sched.ranks.iter().map(|st| st.stats).collect(),
+            finish_ns: sched.ranks.iter().map(|st| st.finish_ns).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn single_rank_runs() {
+        let out = SimCluster::run(1, cfg(), |ctx| {
+            assert_eq!(ctx.rank(), 0);
+            assert_eq!(ctx.size(), 1);
+            42
+        });
+        assert_eq!(out.results, vec![42]);
+        assert_eq!(out.makespan_ns(), 0);
+    }
+
+    #[test]
+    fn ring_pass_charges_alpha_beta() {
+        let out = SimCluster::run(5, cfg(), |ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(next, 7, vec![ctx.rank() as u8]);
+            let (src, data) = ctx.recv(Some(prev), 7);
+            assert_eq!(src, prev);
+            (data[0] as usize, ctx.now_ns())
+        });
+        for (r, &(v, t)) in out.results.iter().enumerate() {
+            assert_eq!(v, (r + 4) % 5);
+            // One 1-byte hop: α + β·1 = 1001 ns.
+            assert_eq!(t, 1_001);
+        }
+        assert_eq!(out.total_stats().messages_sent, 5);
+        assert_eq!(out.makespan_ns(), 1_001);
+    }
+
+    #[test]
+    fn recv_filters_by_tag_and_source() {
+        let out = SimCluster::run(3, cfg(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(2, 1, vec![1]);
+                ctx.send(2, 2, vec![2]);
+                0
+            } else if ctx.rank() == 1 {
+                ctx.send(2, 1, vec![10]);
+                0
+            } else {
+                let (_, a) = ctx.recv(Some(1), 1);
+                let (_, b) = ctx.recv(Some(0), 2);
+                let (_, c) = ctx.recv(None, 1);
+                (a[0] as usize) * 100 + (b[0] as usize) * 10 + c[0] as usize
+            }
+        });
+        assert_eq!(out.results[2], 10 * 100 + 2 * 10 + 1);
+    }
+
+    #[test]
+    fn allgather_and_collectives() {
+        let out = SimCluster::run(4, cfg(), |ctx| {
+            let all = ctx.allgather(vec![ctx.rank() as u8; ctx.rank() + 1]);
+            let lens: Vec<usize> = all.iter().map(Vec::len).collect();
+            let s = ctx.allreduce_sum(ctx.rank() as u64);
+            (lens, s, ctx.now_ns())
+        });
+        for (lens, s, t) in out.results {
+            assert_eq!(lens, vec![1, 2, 3, 4]);
+            assert_eq!(s, 6);
+            // Gather 1: 2·α + β·10 = 2010. Gather 2 (allreduce): starts at
+            // 2010, + 2·α + β·32 = 2032 → 4042.
+            assert_eq!(t, 4_042);
+        }
+    }
+
+    #[test]
+    fn chained_sends_respect_clock() {
+        // 0 → 1 → 2: the second hop starts only after rank 1 received.
+        let out = SimCluster::run(3, cfg(), |ctx| match ctx.rank() {
+            0 => {
+                ctx.send(1, 0, vec![0; 99]);
+                0
+            }
+            1 => {
+                let (_, d) = ctx.recv(Some(0), 0);
+                ctx.send(2, 0, d);
+                ctx.now_ns()
+            }
+            _ => {
+                ctx.recv(Some(1), 0);
+                ctx.now_ns()
+            }
+        });
+        assert_eq!(out.results[1], 1_099);
+        assert_eq!(out.results[2], 2_198);
+    }
+
+    #[test]
+    fn runs_are_bit_identical() {
+        let run = || {
+            SimCluster::run(16, cfg().with_seed(7).with_jitter(500), |ctx| {
+                // Everyone shouts at everyone; receive in arrival order.
+                for dst in 0..ctx.size() {
+                    if dst != ctx.rank() {
+                        ctx.send(dst, 3, vec![ctx.rank() as u8]);
+                    }
+                }
+                let mut order = Vec::new();
+                for _ in 0..ctx.size() - 1 {
+                    let (src, _) = ctx.recv(None, 3);
+                    order.push(src);
+                }
+                (order, ctx.now_ns())
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.finish_ns, b.finish_ns);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn jitter_reorders_but_fifo_holds() {
+        // With heavy jitter and FIFO on, two same-pair messages must
+        // still arrive in send order.
+        let out = SimCluster::run(2, cfg().with_seed(123).with_jitter(1_000_000), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 9, vec![1]);
+                ctx.send(1, 9, vec![2]);
+                Vec::new()
+            } else {
+                let (_, a) = ctx.recv(None, 9);
+                let (_, b) = ctx.recv(None, 9);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(out.results[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            SimCluster::run(2, cfg(), |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.recv(Some(1), 5); // never sent
+                }
+            });
+        }));
+        let payload = result.expect_err("deadlock must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("simulated deadlock"), "got: {msg}");
+        assert!(msg.contains("rank 0"), "got: {msg}");
+    }
+
+    #[test]
+    fn rank_panic_propagates_original_message() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            SimCluster::run(8, cfg(), |ctx| {
+                if ctx.rank() == 3 {
+                    panic!("sim rank 3 exploded");
+                }
+                ctx.barrier();
+            });
+        }));
+        let payload = result.expect_err("run must propagate the panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("sim rank 3 exploded"), "got: {msg}");
+    }
+
+    #[test]
+    fn now_ns_is_virtual_not_wall_clock() {
+        let wall = std::time::Instant::now();
+        let out = SimCluster::run(2, cfg(), |ctx| {
+            ctx.barrier();
+            ctx.barrier();
+            ctx.now_ns()
+        });
+        // Two barriers at α = 1 µs: exactly 2 µs of virtual time, no
+        // matter how long the host took.
+        assert_eq!(out.results, vec![2_000, 2_000]);
+        // Sanity: the virtual clock is not derived from the wall clock.
+        let _ = wall.elapsed();
+    }
+
+    #[test]
+    fn thousand_ranks_smoke() {
+        let out = SimCluster::run(1024, cfg(), |ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            ctx.send(next, 1, vec![7]);
+            let (_, d) = ctx.recv(None, 1);
+            ctx.allreduce_sum(d[0] as u64)
+        });
+        assert!(out.results.iter().all(|&s| s == 7 * 1024));
+    }
+}

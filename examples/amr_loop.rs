@@ -8,7 +8,7 @@
 //! cargo run --release --example amr_loop [RANKS] [STEPS] [MAX_LEVEL]
 //! ```
 
-use forestbal::comm::Cluster;
+use forestbal::comm::{Cluster, Comm};
 use forestbal::core::Condition;
 use forestbal::forest::{BalanceVariant, BrickConnectivity, Forest, ReversalScheme};
 use forestbal::octant::{Octant, ROOT_LEN};

@@ -6,7 +6,7 @@
 //! cargo run --release --example fractal_amr [RANKS] [LEVEL]
 //! ```
 
-use forestbal::comm::Cluster;
+use forestbal::comm::{Cluster, Comm};
 use forestbal::core::Condition;
 use forestbal::forest::{BalanceVariant, ReversalScheme};
 use forestbal::mesh;

@@ -7,7 +7,9 @@
 //! cargo run --release --example notify_patterns [RANKS]
 //! ```
 
-use forestbal::comm::{ranges_expansion, reverse_naive, reverse_notify, reverse_ranges, Cluster};
+use forestbal::comm::{
+    ranges_expansion, reverse_naive, reverse_notify, reverse_ranges, Cluster, Comm,
+};
 
 fn main() {
     let ranks: usize = std::env::args()

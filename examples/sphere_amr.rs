@@ -7,7 +7,7 @@
 //! cargo run --release --example sphere_amr [RANKS] [MAX_LEVEL] [OUT.vtk]
 //! ```
 
-use forestbal::comm::Cluster;
+use forestbal::comm::{Cluster, Comm};
 use forestbal::core::Condition;
 use forestbal::forest::{export, BalanceVariant, ReversalScheme};
 use forestbal::mesh::{sphere_forest, SphereParams};

@@ -1,0 +1,257 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace uses, wired in via Cargo dependency renaming so bench files
+//! keep writing `use criterion::...` unchanged.
+//!
+//! The build container has no crates.io access, so external dependencies
+//! cannot be resolved; everything here is first-party. This harness does
+//! a warm-up, then times iterations until the measurement window closes,
+//! and prints one mean-ns/iter line per benchmark — no statistics,
+//! no HTML reports, no comparison against saved baselines. It exists so
+//! `cargo bench` builds and produces usable numbers offline, not to
+//! replace criterion's rigor.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, one per `criterion_group!`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder: number of samples a real criterion would take; here it
+    /// only bounds the minimum iteration count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+
+    /// Builder: how long to keep measuring.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Builder: how long to warm up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(id, self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Bound the minimum iteration count (kept for API compatibility).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1);
+        self
+    }
+
+    /// Record the per-iteration workload size (printed, not analyzed).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        let (n, unit) = match t {
+            Throughput::Elements(n) => (n, "elements"),
+            Throughput::Bytes(n) => (n, "bytes"),
+        };
+        println!("{}: throughput {} {}/iter", self.name, n, unit);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.render());
+        run_one(&full, self.warm_up_time, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (prints nothing extra in this shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark id with an optional parameter, `name/param`.
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Id for function `name` at parameter `param`.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            param: param.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.name, self.param)
+    }
+}
+
+/// Workload size per iteration, for throughput lines.
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure `f`, called in a loop until the measurement window closes.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        loop {
+            black_box(f());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn run_one(id: &str, warm_up: Duration, measure: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        warm_up_time: warm_up,
+        measurement_time: measure,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((total, iters)) => {
+            let ns = total.as_nanos() as f64 / iters as f64;
+            println!("{id}: {ns:>14.1} ns/iter ({iters} iterations)");
+        }
+        None => println!("{id}: no measurement (Bencher::iter never called)"),
+    }
+}
+
+/// Define a benchmark group: either `criterion_group!(name, fn_a, fn_b)`
+/// or the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_works() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("direct", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &p| {
+            b.iter(|| black_box(p * p))
+        });
+        g.finish();
+    }
+}

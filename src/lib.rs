@@ -62,9 +62,16 @@
 //! |---|---|---|
 //! | [`octant`] | `forestbal-octant` | octant relations (Table I), Morton order, linearize/complete |
 //! | [`core`] | `forestbal-core` | §III preclusion + subtree balance, §IV λ + seeds, ripple oracle |
-//! | [`comm`] | `forestbal-comm` | simulated MPI, §V Naive/Ranges/Notify reversal |
+//! | [`comm`] | `forestbal-comm` | threaded MPI-style runtime, `Comm` trait, §V Naive/Ranges/Notify reversal |
 //! | [`forest`] | `forestbal-forest` | brick connectivity, distributed forest, one-pass parallel balance |
 //! | [`mesh`] | `forestbal-mesh` | fractal (Fig. 14/15) and ice-sheet (Fig. 16/17) workloads |
+//! | [`sim`] | `forestbal-sim` | deterministic discrete-event simulator: same `Comm` API, virtual time, P ≥ 16384 |
+//!
+//! The parallel algorithms are generic over [`comm::Comm`], so the same
+//! closure runs on the threaded [`comm::Cluster`] (real parallelism,
+//! wall-clock time, up to a few hundred ranks) or on [`sim::SimCluster`]
+//! (single-threaded discrete-event execution, virtual time, tens of
+//! thousands of ranks, bit-identical across runs).
 
 #![warn(missing_docs)]
 
@@ -73,14 +80,16 @@ pub use forestbal_core as core;
 pub use forestbal_forest as forest;
 pub use forestbal_mesh as mesh;
 pub use forestbal_octant as octant;
+pub use forestbal_sim as sim;
 
 /// Everything most applications need, in one import.
 pub mod prelude {
-    pub use forestbal_comm::{Cluster, RankCtx};
+    pub use forestbal_comm::{Cluster, Comm, RankCtx};
     pub use forestbal_core::{
         balance_subtree_new, balance_subtree_old, find_seeds, is_balanced_pair,
         reconstruct_from_seeds, Condition,
     };
     pub use forestbal_forest::{BalanceVariant, BrickConnectivity, Forest, ReversalScheme, TreeId};
     pub use forestbal_octant::{Octant, MAX_LEVEL, ROOT_LEN};
+    pub use forestbal_sim::{SimCluster, SimConfig};
 }
