@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! timings [--exp weak|strong|notify|subtree|seeds|ripple|simscale|all] [--max-ranks N] [--big]
+//!         [--trace-out trace.json]
 //! ```
 //!
 //! Each experiment prints a table whose rows mirror a figure of the
@@ -16,9 +17,15 @@
 //! `--big`), reports deterministic *virtual* time, and additionally
 //! emits machine-readable `BENCH {...}` JSON lines. It is not part of
 //! `all` — run it explicitly (and in release mode).
+//!
+//! `--trace-out <path>` (simscale only) additionally runs one traced
+//! P = 1024 balance and writes a chrome://tracing / Perfetto trace-event
+//! JSON file with one process per simulated rank; see EXPERIMENTS.md for
+//! the viewing recipe.
 
 use forestbal_bench::experiments::*;
 use forestbal_bench::report::{ratio, BenchRecord, Table};
+use forestbal_forest::{BalanceVariant, ReversalScheme};
 use forestbal_mesh::IceSheetParams;
 use forestbal_sim::SimConfig;
 
@@ -322,6 +329,78 @@ fn run_ripple(max_ranks: usize) {
     t.print();
 }
 
+/// The traced simscale run behind `--trace-out`: one P = 1024 balance
+/// (new variant, Notify reversal) with per-rank recording, exported as
+/// chrome-trace JSON plus an aggregate table and a `BENCH` counter line.
+fn run_traced(path: &str, cfg: SimConfig) {
+    let p = 1024;
+    let traced = sim_balance_traced(p, 2, 3, BalanceVariant::New, ReversalScheme::Notify, cfg);
+    let json = traced.trace.chrome_trace_json();
+    forestbal_trace::validate_json(&json).expect("exporter must emit valid JSON");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!(
+        "\nwrote {path}: {} ranks, {} bytes (open in https://ui.perfetto.dev)",
+        traced.trace.ranks.len(),
+        json.len()
+    );
+
+    let mut t = Table::new(
+        &format!("Traced balance at P={p}: per-phase spans across ranks (virtual µs)"),
+        &["phase", "ranks", "spans", "min", "median", "max"],
+    );
+    for a in traced.trace.phase_aggregates() {
+        let us = |ns: u64| format!("{:.1}", ns as f64 / 1e3);
+        t.row(vec![
+            a.name.to_string(),
+            a.ranks.to_string(),
+            a.spans.to_string(),
+            us(a.min_ns),
+            us(a.median_ns),
+            us(a.max_ns),
+        ]);
+    }
+    t.print();
+
+    // The virtual clock only ticks in communication calls, so per rank the
+    // phase spans tile the balance span exactly; report the cross-check.
+    let sum_phases: u64 = traced
+        .trace
+        .ranks
+        .iter()
+        .map(|rt| {
+            [
+                "markers",
+                "local_balance",
+                "query_response",
+                "reversal",
+                "rebalance",
+            ]
+            .iter()
+            .map(|n| rt.phase_total_ns(n))
+            .sum::<u64>()
+        })
+        .max()
+        .unwrap_or(0);
+    let total = traced
+        .trace
+        .ranks
+        .iter()
+        .map(|rt| rt.phase_total_ns("balance"))
+        .max()
+        .unwrap_or(0);
+    println!("phase-sum cross-check: max Σphases = {sum_phases} ns, max balance span = {total} ns");
+
+    let mut rec = BenchRecord::new("trace_balance")
+        .u("ranks", p as u64)
+        .u("octants_out", traced.row.octants_out)
+        .u("makespan_ns", traced.row.makespan_ns)
+        .u("balance_ns", total);
+    for (name, v) in traced.trace.merged_counters() {
+        rec = rec.u(name, v);
+    }
+    rec.emit();
+}
+
 fn run_simscale(big: bool) {
     let cfg = SimConfig::default();
     println!("\n#### Simulated scaling (discrete-event, virtual time)");
@@ -421,6 +500,7 @@ fn main() {
     let mut exp = "all".to_string();
     let mut max_ranks = 8usize;
     let mut big = false;
+    let mut trace_out: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -429,6 +509,13 @@ fn main() {
                     eprintln!("--exp requires a value");
                     std::process::exit(2);
                 });
+                i += 2;
+            }
+            "--trace-out" => {
+                trace_out = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a path");
+                    std::process::exit(2);
+                }));
                 i += 2;
             }
             "--max-ranks" => {
@@ -449,7 +536,7 @@ fn main() {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: timings [--exp weak|strong|notify|subtree|seeds|ripple|simscale|all] \
-                     [--max-ranks N] [--big]"
+                     [--max-ranks N] [--big] [--trace-out trace.json]"
                 );
                 std::process::exit(2);
             }
@@ -462,7 +549,7 @@ fn main() {
         eprintln!("unknown experiment {exp}");
         eprintln!(
             "usage: timings [--exp weak|strong|notify|subtree|seeds|ripple|simscale|all] \
-             [--max-ranks N] [--big]"
+             [--max-ranks N] [--big] [--trace-out trace.json]"
         );
         std::process::exit(2);
     }
@@ -489,5 +576,11 @@ fn main() {
     // only sensible in release builds.
     if exp == "simscale" {
         run_simscale(big);
+        if let Some(path) = &trace_out {
+            run_traced(path, SimConfig::default());
+        }
+    } else if trace_out.is_some() {
+        eprintln!("--trace-out only applies to --exp simscale");
+        std::process::exit(2);
     }
 }

@@ -17,7 +17,8 @@ use forestbal_forest::{BalanceReport, BalanceVariant, Forest, ReversalScheme};
 use forestbal_mesh::{fractal_forest, ice_sheet_forest, IceSheetParams};
 use forestbal_octant::{complete_subtree, linearize, Octant};
 use forestbal_sim::{SimCluster, SimConfig};
-use std::time::{Duration, Instant};
+use forestbal_trace::{ClusterTrace, RankTrace, Tracer};
+use std::time::Instant;
 
 /// One row of a scaling study: both variants on the same mesh. Timings
 /// are cluster maxima; volumes are cluster sums.
@@ -138,6 +139,11 @@ pub struct NotifyRow {
 /// Compare the three reversal schemes on a curve-local pattern where each
 /// rank addresses its `fanout` nearest successors (the typical shape of
 /// balance queries along the space-filling curve).
+///
+/// Timing comes from the reversal spans the schemes themselves record
+/// (`reverse_naive`/`reverse_ranges`/`reverse_notify`), so the measured
+/// interval is exactly the algorithm, not the harness around it. Without
+/// the `trace` feature the spans are compiled out and seconds read 0.
 pub fn notify_experiment(ranks: &[usize], fanout: usize, max_ranges: usize) -> Vec<NotifyRow> {
     ranks
         .iter()
@@ -152,20 +158,20 @@ pub fn notify_experiment(ranks: &[usize], fanout: usize, max_ranges: usize) -> V
                 let out = Cluster::run(p, |ctx| {
                     let rs = receivers_of(ctx.rank());
                     ctx.barrier();
-                    let t0 = Instant::now();
+                    let tracer = Tracer::begin(ctx.rank());
                     let senders = match which {
                         0 => reverse_naive(ctx, &rs),
                         1 => reverse_ranges(ctx, &rs, max_ranges),
                         _ => reverse_notify(ctx, &rs),
                     };
-                    let dt = t0.elapsed();
                     assert!(!senders.is_empty() || p == 1);
-                    dt
+                    tracer.finish()
                 });
+                let span = ["reverse_naive", "reverse_ranges", "reverse_notify"][which as usize];
                 let seconds = out
                     .results
                     .iter()
-                    .map(Duration::as_secs_f64)
+                    .map(|rt| rt.phase_total_ns(span) as f64 / 1e9)
                     .fold(0.0, f64::max);
                 ReversalCost {
                     seconds,
@@ -318,6 +324,64 @@ pub fn sim_balance_scaling(
     rows
 }
 
+/// One traced simulated balance run: the usual scaling-row summary plus
+/// every rank's full trace, ready for chrome-trace export.
+#[derive(Clone, Debug)]
+pub struct TracedSimBalance {
+    /// The scaling-row summary (same fields as [`sim_balance_scaling`]).
+    pub row: SimBalanceRow,
+    /// Per-rank traces: spans in virtual time, counters, histograms.
+    pub trace: ClusterTrace,
+}
+
+/// One point of [`sim_balance_scaling`] with per-rank tracing armed
+/// around the balance call. Span timestamps are the simulator's *virtual*
+/// clock, and virtual time only advances inside communication calls, so
+/// the four phase spans (plus `markers`) partition the enclosing
+/// `balance` span exactly — no harness time leaks in.
+pub fn sim_balance_traced(
+    p: usize,
+    level: u8,
+    spread: u8,
+    variant: BalanceVariant,
+    scheme: ReversalScheme,
+    cfg: SimConfig,
+) -> TracedSimBalance {
+    let out = SimCluster::run(p, cfg, move |ctx| {
+        let mut f = fractal_forest(ctx, level, spread);
+        let before = f.num_global(ctx);
+        ctx.barrier();
+        let tracer = Tracer::begin(ctx.rank());
+        let rep = f.balance_with_report(ctx, Condition::full(3), variant, scheme);
+        let tr = tracer.finish();
+        let after = f.num_global(ctx);
+        (before, after, rep, tr)
+    });
+    let (before, after) = (out.results[0].0, out.results[0].1);
+    let report = out
+        .results
+        .iter()
+        .map(|r| r.2)
+        .fold(BalanceReport::default(), |a, b| a.combine(&b));
+    let scheme_name = match scheme {
+        ReversalScheme::Naive => "naive",
+        ReversalScheme::Ranges(_) => "ranges",
+        ReversalScheme::Notify => "notify",
+    };
+    let row = SimBalanceRow {
+        ranks: p,
+        variant,
+        scheme: scheme_name,
+        octants_in: before,
+        octants_out: after,
+        report,
+        makespan_ns: out.makespan_ns(),
+        stats: out.total_stats(),
+    };
+    let trace = ClusterTrace::new(out.results.into_iter().map(|r| r.3).collect());
+    TracedSimBalance { row, trace }
+}
+
 /// Thread-parallel 2:1 verification of a sorted linear octree — lets the
 /// benchmark harness validate multi-million-leaf outputs without paying
 /// the serial oracle's cost. Leaves are checked in contiguous chunks, one
@@ -381,34 +445,47 @@ pub struct RippleRow {
 /// on the fractal workload: the ripple needs a number of communication
 /// rounds that grows with the refinement's reach, the one-pass algorithm
 /// always uses a single query/response round.
+///
+/// Both sides are timed through their own trace spans (`"balance"` and
+/// `"ripple"`), so the harness (mesh construction, checksum) stays outside
+/// the measured interval by construction.
 pub fn ripple_ablation_experiment(ranks: &[usize], level: u8, spread: u8) -> Vec<RippleRow> {
+    let span_secs = |rt: &RankTrace, name: &str| rt.phase_total_ns(name) as f64 / 1e9;
     ranks
         .iter()
         .map(|&p| {
             let one = Cluster::run(p, |ctx| {
                 let mut f = fractal_forest(ctx, level, spread);
                 ctx.barrier();
-                let t0 = Instant::now();
+                let tracer = Tracer::begin(ctx.rank());
                 f.balance(
                     ctx,
                     Condition::full(3),
                     BalanceVariant::New,
                     ReversalScheme::Notify,
                 );
-                (t0.elapsed().as_secs_f64(), f.checksum(ctx))
+                (tracer.finish(), f.checksum(ctx))
             });
             let rip = Cluster::run(p, |ctx| {
                 let mut f = fractal_forest(ctx, level, spread);
                 ctx.barrier();
-                let t0 = Instant::now();
+                let tracer = Tracer::begin(ctx.rank());
                 let stats = f.balance_ripple(ctx, Condition::full(3));
-                (t0.elapsed().as_secs_f64(), f.checksum(ctx), stats.rounds)
+                (tracer.finish(), f.checksum(ctx), stats.rounds)
             });
             assert_eq!(one.results[0].1, rip.results[0].1, "baselines disagree");
             RippleRow {
                 ranks: p,
-                one_pass_seconds: one.results.iter().map(|r| r.0).fold(0.0, f64::max),
-                ripple_seconds: rip.results.iter().map(|r| r.0).fold(0.0, f64::max),
+                one_pass_seconds: one
+                    .results
+                    .iter()
+                    .map(|r| span_secs(&r.0, "balance"))
+                    .fold(0.0, f64::max),
+                ripple_seconds: rip
+                    .results
+                    .iter()
+                    .map(|r| span_secs(&r.0, "ripple"))
+                    .fold(0.0, f64::max),
                 ripple_rounds: rip.results.iter().map(|r| r.2).max().unwrap(),
                 one_pass_msgs: one.total_stats().messages_sent,
                 ripple_msgs: rip.total_stats().messages_sent,
@@ -627,6 +704,35 @@ mod tests {
             assert_eq!(r.octants_out, rows[0].octants_out);
             assert!(r.makespan_ns > 0);
             assert!(r.report.timings.total.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn traced_sim_balance_phases_partition_exactly() {
+        let t = sim_balance_traced(
+            8,
+            2,
+            3,
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+            SimConfig::default(),
+        );
+        assert_eq!(t.trace.ranks.len(), 8);
+        assert_eq!(t.row.octants_out, t.row.octants_in.max(t.row.octants_out));
+        for rt in &t.trace.ranks {
+            // Virtual time only advances inside communication, so the
+            // phase spans tile the enclosing balance span with no gaps.
+            let parts: u64 = [
+                "markers",
+                "local_balance",
+                "query_response",
+                "reversal",
+                "rebalance",
+            ]
+            .iter()
+            .map(|n| rt.phase_total_ns(n))
+            .sum();
+            assert_eq!(parts, rt.phase_total_ns("balance"), "rank {}", rt.rank);
         }
     }
 

@@ -12,6 +12,6 @@ pub mod report;
 
 pub use experiments::{
     adapted_subtree_input, notify_experiment, par_is_balanced, ripple_ablation_experiment,
-    seeds_distance_experiment, sim_balance_scaling, sim_reversal_scaling,
-    strong_scaling_experiment, subtree_experiment, weak_scaling_experiment,
+    seeds_distance_experiment, sim_balance_scaling, sim_balance_traced, sim_reversal_scaling,
+    strong_scaling_experiment, subtree_experiment, weak_scaling_experiment, TracedSimBalance,
 };

@@ -111,10 +111,7 @@ impl Comm for RankCtx {
     }
 
     fn send(&self, dst: usize, tag: u32, data: Vec<u8>) {
-        let mut st = self.stats.borrow_mut();
-        st.messages_sent += 1;
-        st.bytes_sent += data.len() as u64;
-        drop(st);
+        self.stats.borrow_mut().record_send(tag, data.len());
         let env = Envelope {
             src: self.rank,
             tag,
@@ -165,11 +162,7 @@ impl Comm for RankCtx {
     }
 
     fn allgather(&self, data: Vec<u8>) -> Arc<Vec<Vec<u8>>> {
-        {
-            let mut st = self.stats.borrow_mut();
-            st.collective_calls += 1;
-            st.collective_bytes += data.len() as u64;
-        }
+        self.stats.borrow_mut().record_collective(data.len());
         let shared = &self.shared;
         shared.check_shutdown();
         let mut g = lock_anyway(&shared.gather);

@@ -8,11 +8,31 @@
 
 use std::sync::Arc;
 
+/// Per-tag share of the point-to-point counters (see
+/// [`CommStats::per_tag`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TagStats {
+    /// The message tag.
+    pub tag: u32,
+    /// Messages sent with this tag.
+    pub messages: u64,
+    /// Payload bytes sent with this tag.
+    pub bytes: u64,
+}
+
+/// Capacity of the per-tag table in [`CommStats`]. A balance run uses one
+/// tag each for queries and responses plus one per `Notify` level
+/// (`⌈log₂ P⌉`, 14 at P = 16384), so 16 first-come slots cover a single
+/// algorithm invocation; later tags spill into the `other_*` counters.
+pub const TAG_SLOTS: usize = 16;
+
 /// Per-rank communication counters.
 ///
-/// Both runtimes count identically, which is what lets differential tests
-/// assert bit-equal message/byte counts between a threaded run and a
-/// simulated run of the same algorithm.
+/// Both runtimes count identically — through [`CommStats::record_send`]
+/// and [`CommStats::record_collective`] — which is what lets differential
+/// tests assert bit-equal message/byte counts (including the per-tag
+/// breakdown) between a threaded run and a simulated run of the same
+/// algorithm.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Point-to-point messages sent.
@@ -23,17 +43,110 @@ pub struct CommStats {
     pub collective_calls: u64,
     /// Bytes this rank contributed to collectives.
     pub collective_bytes: u64,
+    /// Messages whose tag arrived after all [`TAG_SLOTS`] were taken.
+    pub other_messages: u64,
+    /// Bytes whose tag arrived after all [`TAG_SLOTS`] were taken.
+    pub other_bytes: u64,
+    /// First-come per-tag table; `tags[..ntags]` are occupied.
+    tags: [TagStats; TAG_SLOTS],
+    /// Occupied prefix length of `tags`.
+    ntags: u8,
 }
 
 impl CommStats {
-    /// Componentwise sum, for cluster-wide totals.
-    pub fn merge(&self, other: &CommStats) -> CommStats {
-        CommStats {
-            messages_sent: self.messages_sent + other.messages_sent,
-            bytes_sent: self.bytes_sent + other.bytes_sent,
-            collective_calls: self.collective_calls + other.collective_calls,
-            collective_bytes: self.collective_bytes + other.collective_bytes,
+    /// Count one outgoing point-to-point message. Used by both runtimes so
+    /// the totals — and the per-tag breakdown — stay bit-equal.
+    pub fn record_send(&mut self, tag: u32, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+        self.add_tagged(tag, 1, bytes as u64);
+    }
+
+    /// Count one collective this rank entered with `bytes` of payload.
+    pub fn record_collective(&mut self, bytes: usize) {
+        self.collective_calls += 1;
+        self.collective_bytes += bytes as u64;
+    }
+
+    /// The per-tag breakdown of the point-to-point traffic, in
+    /// first-recorded order. Tags beyond the table capacity are summed in
+    /// [`CommStats::other_messages`]/[`CommStats::other_bytes`];
+    /// `per_tag()` totals plus `other_*` always equal
+    /// `messages_sent`/`bytes_sent`.
+    pub fn per_tag(&self) -> &[TagStats] {
+        &self.tags[..self.ntags as usize]
+    }
+
+    /// This rank's traffic under one specific tag (zero if never used).
+    pub fn tag_stats(&self, tag: u32) -> TagStats {
+        self.per_tag()
+            .iter()
+            .find(|t| t.tag == tag)
+            .copied()
+            .unwrap_or(TagStats {
+                tag,
+                messages: 0,
+                bytes: 0,
+            })
+    }
+
+    fn add_tagged(&mut self, tag: u32, messages: u64, bytes: u64) {
+        for t in &mut self.tags[..self.ntags as usize] {
+            if t.tag == tag {
+                t.messages += messages;
+                t.bytes += bytes;
+                return;
+            }
         }
+        if (self.ntags as usize) < TAG_SLOTS {
+            self.tags[self.ntags as usize] = TagStats {
+                tag,
+                messages,
+                bytes,
+            };
+            self.ntags += 1;
+        } else {
+            self.other_messages += messages;
+            self.other_bytes += bytes;
+        }
+    }
+
+    /// Componentwise sum, for cluster-wide totals. Per-tag entries merge
+    /// by tag key; the result keeps `self`'s slot order, then `other`'s.
+    pub fn merge(&self, other: &CommStats) -> CommStats {
+        let mut out = *self;
+        out.messages_sent += other.messages_sent;
+        out.bytes_sent += other.bytes_sent;
+        out.collective_calls += other.collective_calls;
+        out.collective_bytes += other.collective_bytes;
+        out.other_messages += other.other_messages;
+        out.other_bytes += other.other_bytes;
+        for t in other.per_tag() {
+            out.add_tagged(t.tag, t.messages, t.bytes);
+        }
+        out
+    }
+
+    /// The traffic recorded since an `earlier` snapshot of the same rank's
+    /// counters — how algorithm phases attribute messages and bytes.
+    /// Per-tag entries with no new traffic are dropped from the result.
+    pub fn delta_since(&self, earlier: &CommStats) -> CommStats {
+        let mut out = CommStats {
+            messages_sent: self.messages_sent - earlier.messages_sent,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            collective_calls: self.collective_calls - earlier.collective_calls,
+            collective_bytes: self.collective_bytes - earlier.collective_bytes,
+            other_messages: self.other_messages - earlier.other_messages,
+            other_bytes: self.other_bytes - earlier.other_bytes,
+            ..CommStats::default()
+        };
+        for t in self.per_tag() {
+            let e = earlier.tag_stats(t.tag);
+            if t.messages > e.messages || t.bytes > e.bytes {
+                out.add_tagged(t.tag, t.messages - e.messages, t.bytes - e.bytes);
+            }
+        }
+        out
     }
 }
 
@@ -166,4 +279,92 @@ pub fn install_quiet_panic_hook() {
             prev(info);
         }));
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tag_tracks_and_totals() {
+        let mut s = CommStats::default();
+        s.record_send(7, 100);
+        s.record_send(9, 10);
+        s.record_send(7, 50);
+        s.record_collective(4);
+        assert_eq!(s.messages_sent, 3);
+        assert_eq!(s.bytes_sent, 160);
+        assert_eq!(s.collective_calls, 1);
+        assert_eq!(s.collective_bytes, 4);
+        // First-come slot order; totals reconcile.
+        assert_eq!(
+            s.per_tag(),
+            &[
+                TagStats {
+                    tag: 7,
+                    messages: 2,
+                    bytes: 150
+                },
+                TagStats {
+                    tag: 9,
+                    messages: 1,
+                    bytes: 10
+                },
+            ]
+        );
+        assert_eq!(s.tag_stats(7).bytes, 150);
+        assert_eq!(s.tag_stats(42).messages, 0);
+    }
+
+    #[test]
+    fn per_tag_overflow_spills_to_other() {
+        let mut s = CommStats::default();
+        for tag in 0..(TAG_SLOTS as u32 + 3) {
+            s.record_send(tag, 1);
+        }
+        s.record_send(0, 1); // existing slot still accumulates
+        assert_eq!(s.per_tag().len(), TAG_SLOTS);
+        assert_eq!(s.other_messages, 3);
+        assert_eq!(s.other_bytes, 3);
+        assert_eq!(s.tag_stats(0).messages, 2);
+        let slot_total: u64 = s.per_tag().iter().map(|t| t.messages).sum();
+        assert_eq!(slot_total + s.other_messages, s.messages_sent);
+    }
+
+    #[test]
+    fn merge_combines_by_tag() {
+        let mut a = CommStats::default();
+        a.record_send(1, 10);
+        a.record_send(2, 20);
+        let mut b = CommStats::default();
+        b.record_send(2, 5);
+        b.record_send(3, 7);
+        let m = a.merge(&b);
+        assert_eq!(m.messages_sent, 4);
+        assert_eq!(m.bytes_sent, 42);
+        assert_eq!(m.tag_stats(1).bytes, 10);
+        assert_eq!(m.tag_stats(2).bytes, 25);
+        assert_eq!(m.tag_stats(3).messages, 1);
+    }
+
+    #[test]
+    fn delta_since_isolates_a_phase() {
+        let mut s = CommStats::default();
+        s.record_send(1, 10);
+        s.record_collective(8);
+        let snapshot = s;
+        s.record_send(1, 5);
+        s.record_send(2, 3);
+        s.record_collective(2);
+        let d = s.delta_since(&snapshot);
+        assert_eq!(d.messages_sent, 2);
+        assert_eq!(d.bytes_sent, 8);
+        assert_eq!(d.collective_calls, 1);
+        assert_eq!(d.collective_bytes, 2);
+        assert_eq!(d.per_tag().len(), 2);
+        assert_eq!(d.tag_stats(1).bytes, 5);
+        assert_eq!(d.tag_stats(2).bytes, 3);
+        // A no-op interval deltas to the default (empty) stats.
+        assert_eq!(s.delta_since(&s), CommStats::default());
+    }
 }

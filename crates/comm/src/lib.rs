@@ -44,5 +44,9 @@ pub mod comm;
 pub mod reversal;
 
 pub use cluster::{Cluster, RankCtx};
-pub use comm::{install_quiet_panic_hook, Comm, CommStats, RunOutput, ShutdownSignal};
-pub use reversal::{ranges_expansion, reverse_naive, reverse_notify, reverse_ranges};
+pub use comm::{
+    install_quiet_panic_hook, Comm, CommStats, RunOutput, ShutdownSignal, TagStats, TAG_SLOTS,
+};
+pub use reversal::{
+    is_notify_tag, ranges_expansion, reverse_naive, reverse_notify, reverse_ranges,
+};

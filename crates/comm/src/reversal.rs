@@ -20,9 +20,16 @@
 //!   across peers instead of bottlenecking the highest rank.
 
 use crate::comm::Comm;
+use forestbal_trace as trace;
 
 /// Message tag space reserved by the reversal algorithms.
 const NOTIFY_TAG_BASE: u32 = 0xB000_0000;
+
+/// Does this tag belong to the [`reverse_notify`] tag space? Lets callers
+/// attribute per-tag [`crate::CommStats`] traffic to pattern reversal.
+pub fn is_notify_tag(tag: u32) -> bool {
+    (NOTIFY_TAG_BASE..NOTIFY_TAG_BASE + 64).contains(&tag)
+}
 
 fn encode_u32s(vals: &[u32]) -> Vec<u8> {
     let mut out = Vec::with_capacity(vals.len() * 4);
@@ -43,6 +50,7 @@ fn decode_u32s(data: &[u8]) -> Vec<u32> {
 /// Returns the exact sorted list of ranks that name `ctx.rank()` among
 /// their receivers.
 pub fn reverse_naive(ctx: &impl Comm, receivers: &[usize]) -> Vec<usize> {
+    trace::span_begin("reverse_naive", || ctx.now_ns());
     // Allgather the counts (mirrors the MPI_Allgather of |R|)...
     let counts = ctx.allgather(encode_u32s(&[receivers.len() as u32]));
     debug_assert_eq!(counts.len(), ctx.size());
@@ -56,6 +64,9 @@ pub fn reverse_naive(ctx: &impl Comm, receivers: &[usize]) -> Vec<usize> {
             senders.push(q);
         }
     }
+    trace::counter_add("reversal.receivers", receivers.len() as u64);
+    trace::counter_add("reversal.senders", senders.len() as u64);
+    trace::span_end(|| ctx.now_ns());
     senders
 }
 
@@ -66,6 +77,7 @@ pub fn reverse_naive(ctx: &impl Comm, receivers: &[usize]) -> Vec<usize> {
 /// corresponding zero-length messages.
 pub fn reverse_ranges(ctx: &impl Comm, receivers: &[usize], max_ranges: usize) -> Vec<usize> {
     assert!(max_ranges >= 1);
+    trace::span_begin("reverse_ranges", || ctx.now_ns());
     let ranges = encode_ranges(receivers, max_ranges);
     // Fixed-size encoding: 2 * max_ranges u32 slots, unused slots marked
     // with u32::MAX (matching the fixed bytes-per-process property of the
@@ -87,6 +99,11 @@ pub fn reverse_ranges(ctx: &impl Comm, receivers: &[usize], max_ranges: usize) -
             }
         }
     }
+    trace::counter_add("reversal.receivers", receivers.len() as u64);
+    // Ranges may overshoot: report real receivers and advertised senders
+    // so the false-positive rate is visible in merged counters.
+    trace::counter_add("reversal.senders", senders.len() as u64);
+    trace::span_end(|| ctx.now_ns());
     senders
 }
 
@@ -137,6 +154,7 @@ fn encode_ranges(receivers: &[usize], max_ranges: usize) -> Vec<(usize, usize)> 
 /// residue class. After the last level each rank holds exactly the items
 /// addressed to itself; their original senders are the answer.
 pub fn reverse_notify(ctx: &impl Comm, receivers: &[usize]) -> Vec<usize> {
+    trace::span_begin("reverse_notify", || ctx.now_ns());
     let p = ctx.rank();
     let size = ctx.size();
     // (receiver, original sender) pairs.
@@ -146,6 +164,9 @@ pub fn reverse_notify(ctx: &impl Comm, receivers: &[usize]) -> Vec<usize> {
     while (1usize << l) < size {
         let bit = 1usize << l;
         let tag = NOTIFY_TAG_BASE + l;
+        // Load balance of the divide-and-conquer: how many items this
+        // rank carries into each level (equation 2's residue classes).
+        trace::hist("reversal.notify.items_per_level", items.len() as u64);
 
         // Split: items whose receiver residue matches mine stay.
         let (keep, give): (Vec<_>, Vec<_>) = items
@@ -202,6 +223,10 @@ pub fn reverse_notify(ctx: &impl Comm, receivers: &[usize]) -> Vec<usize> {
         .collect();
     senders.sort_unstable();
     senders.dedup();
+    trace::counter_add("reversal.notify.levels", l as u64);
+    trace::counter_add("reversal.receivers", receivers.len() as u64);
+    trace::counter_add("reversal.senders", senders.len() as u64);
+    trace::span_end(|| ctx.now_ns());
     senders
 }
 

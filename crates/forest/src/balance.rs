@@ -27,15 +27,20 @@ use crate::connectivity::{translate, TreeId};
 use crate::forest::Forest;
 use forestbal_comm::{ranges_expansion, reverse_naive, reverse_notify, reverse_ranges, Comm};
 use forestbal_core::{
-    balance_subtree_new, balance_subtree_old, balance_subtree_old_ext, find_seeds,
-    reconstruct_from_seeds, Condition,
+    balance_subtree_new_with_stats, balance_subtree_old_ext, balance_subtree_old_with_stats,
+    find_seeds, reconstruct_from_seeds, Condition,
 };
 use forestbal_octant::{directions, is_linear, linearize, Coord, Octant};
+use forestbal_trace as trace;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-const QUERY_TAG: u32 = 0xBA1A_0001;
-const RESPONSE_TAG: u32 = 0xBA1A_0002;
+/// Tag of the phase-3 query messages (for per-tag [`CommStats`] reports).
+///
+/// [`CommStats`]: forestbal_comm::CommStats
+pub const QUERY_TAG: u32 = 0xBA1A_0001;
+/// Tag of the phase-3 response messages.
+pub const RESPONSE_TAG: u32 = 0xBA1A_0002;
 
 /// Which balance implementation to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -156,31 +161,45 @@ impl<const D: usize> Forest<D> {
         reversal: ReversalScheme,
     ) -> BalanceReport {
         let t_total = ctx.now_ns();
+        trace::span_begin("balance", || t_total);
         let mut report = BalanceReport::default();
         self.update_markers(ctx);
 
         // ---- Phase 1: local balance --------------------------------
         let t0 = ctx.now_ns();
+        trace::span_begin("local_balance", || t0);
+        let mut local_stats = forestbal_core::BalanceStats::default();
         for (_, v) in self.local.iter_mut() {
             if v.is_empty() {
                 continue;
             }
             let sub = v[0].nearest_common_ancestor(&v[v.len() - 1]);
             let (lo, hi) = (v[0].index(), v[v.len() - 1].last_index());
-            let balanced = match variant {
-                BalanceVariant::Old => balance_subtree_old(&sub, v, cond),
-                BalanceVariant::New => balance_subtree_new(&sub, v, cond),
+            let (balanced, bs) = match variant {
+                BalanceVariant::Old => balance_subtree_old_with_stats(&sub, v, cond),
+                BalanceVariant::New => balance_subtree_new_with_stats(&sub, v, cond),
             };
+            local_stats.hash_queries += bs.hash_queries;
+            local_stats.binary_searches += bs.binary_searches;
+            local_stats.sorted_len += bs.sorted_len;
+            local_stats.output_len += bs.output_len;
             *v = balanced
                 .into_iter()
                 .filter(|o| o.index() >= lo && o.last_index() <= hi)
                 .collect();
             debug_assert!(is_linear(v));
         }
-        report.timings.local_balance = Duration::from_nanos(ctx.now_ns() - t0);
+        let t1 = ctx.now_ns();
+        trace::span_end(|| t1);
+        trace::counter_add("balance.local.hash_queries", local_stats.hash_queries);
+        trace::counter_add("balance.local.binary_searches", local_stats.binary_searches);
+        trace::counter_add("balance.local.sorted_len", local_stats.sorted_len as u64);
+        trace::counter_add("balance.local.output_len", local_stats.output_len as u64);
+        report.timings.local_balance = Duration::from_nanos(t1 - t0);
 
         // ---- Phase 2: build queries --------------------------------
-        let t0 = ctx.now_ns();
+        let t0 = t1;
+        trace::span_begin("query_response", || t0);
         let me = ctx.rank();
         // Flat list of queried local octants.
         let mut queries: Vec<(TreeId, Octant<D>)> = Vec::new();
@@ -258,10 +277,16 @@ impl<const D: usize> Forest<D> {
         };
 
         let receivers: Vec<usize> = per_rank.keys().copied().filter(|&d| d != me).collect();
-        report.timings.query_response = Duration::from_nanos(ctx.now_ns() - t0);
+        let t1 = ctx.now_ns();
+        trace::span_end(|| t1);
+        trace::counter_add("balance.query_octants", queries.len() as u64);
+        trace::counter_add("balance.query_entries", entries.len() as u64);
+        report.timings.query_response = Duration::from_nanos(t1 - t0);
 
         // ---- Pattern reversal (timed separately, like Figure 15e) ---
-        let t0 = ctx.now_ns();
+        let t0 = t1;
+        trace::span_begin("reversal", || t0);
+        let s_reversal = trace::enabled().then(|| ctx.stats());
         let (senders, effective_receivers) = match reversal {
             ReversalScheme::Naive => (reverse_naive(ctx, &receivers), receivers.clone()),
             ReversalScheme::Notify => (reverse_notify(ctx, &receivers), receivers.clone()),
@@ -275,10 +300,20 @@ impl<const D: usize> Forest<D> {
             }
         };
         let senders: Vec<usize> = senders.into_iter().filter(|&s| s != me).collect();
-        report.timings.reversal = Duration::from_nanos(ctx.now_ns() - t0);
+        let t1 = ctx.now_ns();
+        trace::span_end(|| t1);
+        if let Some(before) = s_reversal {
+            let d = ctx.stats().delta_since(&before);
+            trace::counter_add("balance.reversal.messages", d.messages_sent);
+            trace::counter_add("balance.reversal.bytes", d.bytes_sent);
+            trace::counter_add("balance.reversal.collective_bytes", d.collective_bytes);
+        }
+        report.timings.reversal = Duration::from_nanos(t1 - t0);
 
         // ---- Phase 3: query / response exchange ---------------------
-        let t0 = ctx.now_ns();
+        let t0 = t1;
+        trace::span_begin("query_response", || t0);
+        let s_exchange = trace::enabled().then(|| ctx.stats());
         for &d in &effective_receivers {
             let buf = per_rank
                 .get(&d)
@@ -307,9 +342,11 @@ impl<const D: usize> Forest<D> {
         let mut per_qid: Vec<Vec<Octant<D>>> = vec![Vec::new(); queries.len()];
         let absorb = |data: &[u8], per_qid: &mut Vec<Vec<Octant<D>>>| {
             let mut pos = 0;
+            let mut octants = 0u64;
             while pos < data.len() {
                 let eid = codec::get_u32(data, &mut pos) as usize;
                 let count = codec::get_u32(data, &mut pos) as usize;
+                octants += count as u64;
                 let e = &entries[eid];
                 let back: [Coord; D] = std::array::from_fn(|i| -e.off[i]);
                 for _ in 0..count {
@@ -317,6 +354,7 @@ impl<const D: usize> Forest<D> {
                     per_qid[e.qid as usize].push(translate(&o, &back));
                 }
             }
+            trace::counter_add("balance.response_octants_recv", octants);
         };
         for &_d in &effective_receivers {
             let (_, data) = ctx.recv(None, RESPONSE_TAG);
@@ -325,16 +363,29 @@ impl<const D: usize> Forest<D> {
         if let Some(data) = self_reply {
             absorb(&data, &mut per_qid);
         }
-        report.timings.query_response += Duration::from_nanos(ctx.now_ns() - t0);
+        let t1 = ctx.now_ns();
+        trace::span_end(|| t1);
+        if let Some(before) = s_exchange {
+            let d = ctx.stats().delta_since(&before);
+            trace::counter_add("balance.query_response.messages", d.messages_sent);
+            trace::counter_add("balance.query_response.bytes", d.bytes_sent);
+        }
+        trace::counter_add("balance.query_bytes", report.query_bytes);
+        trace::counter_add("balance.response_bytes", report.response_bytes);
+        report.timings.query_response += Duration::from_nanos(t1 - t0);
 
         // ---- Phase 4: local rebalance -------------------------------
-        let t0 = ctx.now_ns();
+        let t0 = t1;
+        trace::span_begin("rebalance", || t0);
         match variant {
             BalanceVariant::New => self.rebalance_new(&queries, per_qid, cond),
             BalanceVariant::Old => self.rebalance_old(&queries, per_qid, cond),
         }
-        report.timings.rebalance = Duration::from_nanos(ctx.now_ns() - t0);
-        report.timings.total = Duration::from_nanos(ctx.now_ns() - t_total);
+        let t1 = ctx.now_ns();
+        trace::span_end(|| t1);
+        trace::span_end(|| t1); // the enclosing "balance" span
+        report.timings.rebalance = Duration::from_nanos(t1 - t0);
+        report.timings.total = Duration::from_nanos(t1 - t_total);
         report
     }
 
@@ -383,6 +434,17 @@ impl<const D: usize> Forest<D> {
                 // to the finest.
                 linearize(&mut out);
             }
+            trace::counter_add("balance.queries_answered", 1);
+            trace::counter_add("balance.response_octants", out.len() as u64);
+            // The paper's §IV claim made measurable: seed responses are
+            // tiny (New) versus raw insulation octants (Old).
+            trace::hist(
+                match variant {
+                    BalanceVariant::New => "balance.seeds_per_query",
+                    BalanceVariant::Old => "balance.octants_per_query",
+                },
+                out.len() as u64,
+            );
             codec::put_u32(&mut reply, eid);
             codec::put_u32(&mut reply, out.len() as u32);
             for o in &out {

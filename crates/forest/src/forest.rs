@@ -170,6 +170,7 @@ impl<const D: usize> Forest<D> {
     /// Recompute the partition markers (one allgather). Called after any
     /// operation that changes leaf ownership.
     pub fn update_markers(&mut self, ctx: &impl Comm) {
+        forestbal_trace::span_begin("markers", || ctx.now_ns());
         let mut payload = Vec::with_capacity(1 + 4 + 16);
         match self.first_local_pos() {
             Some(pos) => {
@@ -196,6 +197,7 @@ impl<const D: usize> Forest<D> {
             };
         }
         self.markers = markers;
+        forestbal_trace::span_end(|| ctx.now_ns());
     }
 
     /// The ranks whose partitions intersect the position range

@@ -54,6 +54,7 @@ impl<const D: usize> Forest<D> {
     /// overlaps this rank's partition (equivalently, every remote leaf
     /// adjacent to one of ours, across tree boundaries included).
     pub fn ghost_layer(&mut self, ctx: &impl Comm) -> GhostLayer<D> {
+        forestbal_trace::span_begin("ghost", || ctx.now_ns());
         self.update_markers(ctx);
         let me = ctx.rank();
 
@@ -98,6 +99,13 @@ impl<const D: usize> Forest<D> {
             v.sort_by_key(|&(_, o)| o);
             v.dedup();
         }
+        let rec = 4 + codec::octant_size::<D>(); // (tree, octant) record size
+        forestbal_trace::counter_add(
+            "ghost.sent_octants",
+            out.values().map(|b| b.len() / rec).sum::<usize>() as u64,
+        );
+        forestbal_trace::counter_add("ghost.recv_octants", layer.len() as u64);
+        forestbal_trace::span_end(|| ctx.now_ns());
         layer
     }
 

@@ -57,6 +57,7 @@ impl<const D: usize> Forest<D> {
     /// The forest must be 2:1 balanced for the hanging classification to
     /// be meaningful (the method itself tolerates any forest).
     pub fn enumerate_nodes(&mut self, ctx: &impl Comm) -> Nodes<D> {
+        forestbal_trace::span_begin("nodes", || ctx.now_ns());
         let ghosts = self.ghost_layer(ctx);
         let dims = self.connectivity().dims();
         let extent: [i64; D] = std::array::from_fn(|i| dims[i] as i64 * ROOT_LEN as i64);
@@ -93,10 +94,14 @@ impl<const D: usize> Forest<D> {
         }
 
         let num_global_independent = ctx.allreduce_sum(owned_independent);
-        Nodes {
+        let out = Nodes {
             nodes,
             num_global_independent,
-        }
+        };
+        forestbal_trace::counter_add("nodes.local", out.nodes.len() as u64);
+        forestbal_trace::counter_add("nodes.hanging", out.num_hanging() as u64);
+        forestbal_trace::span_end(|| ctx.now_ns());
+        out
     }
 
     /// Canonical global coordinates of leaf corner `corner`.

@@ -28,6 +28,7 @@ impl<const D: usize> Forest<D> {
         ctx: &impl Comm,
         mut weight: impl FnMut(crate::connectivity::TreeId, &Octant<D>) -> u64,
     ) {
+        forestbal_trace::span_begin("partition", || ctx.now_ns());
         let p = ctx.size();
         // Local weights, leaf by leaf, plus the local total.
         let mut local_weights: Vec<u64> = Vec::with_capacity(self.num_local());
@@ -52,6 +53,7 @@ impl<const D: usize> Forest<D> {
         }
         let total = prefix[p];
         if total == 0 {
+            forestbal_trace::span_end(|| ctx.now_ns());
             return;
         }
 
@@ -83,6 +85,16 @@ impl<const D: usize> Forest<D> {
             rank_totals[s] > 0 && prefix[s] < cut(d + 1) && prefix[s + 1] > cut(d)
         };
         let me = ctx.rank();
+        let rec = 4 + codec::octant_size::<D>();
+        forestbal_trace::counter_add(
+            "partition.migrated_octants",
+            outgoing
+                .iter()
+                .enumerate()
+                .filter(|&(q, _)| q != me)
+                .map(|(_, b)| b.len() / rec)
+                .sum::<usize>() as u64,
+        );
         let mut incoming: Vec<(usize, Vec<u8>)> = Vec::new();
         for (q, buf) in outgoing.iter_mut().enumerate() {
             if q == me {
@@ -114,6 +126,7 @@ impl<const D: usize> Forest<D> {
         }
         self.local = local;
         self.update_markers(ctx);
+        forestbal_trace::span_end(|| ctx.now_ns());
     }
 }
 

@@ -38,10 +38,12 @@ impl<const D: usize> Forest<D> {
     /// communication rounds. Produces exactly the same forest as
     /// [`Forest::balance`], at a different (usually worse) cost.
     pub fn balance_ripple(&mut self, ctx: &impl Comm, cond: Condition) -> RippleStats {
+        forestbal_trace::span_begin("ripple", || ctx.now_ns());
         self.update_markers(ctx);
         let mut stats = RippleStats::default();
         loop {
             stats.rounds += 1;
+            forestbal_trace::span_begin("ripple.round", || ctx.now_ns());
             let mut changed = self.local_ripple_fixed_point(cond, &mut stats);
 
             // Exchange boundary leaves with every rank owning part of a
@@ -118,7 +120,12 @@ impl<const D: usize> Forest<D> {
             changed |= self.split_against_ghosts(&ghosts, cond, &mut stats);
 
             // Global convergence vote.
-            if !ctx.allreduce_or(changed) {
+            let done = !ctx.allreduce_or(changed);
+            forestbal_trace::span_end(|| ctx.now_ns());
+            if done {
+                forestbal_trace::counter_add("ripple.rounds", stats.rounds as u64);
+                forestbal_trace::counter_add("ripple.splits", stats.splits);
+                forestbal_trace::span_end(|| ctx.now_ns());
                 return stats;
             }
         }

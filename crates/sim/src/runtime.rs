@@ -56,7 +56,9 @@ enum RankYield {
     },
     Finished {
         outbox: Vec<OutMsg>,
-        stats: CommStats,
+        // Boxed: CommStats carries the per-tag table and would otherwise
+        // dominate the enum's size.
+        stats: Box<CommStats>,
     },
     Panicked(Box<dyn Any + Send>),
 }
@@ -297,7 +299,7 @@ impl Scheduler {
                     self.flush_outbox(r, outbox);
                     let st = &mut self.ranks[r];
                     st.alive = false;
-                    st.stats = stats;
+                    st.stats = *stats;
                     st.finish_ns = st.clock;
                     self.live -= 1;
                     return;
@@ -459,10 +461,7 @@ impl Comm for SimCtx {
 
     fn send(&self, dst: usize, tag: u32, data: Vec<u8>) {
         assert!(dst < self.size, "destination rank out of range");
-        let mut st = self.stats.borrow_mut();
-        st.messages_sent += 1;
-        st.bytes_sent += data.len() as u64;
-        drop(st);
+        self.stats.borrow_mut().record_send(tag, data.len());
         self.outbox.borrow_mut().push(OutMsg { dst, tag, data });
     }
 
@@ -477,11 +476,7 @@ impl Comm for SimCtx {
     }
 
     fn allgather(&self, data: Vec<u8>) -> Arc<Vec<Vec<u8>>> {
-        {
-            let mut st = self.stats.borrow_mut();
-            st.collective_calls += 1;
-            st.collective_bytes += data.len() as u64;
-        }
+        self.stats.borrow_mut().record_collective(data.len());
         match self.block(BlockKind::Allgather { data }) {
             Resume::Gather { all, now } => {
                 self.now.set(now);
@@ -653,7 +648,7 @@ impl SimCluster {
                                     rank,
                                     RankYield::Finished {
                                         outbox: ctx.outbox.take(),
-                                        stats: ctx.stats(),
+                                        stats: Box::new(ctx.stats()),
                                     },
                                 ));
                                 Some(v)

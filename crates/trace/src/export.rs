@@ -1,0 +1,442 @@
+//! Cluster-wide views of per-rank traces: chrome://tracing export,
+//! per-phase aggregates, merged counters and histograms.
+
+use crate::tracer::{Histogram, RankTrace, TraceEvent};
+use std::collections::BTreeMap;
+
+/// The traces of every rank of one run, ordered by rank.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClusterTrace {
+    /// One trace per rank.
+    pub ranks: Vec<RankTrace>,
+}
+
+/// Min/median/max over ranks of the per-rank total time spent in one span
+/// name — one row of the paper-style per-phase table (Fig. 15).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseAggregate {
+    /// Span name.
+    pub name: &'static str,
+    /// Ranks that recorded at least one such span.
+    pub ranks: usize,
+    /// Total span instances across all ranks.
+    pub spans: u64,
+    /// Minimum per-rank total, over recording ranks.
+    pub min_ns: u64,
+    /// Median per-rank total.
+    pub median_ns: u64,
+    /// Maximum per-rank total — the cluster-critical path.
+    pub max_ns: u64,
+}
+
+impl ClusterTrace {
+    /// Collect per-rank traces (sorted by rank).
+    pub fn new(mut ranks: Vec<RankTrace>) -> ClusterTrace {
+        ranks.sort_by_key(|r| r.rank);
+        ClusterTrace { ranks }
+    }
+
+    /// Per-phase min/median/max across ranks, keyed by span name
+    /// (alphabetical). A rank counts toward a phase only if it recorded
+    /// that span at least once.
+    pub fn phase_aggregates(&self) -> Vec<PhaseAggregate> {
+        let mut per_name: BTreeMap<&'static str, (u64, Vec<u64>)> = BTreeMap::new();
+        for rt in &self.ranks {
+            for (name, (count, total)) in rt.phase_totals() {
+                let e = per_name.entry(name).or_default();
+                e.0 += count;
+                e.1.push(total);
+            }
+        }
+        per_name
+            .into_iter()
+            .map(|(name, (spans, mut totals))| {
+                totals.sort_unstable();
+                PhaseAggregate {
+                    name,
+                    ranks: totals.len(),
+                    spans,
+                    min_ns: totals[0],
+                    median_ns: totals[totals.len() / 2],
+                    max_ns: totals[totals.len() - 1],
+                }
+            })
+            .collect()
+    }
+
+    /// Counters summed over all ranks.
+    pub fn merged_counters(&self) -> BTreeMap<&'static str, u64> {
+        let mut out: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for rt in &self.ranks {
+            for (&k, &v) in &rt.counters {
+                *out.entry(k).or_insert(0) += v;
+            }
+        }
+        out
+    }
+
+    /// Histograms merged (bucketwise sum) over all ranks.
+    pub fn merged_histograms(&self) -> BTreeMap<&'static str, Histogram> {
+        let mut out: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        for rt in &self.ranks {
+            for (&k, h) in &rt.histograms {
+                out.entry(k).or_default().merge(h);
+            }
+        }
+        out
+    }
+
+    /// Serialize in the chrome://tracing / Perfetto "trace event format":
+    /// one `pid` per rank, spans as complete (`ph:"X"`) events, point
+    /// events as instants (`ph:"i"`), final counter values as counter
+    /// (`ph:"C"`) samples, plus `process_name` metadata. Timestamps are
+    /// microseconds (the format's unit) with nanosecond precision kept in
+    /// the fraction. Load the result via chrome://tracing ("Load") or
+    /// <https://ui.perfetto.dev>.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+        for rt in &self.ranks {
+            let pid = rt.rank;
+            events.push(format!(
+                r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"rank {pid}"}}}}"#
+            ));
+            let mut end_ns = 0u64;
+            for s in rt.spans() {
+                end_ns = end_ns.max(s.end_ns);
+                events.push(format!(
+                    r#"{{"name":"{}","cat":"forestbal","ph":"X","ts":{},"dur":{},"pid":{pid},"tid":0}}"#,
+                    json_escape(s.name),
+                    micros(s.start_ns),
+                    micros(s.duration_ns()),
+                ));
+            }
+            for ev in &rt.events {
+                if let TraceEvent::Instant { name, t_ns } = *ev {
+                    end_ns = end_ns.max(t_ns);
+                    events.push(format!(
+                        r#"{{"name":"{}","cat":"forestbal","ph":"i","ts":{},"pid":{pid},"tid":0,"s":"t"}}"#,
+                        json_escape(name),
+                        micros(t_ns),
+                    ));
+                }
+            }
+            for (name, v) in &rt.counters {
+                events.push(format!(
+                    r#"{{"name":"{}","ph":"C","ts":{},"pid":{pid},"tid":0,"args":{{"value":{v}}}}}"#,
+                    json_escape(name),
+                    micros(end_ns),
+                ));
+            }
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&events.join(",\n"));
+        out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+        out
+    }
+}
+
+/// Nanoseconds as a decimal microsecond literal with full precision.
+fn micros(ns: u64) -> String {
+    if ns.is_multiple_of(1000) {
+        format!("{}", ns / 1000)
+    } else {
+        format!("{}.{:03}", ns / 1000, ns % 1000)
+    }
+}
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validate that `s` is one complete JSON value (RFC 8259 syntax; numbers,
+/// strings with escapes, arbitrarily nested arrays/objects). First-party
+/// stand-in for a JSON parser so exporter tests, examples and the CI smoke
+/// job need no external tooling. Returns the byte offset of the first
+/// error.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing data at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    match b.get(*i) {
+        None => Err(format!("unexpected end of input at byte {i}")),
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(b, i),
+        Some(&c) => Err(format!("unexpected byte {c:#x} at {i}")),
+    }
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*i..].starts_with(lit) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // consume '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected object key at byte {i}"));
+        }
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at byte {i}"));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {i}")),
+        }
+    }
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // consume '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {i}")),
+        }
+    }
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // consume '"'
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 1,
+                    Some(b'u') => {
+                        if b.len() < *i + 5 || !b[*i + 1..*i + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {i}"));
+                        }
+                        *i += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {i}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte in string at {i}")),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let digits = |b: &[u8], i: &mut usize| {
+        let s = *i;
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+        *i > s
+    };
+    if !digits(b, i) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !digits(b, i) {
+            return Err(format!("bad number fraction at byte {start}"));
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        if !digits(b, i) {
+            return Err(format!("bad number exponent at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\n\t\r"), "x\\n\\t\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        // Escaped output embeds into a valid JSON string literal.
+        let quoted = format!("\"{}\"", json_escape("q\"\\\n\u{7}"));
+        validate_json(&quoted).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            r#"{"a":[1,2,{"b":"cé"}],"d":false}"#,
+            "  [ 1 , \"x\" ]  ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{'a':1}",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "{} extra",
+            "\"raw\ncontrol\"",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[cfg(feature = "record")]
+    fn demo_trace() -> ClusterTrace {
+        use crate::tracer::{counter_add, hist, instant, span_begin, span_end, Tracer};
+        let ranks = (0..2)
+            .map(|r| {
+                let tr = Tracer::begin(r);
+                let mut t = 100 * r as u64;
+                let mut tick = || {
+                    t += 1500; // non-multiple of 1000: fractional µs path
+                    t
+                };
+                span_begin("phase \"a\"", &mut tick);
+                instant("mark\n", &mut tick);
+                span_begin("inner", &mut tick);
+                span_end(&mut tick);
+                span_end(&mut tick);
+                counter_add("bytes\\sent", 10 + r as u64);
+                hist("h", 3);
+                tr.finish()
+            })
+            .collect();
+        ClusterTrace::new(ranks)
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn chrome_export_is_valid_and_nested() {
+        let ct = demo_trace();
+        let json = ct.chrome_trace_json();
+        validate_json(&json).unwrap();
+        // Both pids present, names escaped, complete events emitted.
+        assert!(json.contains(r#""pid":0"#) && json.contains(r#""pid":1"#));
+        assert!(json.contains(r#""name":"phase \"a\"""#));
+        assert!(json.contains(r#""name":"mark\n""#));
+        assert!(json.contains(r#""name":"bytes\\sent""#));
+        assert_eq!(json.matches(r#""ph":"X""#).count(), 4);
+        assert_eq!(json.matches(r#""ph":"i""#).count(), 2);
+        assert_eq!(json.matches(r#""ph":"C""#).count(), 2);
+        // Nesting: each rank's inner span lies within its outer span.
+        for rt in &ct.ranks {
+            let spans = rt.spans();
+            assert_eq!(spans[0].depth, 0);
+            assert_eq!(spans[1].depth, 1);
+            assert!(spans[0].start_ns <= spans[1].start_ns);
+            assert!(spans[1].end_ns <= spans[0].end_ns);
+        }
+        // Fractional-microsecond timestamps survive the round trip.
+        assert!(json.contains("\"ts\":1.600") || json.contains("\"ts\":1.6"));
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn aggregates_and_merges() {
+        let ct = demo_trace();
+        let agg = ct.phase_aggregates();
+        let outer = agg.iter().find(|a| a.name == "phase \"a\"").unwrap();
+        assert_eq!(outer.ranks, 2);
+        assert_eq!(outer.spans, 2);
+        assert_eq!(outer.min_ns, 6000);
+        assert_eq!(outer.max_ns, 6000);
+        assert_eq!(ct.merged_counters()["bytes\\sent"], 21);
+        assert_eq!(ct.merged_histograms()["h"].count(), 2);
+    }
+
+    #[test]
+    fn micros_formatting() {
+        assert_eq!(micros(0), "0");
+        assert_eq!(micros(1000), "1");
+        assert_eq!(micros(1500), "1.500");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(12_000_007), "12000.007");
+    }
+}
