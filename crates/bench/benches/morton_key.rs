@@ -1,0 +1,169 @@
+//! Criterion micro-benchmark: the packed Morton-key fast path — codec
+//! pack/unpack, LSD radix sort vs comparison sort, and the
+//! open-addressing octant table vs the `HashSet`-backed set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use forestbal_bench::experiments::adapted_subtree_input;
+use forestbal_octant::key::{pack, unpack};
+use forestbal_octant::{sort_octants_with, Octant, OctantSet, OctantTable, SortScratch};
+use std::hint::black_box;
+
+/// Deterministic Fisher-Yates shuffle (xorshift).
+fn shuffle<T>(v: &mut [T], seed: u64) {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..v.len()).rev() {
+        let j = (rng() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let input = adapted_subtree_input(10_000, 7);
+    let keys: Vec<u128> = input.iter().map(pack).collect();
+    let mut g = c.benchmark_group("morton_key_codec");
+    g.throughput(Throughput::Elements(input.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::new("pack_3d", input.len()),
+        &input,
+        |b, octs| b.iter(|| octs.iter().map(|o| pack(black_box(o))).sum::<u128>()),
+    );
+    g.bench_with_input(
+        BenchmarkId::new("unpack_3d", keys.len()),
+        &keys,
+        |b, keys| {
+            b.iter(|| {
+                keys.iter()
+                    .map(|&k| {
+                        let o = unpack::<3>(black_box(k));
+                        o.coords.iter().map(|&c| c as i64).sum::<i64>() + o.level as i64
+                    })
+                    .sum::<i64>()
+            })
+        },
+    );
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("octant_sort_3d");
+    for target in [1_000usize, 10_000, 50_000] {
+        let mut shuffled = adapted_subtree_input(target, 42);
+        shuffle(&mut shuffled, 0x5eed);
+        let mut buf = shuffled.clone();
+        g.throughput(Throughput::Elements(shuffled.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("struct_sort", shuffled.len()),
+            &shuffled,
+            |b, input| {
+                b.iter(|| {
+                    buf.copy_from_slice(input);
+                    black_box(&mut buf).sort_unstable();
+                })
+            },
+        );
+        let mut scratch = SortScratch::new();
+        g.bench_with_input(
+            BenchmarkId::new("packed_radix", shuffled.len()),
+            &shuffled,
+            |b, input| {
+                b.iter(|| {
+                    buf.copy_from_slice(input);
+                    sort_octants_with(black_box(&mut buf), &mut scratch);
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("presorted", shuffled.len()),
+            &shuffled,
+            |b, _| b.iter(|| sort_octants_with(black_box(&mut buf), &mut scratch)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let input = adapted_subtree_input(10_000, 9);
+    let misses: Vec<Octant<3>> = input.iter().map(|o| o.child(0)).collect();
+    let mut g = c.benchmark_group("octant_membership");
+    g.throughput(Throughput::Elements(input.len() as u64));
+
+    g.bench_with_input(
+        BenchmarkId::new("hashset_build", input.len()),
+        &input,
+        |b, octs| {
+            b.iter(|| {
+                let mut s = OctantSet::default();
+                for o in octs {
+                    s.insert(*o);
+                }
+                black_box(s.len())
+            })
+        },
+    );
+    let mut table = OctantTable::<3>::new();
+    g.bench_with_input(
+        BenchmarkId::new("table_build", input.len()),
+        &input,
+        |b, octs| {
+            b.iter(|| {
+                table.reset_for(octs.len());
+                for o in octs {
+                    table.insert(o);
+                }
+                black_box(table.len())
+            })
+        },
+    );
+
+    let mut set = OctantSet::default();
+    for o in &input {
+        set.insert(*o);
+    }
+    g.bench_with_input(
+        BenchmarkId::new("hashset_query", input.len()),
+        &input,
+        |b, octs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for o in octs.iter().chain(&misses) {
+                    hits += usize::from(set.contains(black_box(o)));
+                }
+                black_box(hits)
+            })
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::new("table_query", input.len()),
+        &input,
+        |b, octs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for o in octs.iter().chain(&misses) {
+                    hits += usize::from(table.contains(black_box(o)));
+                }
+                black_box(hits)
+            })
+        },
+    );
+    g.finish();
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_codec, bench_sort, bench_table
+}
+criterion_main!(benches);

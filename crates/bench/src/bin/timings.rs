@@ -4,7 +4,7 @@
 //! to reproduce our results ... can be invoked by the timings example").
 //!
 //! ```text
-//! timings [--exp weak|strong|notify|subtree|seeds|ripple|simscale|all] [--max-ranks N] [--big]
+//! timings [--exp weak|strong|notify|subtree|kernel|seeds|ripple|simscale|all] [--max-ranks N] [--big]
 //!         [--trace-out trace.json]
 //! ```
 //!
@@ -266,6 +266,115 @@ fn run_subtree(big: bool) {
         ]);
     }
     t.print();
+}
+
+fn run_kernel(big: bool) {
+    let sizes: &[usize] = if big {
+        &[1_000, 10_000, 100_000, 400_000]
+    } else {
+        &[500, 5_000, 50_000]
+    };
+    println!("\n#### Packed-key kernels: radix sort, octant table, scratch reuse");
+    let rows = kernel_experiment(sizes);
+    let us = |s: f64| format!("{:.1}", s * 1e6);
+    let ns = |s: f64| format!("{:.1}", s * 1e9);
+
+    let mut t = Table::new(
+        "Octant sort: struct comparison vs packed radix (µs per sort)",
+        &["input", "struct", "radix", "speedup", "presorted", "passes"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.input_len.to_string(),
+            us(r.sort_struct_seconds),
+            us(r.sort_radix_seconds),
+            ratio(r.sort_struct_seconds, r.sort_radix_seconds),
+            us(r.sort_presorted_seconds),
+            r.radix_passes.to_string(),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "Octant membership: HashSet vs open-addressing table",
+        &[
+            "input",
+            "set build µs",
+            "table build µs",
+            "speedup",
+            "set query ns",
+            "table query ns",
+            "speedup",
+            "probes/op",
+            "grows",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.input_len.to_string(),
+            us(r.set_build_seconds),
+            us(r.table_build_seconds),
+            ratio(r.set_build_seconds, r.table_build_seconds),
+            ns(r.set_query_seconds),
+            ns(r.table_query_seconds),
+            ratio(r.set_query_seconds, r.table_query_seconds),
+            format!("{:.2}", r.table_probes_per_op),
+            r.table_grows.to_string(),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "New-kernel subtree balance end to end: HashSet baseline vs packed (µs)",
+        &[
+            "input",
+            "hashset",
+            "packed fresh",
+            "packed scratch",
+            "speedup",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.input_len.to_string(),
+            us(r.balance_hashset_seconds),
+            us(r.balance_fresh_seconds),
+            us(r.balance_scratch_seconds),
+            ratio(r.balance_hashset_seconds, r.balance_scratch_seconds),
+        ]);
+    }
+    t.print();
+
+    for r in &rows {
+        BenchRecord::new("kernel")
+            .u("input_len", r.input_len as u64)
+            .f("sort_struct_s", r.sort_struct_seconds)
+            .f("sort_radix_s", r.sort_radix_seconds)
+            .f("sort_presorted_s", r.sort_presorted_seconds)
+            .f(
+                "radix_speedup",
+                r.sort_struct_seconds / r.sort_radix_seconds.max(1e-12),
+            )
+            .u("radix_passes", r.radix_passes)
+            .f("set_build_s", r.set_build_seconds)
+            .f("table_build_s", r.table_build_seconds)
+            .f("set_query_s", r.set_query_seconds)
+            .f("table_query_s", r.table_query_seconds)
+            .f(
+                "table_query_speedup",
+                r.set_query_seconds / r.table_query_seconds.max(1e-12),
+            )
+            .f("table_probes_per_op", r.table_probes_per_op)
+            .u("table_grows", r.table_grows)
+            .f("balance_hashset_s", r.balance_hashset_seconds)
+            .f("balance_fresh_s", r.balance_fresh_seconds)
+            .f("balance_scratch_s", r.balance_scratch_seconds)
+            .f(
+                "balance_speedup",
+                r.balance_hashset_seconds / r.balance_scratch_seconds.max(1e-12),
+            )
+            .emit();
+    }
 }
 
 fn run_seeds() {
@@ -535,7 +644,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
-                    "usage: timings [--exp weak|strong|notify|subtree|seeds|ripple|simscale|all] \
+                    "usage: timings [--exp weak|strong|notify|subtree|kernel|seeds|ripple|simscale|all] \
                      [--max-ranks N] [--big] [--trace-out trace.json]"
                 );
                 std::process::exit(2);
@@ -543,12 +652,12 @@ fn main() {
         }
     }
     let known = [
-        "all", "subtree", "seeds", "notify", "weak", "strong", "ripple", "simscale",
+        "all", "subtree", "kernel", "seeds", "notify", "weak", "strong", "ripple", "simscale",
     ];
     if !known.contains(&exp.as_str()) {
         eprintln!("unknown experiment {exp}");
         eprintln!(
-            "usage: timings [--exp weak|strong|notify|subtree|seeds|ripple|simscale|all] \
+            "usage: timings [--exp weak|strong|notify|subtree|kernel|seeds|ripple|simscale|all] \
              [--max-ranks N] [--big] [--trace-out trace.json]"
         );
         std::process::exit(2);
@@ -556,6 +665,9 @@ fn main() {
     let all = exp == "all";
     if all || exp == "subtree" {
         run_subtree(big);
+    }
+    if all || exp == "kernel" {
+        run_kernel(big);
     }
     if all || exp == "seeds" {
         run_seeds();

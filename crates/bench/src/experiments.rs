@@ -10,12 +10,15 @@
 
 use forestbal_comm::{reverse_naive, reverse_notify, reverse_ranges, Cluster, Comm, CommStats};
 use forestbal_core::{
-    balance_subtree_new_with_stats, balance_subtree_old_ext, balance_subtree_old_with_stats,
-    find_seeds, reconstruct_from_seeds, BalanceStats, Condition,
+    balance_subtree_new_with_stats, balance_subtree_new_with_stats_scratch,
+    balance_subtree_old_ext, balance_subtree_old_with_stats, find_seeds, reconstruct_from_seeds,
+    BalanceScratch, BalanceStats, Condition,
 };
 use forestbal_forest::{BalanceReport, BalanceVariant, Forest, ReversalScheme};
 use forestbal_mesh::{fractal_forest, ice_sheet_forest, IceSheetParams};
-use forestbal_octant::{complete_subtree, linearize, Octant};
+use forestbal_octant::{
+    complete_subtree, linearize, sort_octants_with, Octant, OctantSet, OctantTable, SortScratch,
+};
 use forestbal_sim::{SimCluster, SimConfig};
 use forestbal_trace::{ClusterTrace, RankTrace, Tracer};
 use std::time::Instant;
@@ -562,6 +565,266 @@ pub fn subtree_experiment(targets: &[usize]) -> Vec<SubtreeRow> {
         .collect()
 }
 
+/// One row of the packed-key kernel study: struct sort vs packed radix,
+/// `HashSet` octant set vs open-addressing [`OctantTable`], and fresh vs
+/// reused [`BalanceScratch`], all on the same adapted 3D input.
+#[derive(Clone, Debug)]
+pub struct KernelRow {
+    /// Leaves in the (complete, linear) input octree.
+    pub input_len: usize,
+    /// `sort_unstable` on the shuffled struct array.
+    pub sort_struct_seconds: f64,
+    /// Packed-key LSD radix sort on the same shuffled array.
+    pub sort_radix_seconds: f64,
+    /// Packed-path sort on already-sorted input (the early-out).
+    pub sort_presorted_seconds: f64,
+    /// Radix passes one shuffled sort performed (trivial passes skipped).
+    pub radix_passes: u64,
+    /// Building a `HashSet`-backed [`OctantSet`] from the input.
+    pub set_build_seconds: f64,
+    /// Building a pre-sized [`OctantTable`] from the input.
+    pub table_build_seconds: f64,
+    /// Membership queries (half hits, half misses) against the set.
+    pub set_query_seconds: f64,
+    /// The same queries against the table.
+    pub table_query_seconds: f64,
+    /// Mean linear-probe steps per table operation.
+    pub table_probes_per_op: f64,
+    /// Table regrowths during the build (0 = pre-sizing sufficed).
+    pub table_grows: u64,
+    /// The new kernel as it stood before the packed fast path (`HashSet`
+    /// membership, struct sort), end to end.
+    pub balance_hashset_seconds: f64,
+    /// New-kernel subtree balance allocating fresh per call.
+    pub balance_fresh_seconds: f64,
+    /// The same balance through one reused scratch arena.
+    pub balance_scratch_seconds: f64,
+}
+
+/// The pre-packed-path new kernel, pinned as an end-to-end baseline (the
+/// same reference the differential tests in `forestbal-core` check the
+/// packed kernels against, stats and all).
+fn reference_balance_new<const D: usize>(
+    root: &Octant<D>,
+    input: &[Octant<D>],
+    cond: Condition,
+) -> (Vec<Octant<D>>, BalanceStats) {
+    use forestbal_core::{complete_reduced, precludes, reduce, remove_precluded};
+    use std::collections::VecDeque;
+    let mut stats = BalanceStats::default();
+    let interior: Vec<Octant<D>> = input
+        .iter()
+        .copied()
+        .filter(|o| o.level > root.level)
+        .collect();
+    let r = reduce(&interior);
+    let mut rnew: OctantSet<D> = OctantSet::default();
+    let mut rprec: OctantSet<D> = OctantSet::default();
+    let mut work: VecDeque<Octant<D>> = r.iter().copied().collect();
+
+    while let Some(o) = work.pop_front() {
+        if o.level <= root.level + 1 {
+            continue;
+        }
+        for s0 in &forestbal_core::coarse_neighborhood(&o, cond) {
+            if s0.level <= root.level || !root.contains(s0) {
+                continue;
+            }
+            let s = s0.sibling(0);
+            stats.hash_queries += 1;
+            if rnew.contains(&s) {
+                continue;
+            }
+            stats.binary_searches += 1;
+            let pos = r.partition_point(|t| t <= &s);
+            if pos > 0 {
+                let t = r[pos - 1];
+                if t == s {
+                    continue;
+                }
+                if precludes(&t, &s) {
+                    rprec.insert(t);
+                } else if precludes(&s, &t) {
+                    rprec.insert(s);
+                }
+            }
+            if precludes(&s, &o) {
+                rprec.insert(s);
+            }
+            rnew.insert(s);
+            work.push_back(s);
+        }
+    }
+
+    let mut rfinal: Vec<Octant<D>> = Vec::new();
+    rfinal.extend(r.iter().filter(|t| !rprec.contains(t)));
+    rfinal.extend(rnew.iter().filter(|t| !rprec.contains(t)));
+    stats.sorted_len = rfinal.len();
+    rfinal.sort_unstable();
+    remove_precluded(&mut rfinal);
+    let out = complete_reduced(root, &rfinal);
+    stats.output_len = out.len();
+    (out, stats)
+}
+
+/// Deterministic Fisher-Yates shuffle (xorshift; the workspace builds
+/// offline without `rand` in the hot path).
+fn shuffle<T>(v: &mut [T], seed: u64) {
+    let mut state = seed | 1;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..v.len()).rev() {
+        let j = (rng() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+fn timed(reps: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Best-of-`reps` timing: the minimum single-call time is far more robust
+/// to scheduler noise than the mean, which matters for the end-to-end
+/// balance comparison where each call runs only a handful of times.
+fn timed_min(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Micro-benchmark the packed-key building blocks against the structures
+/// they replaced, on adapted 3D inputs of roughly the given sizes. Every
+/// fast path is differentially checked against its baseline in the same
+/// run, so a row is also a correctness witness.
+pub fn kernel_experiment(targets: &[usize]) -> Vec<KernelRow> {
+    use std::hint::black_box;
+    let root = Octant::<3>::root();
+    let cond = Condition::full(3);
+    targets
+        .iter()
+        .map(|&n| {
+            let input = adapted_subtree_input(n, 0xbeef ^ n as u64);
+            let mut shuffled = input.clone();
+            shuffle(&mut shuffled, 0x5eed ^ n as u64);
+            let reps = (100_000 / input.len().max(1)).clamp(2, 25);
+
+            // --- sort: struct comparison vs packed radix vs presorted ---
+            let mut buf = shuffled.clone();
+            let sort_struct_seconds = timed(reps, || {
+                buf.copy_from_slice(&shuffled);
+                black_box(&mut buf).sort_unstable();
+            });
+            let struct_sorted = buf.clone();
+            let mut sort = SortScratch::new();
+            let passes_before = sort.radix_passes;
+            let sorts_before = sort.radix_sorts;
+            let sort_radix_seconds = timed(reps, || {
+                buf.copy_from_slice(&shuffled);
+                sort_octants_with(black_box(&mut buf), &mut sort);
+            });
+            assert_eq!(buf, struct_sorted, "radix sort diverged from sort_unstable");
+            let radix_passes =
+                (sort.radix_passes - passes_before) / (sort.radix_sorts - sorts_before).max(1);
+            let sort_presorted_seconds = timed(reps, || {
+                sort_octants_with(black_box(&mut buf), &mut sort);
+            });
+
+            // --- membership: HashSet octant set vs open-addressing table ---
+            // Queries are half hits (the leaves themselves) and half
+            // misses (each leaf's first child), the mix the kernels see.
+            let misses: Vec<Octant<3>> = input.iter().map(|o| o.child(0)).collect();
+            let mut set = OctantSet::default();
+            let set_build_seconds = timed(reps, || {
+                set = OctantSet::default();
+                for o in &input {
+                    set.insert(*o);
+                }
+            });
+            let mut table = OctantTable::<3>::new();
+            let table_build_seconds = timed(reps, || {
+                table.reset_for(input.len());
+                for o in &input {
+                    table.insert(o);
+                }
+            });
+            for (o, m) in input.iter().zip(&misses) {
+                assert_eq!(set.contains(o), table.contains(o));
+                assert_eq!(set.contains(m), table.contains(m));
+            }
+            let set_query_seconds = timed(reps, || {
+                let mut hits = 0usize;
+                for o in input.iter().chain(&misses) {
+                    hits += usize::from(set.contains(black_box(o)));
+                }
+                black_box(hits);
+            }) / (2 * input.len()) as f64;
+            let probes_before = table.probe_count();
+            let lookups_before = table.lookup_count();
+            let table_query_seconds = timed(reps, || {
+                let mut hits = 0usize;
+                for o in input.iter().chain(&misses) {
+                    hits += usize::from(table.contains(black_box(o)));
+                }
+                black_box(hits);
+            }) / (2 * input.len()) as f64;
+            let table_probes_per_op = (table.probe_count() - probes_before) as f64
+                / (table.lookup_count() - lookups_before).max(1) as f64;
+
+            // --- full kernel: HashSet baseline vs packed, fresh vs reused ---
+            let bal_reps = reps.min(5);
+            let mut base_out = (Vec::new(), BalanceStats::default());
+            let balance_hashset_seconds = timed_min(bal_reps, || {
+                base_out = reference_balance_new(&root, black_box(&input), cond);
+            });
+            let mut fresh_out = (Vec::new(), BalanceStats::default());
+            let balance_fresh_seconds = timed_min(bal_reps, || {
+                fresh_out = balance_subtree_new_with_stats(&root, black_box(&input), cond);
+            });
+            assert_eq!(fresh_out, base_out, "packed kernel diverged from baseline");
+            let mut scratch = BalanceScratch::<3>::new();
+            let mut scratch_out = (Vec::new(), BalanceStats::default());
+            let balance_scratch_seconds = timed_min(bal_reps, || {
+                scratch_out = balance_subtree_new_with_stats_scratch(
+                    &root,
+                    black_box(&input),
+                    cond,
+                    &mut scratch,
+                );
+            });
+            assert_eq!(scratch_out, fresh_out, "scratch path diverged");
+
+            KernelRow {
+                input_len: input.len(),
+                sort_struct_seconds,
+                sort_radix_seconds,
+                sort_presorted_seconds,
+                radix_passes,
+                set_build_seconds,
+                table_build_seconds,
+                set_query_seconds,
+                table_query_seconds,
+                table_probes_per_op,
+                table_grows: table.grow_count(),
+                balance_hashset_seconds,
+                balance_fresh_seconds,
+                balance_scratch_seconds,
+            }
+        })
+        .collect()
+}
+
 /// One row of the seed-vs-auxiliary study (§IV / Figures 4b and 9).
 #[derive(Clone, Debug)]
 pub struct SeedsRow {
@@ -653,6 +916,19 @@ mod tests {
         assert!(r.new_stats.hash_queries < r.old_stats.hash_queries);
         assert!(r.new_stats.sorted_len < r.old_stats.sorted_len);
         assert_eq!(r.new_stats.output_len, r.old_stats.output_len);
+    }
+
+    #[test]
+    fn kernel_rows_are_self_checking() {
+        // The driver asserts radix == sort_unstable, table == set, and
+        // scratch == fresh internally; here we check the counters land.
+        let rows = kernel_experiment(&[300]);
+        let r = &rows[0];
+        assert!(r.input_len > 100);
+        assert!(r.radix_passes >= 1, "shuffled input must need radix work");
+        assert_eq!(r.table_grows, 0, "pre-sized table must not regrow");
+        assert!(r.table_probes_per_op >= 1.0);
+        assert!(r.sort_presorted_seconds <= r.sort_radix_seconds);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod lambda;
 pub mod neighborhood;
 pub mod oracle;
 pub mod preclude;
+pub mod scratch;
 pub mod seeds;
 pub mod subtree;
 
@@ -60,8 +61,10 @@ pub use condition::Condition;
 pub use lambda::{balanced_size_log2_at, carry3, closest_balanced_octant, is_balanced_pair};
 pub use neighborhood::{coarse_neighborhood, insulation_layer};
 pub use preclude::{complete_reduced, precludes, reduce, remove_precluded};
-pub use seeds::{find_seeds, reconstruct_from_seeds};
+pub use scratch::{BalanceScratch, ScratchStats};
+pub use seeds::{find_seeds, reconstruct_from_seeds, reconstruct_from_seeds_scratch};
 pub use subtree::{
-    balance_subtree_new, balance_subtree_new_with_stats, balance_subtree_old,
-    balance_subtree_old_ext, balance_subtree_old_with_stats, BalanceStats,
+    balance_subtree_new, balance_subtree_new_scratch, balance_subtree_new_with_stats,
+    balance_subtree_new_with_stats_scratch, balance_subtree_old, balance_subtree_old_ext,
+    balance_subtree_old_ext_scratch, balance_subtree_old_with_stats, BalanceStats,
 };

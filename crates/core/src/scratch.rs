@@ -1,0 +1,109 @@
+//! Reusable working memory for the subtree balance kernels.
+//!
+//! The parallel phase-1 and phase-4 loops in `forestbal-forest` call a
+//! subtree balance once per local tree (and once per query in the splice
+//! path). Each call needs a work queue, one or two membership tables, and
+//! sort buffers — allocations that are identical in shape from call to
+//! call. [`BalanceScratch`] owns all of them so a rank allocates once per
+//! balance pass instead of once per subtree.
+//!
+//! Lifetime rules: a scratch may be reused across any sequence of kernel
+//! invocations, of either kernel, with any roots and conditions — every
+//! kernel fully resets the state it reads before use, and nothing of a
+//! previous invocation's *results* survives in the scratch. Buffers only
+//! grow (to the high-water mark of past inputs) and instrumentation
+//! counters only accumulate; harvest them with [`BalanceScratch::stats`]
+//! at the end of a pass and feed them to `forestbal-trace`.
+
+use forestbal_octant::{linearize_with, sort_octants_with, Octant, OctantTable, SortScratch};
+use std::collections::VecDeque;
+
+/// Reusable arena of kernel working memory. See the module docs for the
+/// lifetime rules.
+pub struct BalanceScratch<const D: usize> {
+    /// Pending octants whose constraints still propagate (both kernels).
+    pub(crate) work: VecDeque<Octant<D>>,
+    /// `snew` in the old kernel, `rnew` in the new kernel.
+    pub(crate) table_a: OctantTable<D>,
+    /// `rprec` in the new kernel; unused by the old kernel.
+    pub(crate) table_b: OctantTable<D>,
+    /// Radix-sort key buffers.
+    pub(crate) sort: SortScratch,
+    /// Assembly buffer for the pre-sort union (`all` / `rfinal`).
+    pub(crate) buf: Vec<Octant<D>>,
+    /// Secondary buffer (the new kernel's interior filter).
+    pub(crate) aux: Vec<Octant<D>>,
+    uses: u64,
+}
+
+/// Cumulative instrumentation harvested from a [`BalanceScratch`]; the
+/// source of the kernel counters traced by `forestbal-forest`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Radix scatter passes executed across all sorts.
+    pub radix_passes: u64,
+    /// Sorts satisfied by the already-sorted early-out.
+    pub presorted_hits: u64,
+    /// Sorts that ran the radix path.
+    pub radix_sorts: u64,
+    /// Sorts that fell back to comparison sorting.
+    pub comparison_fallbacks: u64,
+    /// Slots inspected across all table lookups and inserts.
+    pub table_probes: u64,
+    /// Table lookup/insert operations.
+    pub table_lookups: u64,
+    /// Table regrowths (zero when the pre-sizing bounds held).
+    pub table_grows: u64,
+    /// Kernel invocations that reused this scratch (total uses minus one).
+    pub reuses: u64,
+}
+
+impl<const D: usize> BalanceScratch<D> {
+    /// New scratch with empty buffers.
+    pub fn new() -> Self {
+        BalanceScratch {
+            work: VecDeque::new(),
+            table_a: OctantTable::new(),
+            table_b: OctantTable::new(),
+            sort: SortScratch::new(),
+            buf: Vec::new(),
+            aux: Vec::new(),
+            uses: 0,
+        }
+    }
+
+    /// Mark the start of one kernel invocation (reuse accounting).
+    pub(crate) fn begin(&mut self) {
+        self.uses += 1;
+    }
+
+    /// Sort a vector through the scratch's radix buffers.
+    pub fn sort(&mut self, v: &mut [Octant<D>]) {
+        sort_octants_with(v, &mut self.sort);
+    }
+
+    /// Linearize a vector through the scratch's radix buffers.
+    pub fn linearize(&mut self, v: &mut Vec<Octant<D>>) {
+        linearize_with(v, &mut self.sort);
+    }
+
+    /// Snapshot the cumulative instrumentation counters.
+    pub fn stats(&self) -> ScratchStats {
+        ScratchStats {
+            radix_passes: self.sort.radix_passes,
+            presorted_hits: self.sort.presorted_hits,
+            radix_sorts: self.sort.radix_sorts,
+            comparison_fallbacks: self.sort.comparison_fallbacks,
+            table_probes: self.table_a.probe_count() + self.table_b.probe_count(),
+            table_lookups: self.table_a.lookup_count() + self.table_b.lookup_count(),
+            table_grows: self.table_a.grow_count() + self.table_b.grow_count(),
+            reuses: self.uses.saturating_sub(1),
+        }
+    }
+}
+
+impl<const D: usize> Default for BalanceScratch<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

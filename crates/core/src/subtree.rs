@@ -22,7 +22,10 @@
 use crate::condition::Condition;
 use crate::neighborhood::coarse_neighborhood;
 use crate::preclude::{canonical, complete_reduced, precludes, reduce, remove_precluded};
-use forestbal_octant::{complete_subtree, is_linear, linearize, Octant, OctantSet};
+use crate::scratch::BalanceScratch;
+use forestbal_octant::{
+    complete_subtree, is_linear, linearize_with, sort_octants_with, Octant, OctantTable,
+};
 use std::collections::VecDeque;
 
 /// Operation counters for one subtree balance invocation.
@@ -72,12 +75,25 @@ pub fn balance_subtree_old_ext<const D: usize>(
     exterior: &[Octant<D>],
     cond: Condition,
 ) -> (Vec<Octant<D>>, BalanceStats) {
+    balance_subtree_old_ext_scratch(root, input, exterior, cond, &mut BalanceScratch::new())
+}
+
+/// [`balance_subtree_old_ext`] with caller-provided working memory, for
+/// loops that balance many subtrees in sequence.
+pub fn balance_subtree_old_ext_scratch<const D: usize>(
+    root: &Octant<D>,
+    input: &[Octant<D>],
+    exterior: &[Octant<D>],
+    cond: Condition,
+    scratch: &mut BalanceScratch<D>,
+) -> (Vec<Octant<D>>, BalanceStats) {
     debug_assert!(is_linear(input));
     debug_assert!(input.iter().all(|o| root.contains(o)));
     debug_assert!(exterior
         .iter()
         .all(|o| !root.contains(o) && !o.contains(root)));
     let mut stats = BalanceStats::default();
+    scratch.begin();
 
     // Auxiliary octants may live outside the root, but only within its
     // insulation envelope: anything farther cannot constrain the subtree.
@@ -88,14 +104,20 @@ pub fn balance_subtree_old_ext<const D: usize>(
         })
     };
 
-    let mut snew: OctantSet<D> = OctantSet::default();
-    let mut work: VecDeque<Octant<D>> = input.iter().chain(exterior.iter()).copied().collect();
+    // The auxiliary set is proportional to the input for the balanced-ish
+    // inputs of the parallel phases; pre-size so steady-state invocations
+    // never regrow (`ScratchStats::table_grows` tracks violations).
+    let snew = &mut scratch.table_a;
+    snew.reset_for(4 * (input.len() + exterior.len()) + 32);
+    let work = &mut scratch.work;
+    work.clear();
+    work.extend(input.iter().chain(exterior.iter()).copied());
     while let Some(o) = work.pop_front() {
         if o.level <= root.level {
             continue;
         }
         let try_add = |s: Octant<D>,
-                       snew: &mut OctantSet<D>,
+                       snew: &mut OctantTable<D>,
                        work: &mut VecDeque<Octant<D>>,
                        stats: &mut BalanceStats| {
             if s.level <= root.level || !within_insulation(&s) {
@@ -109,26 +131,28 @@ pub fn balance_subtree_old_ext<const D: usize>(
             if input.binary_search(&s).is_ok() {
                 return;
             }
-            snew.insert(s);
+            snew.insert(&s);
             work.push_back(s);
         };
         for i in 0..Octant::<D>::NUM_CHILDREN {
-            try_add(o.sibling(i), &mut snew, &mut work, &mut stats);
+            try_add(o.sibling(i), snew, work, &mut stats);
         }
         for n in &coarse_neighborhood(&o, cond) {
-            try_add(*n, &mut snew, &mut work, &mut stats);
+            try_add(*n, snew, work, &mut stats);
         }
     }
 
-    let mut all: Vec<Octant<D>> = Vec::with_capacity(input.len() + snew.len());
+    let all = &mut scratch.buf;
+    all.clear();
+    all.reserve(input.len() + snew.len());
     all.extend_from_slice(input);
-    all.extend(snew.into_iter().filter(|s| root.contains(s)));
+    all.extend(snew.iter().filter(|s| root.contains(s)));
     stats.sorted_len = all.len();
-    linearize(&mut all);
+    linearize_with(all, &mut scratch.sort);
     // The family insertions make the result complete for complete inputs;
     // for incomplete inputs (seed reconstruction) fill remaining gaps in
     // the coarsest way.
-    let out = complete_subtree(root, &all);
+    let out = complete_subtree(root, all);
     stats.output_len = out.len();
     (out, stats)
 }
@@ -148,22 +172,49 @@ pub fn balance_subtree_new_with_stats<const D: usize>(
     input: &[Octant<D>],
     cond: Condition,
 ) -> (Vec<Octant<D>>, BalanceStats) {
+    balance_subtree_new_with_stats_scratch(root, input, cond, &mut BalanceScratch::new())
+}
+
+/// [`balance_subtree_new`] with caller-provided working memory.
+pub fn balance_subtree_new_scratch<const D: usize>(
+    root: &Octant<D>,
+    input: &[Octant<D>],
+    cond: Condition,
+    scratch: &mut BalanceScratch<D>,
+) -> Vec<Octant<D>> {
+    balance_subtree_new_with_stats_scratch(root, input, cond, scratch).0
+}
+
+/// [`balance_subtree_new_with_stats`] with caller-provided working memory,
+/// for loops that balance many subtrees in sequence.
+pub fn balance_subtree_new_with_stats_scratch<const D: usize>(
+    root: &Octant<D>,
+    input: &[Octant<D>],
+    cond: Condition,
+    scratch: &mut BalanceScratch<D>,
+) -> (Vec<Octant<D>>, BalanceStats) {
     debug_assert!(is_linear(input));
     debug_assert!(input.iter().all(|o| root.contains(o)));
     let mut stats = BalanceStats::default();
+    scratch.begin();
 
     // An input octant at the root's own level can only be the root itself
     // (the input is linear and inside the root); it pins nothing, and its
     // canonical 0-sibling would lie outside the subtree.
-    let interior: Vec<Octant<D>> = input
-        .iter()
-        .copied()
-        .filter(|o| o.level > root.level)
-        .collect();
-    let r = reduce(&interior);
-    let mut rnew: OctantSet<D> = OctantSet::default();
-    let mut rprec: OctantSet<D> = OctantSet::default();
-    let mut work: VecDeque<Octant<D>> = r.iter().copied().collect();
+    let interior = &mut scratch.aux;
+    interior.clear();
+    interior.extend(input.iter().copied().filter(|o| o.level > root.level));
+    let r = reduce(interior);
+    // Representatives stand for whole families: both tables stay well
+    // under the input length, so this pre-sizing never regrows in steady
+    // state (`ScratchStats::table_grows` tracks violations).
+    let rnew = &mut scratch.table_a;
+    rnew.reset_for(input.len() + 16);
+    let rprec = &mut scratch.table_b;
+    rprec.reset_for(input.len() + 16);
+    let work = &mut scratch.work;
+    work.clear();
+    work.extend(r.iter().copied());
 
     while let Some(o) = work.pop_front() {
         if o.level <= root.level + 1 {
@@ -192,32 +243,33 @@ pub fn balance_subtree_new_with_stats<const D: usize>(
                 if precludes(&t, &s) {
                     // The input family region contains the new finer
                     // family: the input representative is now redundant.
-                    rprec.insert(t);
+                    rprec.insert(&t);
                 } else if precludes(&s, &t) {
                     // The new octant's family region contains finer input
                     // structure: the new octant is redundant, but its
                     // neighborhood constraints still propagate.
-                    rprec.insert(s);
+                    rprec.insert(&s);
                 }
             }
             if precludes(&s, &o) {
-                rprec.insert(s); // Figure 7 line 9: s ≺ o
+                rprec.insert(&s); // Figure 7 line 9: s ≺ o
             }
-            rnew.insert(s);
+            rnew.insert(&s);
             work.push_back(s);
         }
     }
 
-    let mut rfinal: Vec<Octant<D>> =
-        Vec::with_capacity(r.len() + rnew.len() - rprec.len().min(r.len() + rnew.len()));
+    let rfinal = &mut scratch.buf;
+    rfinal.clear();
+    rfinal.reserve(r.len() + rnew.len());
     rfinal.extend(r.iter().filter(|t| !rprec.contains(t)));
     rfinal.extend(rnew.iter().filter(|t| !rprec.contains(t)));
     stats.sorted_len = rfinal.len();
-    rfinal.sort_unstable();
+    sort_octants_with(rfinal, &mut scratch.sort);
     // Robust sweep: drop any remaining nested family regions (preclusion
     // chains that insertion-time tagging does not see).
-    remove_precluded(&mut rfinal);
-    let out = complete_reduced(root, &rfinal);
+    remove_precluded(rfinal);
+    let out = complete_reduced(root, rfinal);
     stats.output_len = out.len();
     (out, stats)
 }

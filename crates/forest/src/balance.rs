@@ -27,10 +27,10 @@ use crate::connectivity::{translate, TreeId};
 use crate::forest::Forest;
 use forestbal_comm::{ranges_expansion, reverse_naive, reverse_notify, reverse_ranges, Comm};
 use forestbal_core::{
-    balance_subtree_new_with_stats, balance_subtree_old_ext, balance_subtree_old_with_stats,
-    find_seeds, reconstruct_from_seeds, Condition,
+    balance_subtree_new_with_stats_scratch, balance_subtree_old_ext_scratch, find_seeds,
+    reconstruct_from_seeds_scratch, BalanceScratch, Condition,
 };
-use forestbal_octant::{directions, is_linear, linearize, Coord, Octant};
+use forestbal_octant::{directions, is_linear, linearize, sort_octants, Coord, Octant};
 use forestbal_trace as trace;
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -168,6 +168,9 @@ impl<const D: usize> Forest<D> {
         // ---- Phase 1: local balance --------------------------------
         let t0 = ctx.now_ns();
         trace::span_begin("local_balance", || t0);
+        // One arena of kernel working memory serves every subtree of this
+        // rank's phase-1 loop and is threaded on through phase 4.
+        let mut scratch = BalanceScratch::<D>::new();
         let mut local_stats = forestbal_core::BalanceStats::default();
         for (_, v) in self.local.iter_mut() {
             if v.is_empty() {
@@ -176,8 +179,12 @@ impl<const D: usize> Forest<D> {
             let sub = v[0].nearest_common_ancestor(&v[v.len() - 1]);
             let (lo, hi) = (v[0].index(), v[v.len() - 1].last_index());
             let (balanced, bs) = match variant {
-                BalanceVariant::Old => balance_subtree_old_with_stats(&sub, v, cond),
-                BalanceVariant::New => balance_subtree_new_with_stats(&sub, v, cond),
+                BalanceVariant::Old => {
+                    balance_subtree_old_ext_scratch(&sub, v, &[], cond, &mut scratch)
+                }
+                BalanceVariant::New => {
+                    balance_subtree_new_with_stats_scratch(&sub, v, cond, &mut scratch)
+                }
             };
             local_stats.hash_queries += bs.hash_queries;
             local_stats.binary_searches += bs.binary_searches;
@@ -195,6 +202,12 @@ impl<const D: usize> Forest<D> {
         trace::counter_add("balance.local.binary_searches", local_stats.binary_searches);
         trace::counter_add("balance.local.sorted_len", local_stats.sorted_len as u64);
         trace::counter_add("balance.local.output_len", local_stats.output_len as u64);
+        let ks_local = scratch.stats();
+        trace::counter_add("balance.local.radix_passes", ks_local.radix_passes);
+        trace::counter_add("balance.local.presorted_sorts", ks_local.presorted_hits);
+        trace::counter_add("balance.local.table_probes", ks_local.table_probes);
+        trace::counter_add("balance.local.table_lookups", ks_local.table_lookups);
+        trace::counter_add("balance.local.table_grows", ks_local.table_grows);
         report.timings.local_balance = Duration::from_nanos(t1 - t0);
 
         // ---- Phase 2: build queries --------------------------------
@@ -378,12 +391,34 @@ impl<const D: usize> Forest<D> {
         let t0 = t1;
         trace::span_begin("rebalance", || t0);
         match variant {
-            BalanceVariant::New => self.rebalance_new(&queries, per_qid, cond),
-            BalanceVariant::Old => self.rebalance_old(&queries, per_qid, cond),
+            BalanceVariant::New => self.rebalance_new(&queries, per_qid, cond, &mut scratch),
+            BalanceVariant::Old => self.rebalance_old(&queries, per_qid, cond, &mut scratch),
         }
         let t1 = ctx.now_ns();
         trace::span_end(|| t1);
         trace::span_end(|| t1); // the enclosing "balance" span
+        let ks = scratch.stats();
+        trace::counter_add(
+            "balance.rebalance.radix_passes",
+            ks.radix_passes - ks_local.radix_passes,
+        );
+        trace::counter_add(
+            "balance.rebalance.presorted_sorts",
+            ks.presorted_hits - ks_local.presorted_hits,
+        );
+        trace::counter_add(
+            "balance.rebalance.table_probes",
+            ks.table_probes - ks_local.table_probes,
+        );
+        trace::counter_add(
+            "balance.rebalance.table_lookups",
+            ks.table_lookups - ks_local.table_lookups,
+        );
+        trace::counter_add(
+            "balance.rebalance.table_grows",
+            ks.table_grows - ks_local.table_grows,
+        );
+        trace::counter_add("balance.scratch.reuses", ks.reuses);
         report.timings.rebalance = Duration::from_nanos(t1 - t0);
         report.timings.total = Duration::from_nanos(t1 - t_total);
         report
@@ -427,11 +462,12 @@ impl<const D: usize> Forest<D> {
                     }
                 }
             }
-            out.sort_unstable();
+            sort_octants(&mut out);
             out.dedup();
             if variant == BalanceVariant::New {
                 // Overlapping seeds from different source octants resolve
-                // to the finest.
+                // to the finest (already sorted: the fast path skips the
+                // sort and only runs the ancestor sweep).
                 linearize(&mut out);
             }
             trace::counter_add("balance.queries_answered", 1);
@@ -462,6 +498,7 @@ impl<const D: usize> Forest<D> {
         queries: &[(TreeId, Octant<D>)],
         per_qid: Vec<Vec<Octant<D>>>,
         cond: Condition,
+        scratch: &mut BalanceScratch<D>,
     ) {
         // tree -> (query octant -> replacement leaves)
         let mut splices: BTreeMap<TreeId, BTreeMap<Octant<D>, Vec<Octant<D>>>> = BTreeMap::new();
@@ -470,8 +507,8 @@ impl<const D: usize> Forest<D> {
                 continue;
             }
             let (t, r) = queries[qid];
-            linearize(&mut seeds);
-            let s = reconstruct_from_seeds(&r, &seeds, cond);
+            scratch.linearize(&mut seeds);
+            let s = reconstruct_from_seeds_scratch(&r, &seeds, cond, scratch);
             if s.len() > 1 {
                 splices.entry(t).or_default().insert(r, s);
             }
@@ -502,6 +539,7 @@ impl<const D: usize> Forest<D> {
         queries: &[(TreeId, Octant<D>)],
         per_qid: Vec<Vec<Octant<D>>>,
         cond: Condition,
+        scratch: &mut BalanceScratch<D>,
     ) {
         let mut per_tree: BTreeMap<TreeId, Vec<Octant<D>>> = BTreeMap::new();
         for (qid, octs) in per_qid.into_iter().enumerate() {
@@ -509,7 +547,7 @@ impl<const D: usize> Forest<D> {
             per_tree.entry(t).or_default().extend(octs);
         }
         for (t, mut received) in per_tree {
-            received.sort_unstable();
+            scratch.sort(&mut received);
             received.dedup();
             let v = self
                 .local
@@ -527,7 +565,8 @@ impl<const D: usize> Forest<D> {
             // from ours, but deduplicate defensively.
             interior.dedup();
             debug_assert!(is_linear(&interior));
-            let (balanced, _) = balance_subtree_old_ext(&sub, &interior, &exterior, cond);
+            let (balanced, _) =
+                balance_subtree_old_ext_scratch(&sub, &interior, &exterior, cond, scratch);
             *v = balanced
                 .into_iter()
                 .filter(|o| o.index() >= lo && o.last_index() <= hi)

@@ -86,8 +86,9 @@ impl<const D: usize> Forest<D> {
             let (t, o) = get_tree_octant::<D>(data, &mut pos);
             map.entry(t).or_default().push(o);
         }
+        let mut sort = forestbal_octant::SortScratch::new();
         for v in map.values_mut() {
-            v.sort_unstable();
+            forestbal_octant::sort_octants_with(v, &mut sort);
         }
         map
     }

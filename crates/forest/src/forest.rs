@@ -316,8 +316,9 @@ impl<const D: usize> Forest<D> {
         }
         // Ranks own disjoint contiguous slices, but interleaved pushes may
         // disorder trees split across ranks.
+        let mut sort = forestbal_octant::SortScratch::new();
         for v in global.values_mut() {
-            v.sort_unstable();
+            forestbal_octant::sort_octants_with(v, &mut sort);
             debug_assert!(is_linear(v));
         }
         global

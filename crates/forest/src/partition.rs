@@ -121,8 +121,9 @@ impl<const D: usize> Forest<D> {
                 local.entry(t).or_default().push(o);
             }
         }
+        let mut sort = forestbal_octant::SortScratch::new();
         for v in local.values_mut() {
-            v.sort_unstable();
+            forestbal_octant::sort_octants_with(v, &mut sort);
         }
         self.local = local;
         self.update_markers(ctx);

@@ -1,0 +1,384 @@
+//! Packed Morton keys: one integer per octant, ordered like [`crate::morton::cmp`].
+//!
+//! The balance kernels are dominated by hash membership tests and sorts on
+//! 16-byte [`Octant`] structs. Packing an octant into a single integer —
+//! interleaved coordinates plus the level in the low bits — turns both into
+//! integer operations: the natural `<` on keys equals the Morton preorder,
+//! so sorts become LSD radix sorts and hash tables become flat
+//! open-addressing probes (see `sort` and `table`). This mirrors the packed
+//! Morton-index quadrant representation of Burstedde et al.
+//! (arXiv:2308.13615) for the p4est kernels.
+//!
+//! # Layout
+//!
+//! ```text
+//! key = interleave(coords + KEY_BIAS) << 5  |  level
+//! ```
+//!
+//! * Each coordinate is biased by [`KEY_BIAS`]` = 4 * ROOT_LEN = 2^26` into
+//!   an unsigned 27-bit field, then bit-interleaved (axis `i` at bit
+//!   `j*D + i` of bit-level `j`, exactly like [`crate::morton::interleave`]).
+//! * The level occupies the low 5 bits (`MAX_LEVEL = 24 < 32`).
+//!
+//! Bit budget: 2D keys use `2*27 + 5 = 59` bits and fit a `u64`; 3D keys
+//! use `3*27 + 5 = 86` bits and fit a `u128`.
+//!
+//! # Why the ordering matches
+//!
+//! For in-root octants, `cmp` agrees with comparison of unit-cell Morton
+//! indices for disjoint octants, and puts ancestors first for overlapping
+//! ones. An ancestor shares its corner's interleave prefix with every
+//! descendant and has an index `<=` theirs, so the interleaved field alone
+//! orders all pairs except "same corner, different level" — which the level
+//! field resolves ancestor-first (coarser level = smaller key).
+//!
+//! For out-of-root octants, `cmp` compares coordinates shifted by `2^31`
+//! (see [`crate::morton`]), which makes any sign-mixed coordinate pair
+//! diverge *above* every in-range bit. The bias `2^26` reproduces this
+//! exactly on the supported range `[-ROOT_LEN, 2*ROOT_LEN)`: negative
+//! coordinates map to `[3*ROOT_LEN, 4*ROOT_LEN)` (bit 26 clear) and
+//! non-negative ones to `[4*ROOT_LEN, 6*ROOT_LEN)` (bit 26 set), so mixed
+//! pairs diverge at bit 26 while same-sign pairs diverge at bit `< 26` with
+//! the same XOR as under the `2^31` shift. The supported range covers every
+//! octant the algorithms construct: insulation layers and auxiliary octants
+//! reach at most one root length outside the root cube.
+
+use crate::coords::{Coord, ROOT_LEN};
+use crate::octant::Octant;
+
+/// Bits per packed coordinate field.
+pub const KEY_COORD_BITS: u32 = 27;
+
+/// Bits reserved for the level in the low end of the key.
+pub const KEY_LEVEL_BITS: u32 = 5;
+
+/// Coordinate bias shifting the supported range into unsigned 27-bit space
+/// while preserving the order of [`crate::morton::cmp`].
+pub const KEY_BIAS: Coord = 4 * ROOT_LEN;
+
+/// Total key bits for dimension `D` (`D*27 + 5`).
+pub const fn key_bits<const D: usize>() -> u32 {
+    D as u32 * KEY_COORD_BITS + KEY_LEVEL_BITS
+}
+
+/// Can this octant be packed? True for every octant within one root length
+/// of the root cube — all octants the balance algorithms construct.
+#[inline]
+pub fn packable<const D: usize>(o: &Octant<D>) -> bool {
+    D <= 4
+        && o.coords
+            .iter()
+            .all(|&c| (-ROOT_LEN..2 * ROOT_LEN).contains(&c))
+}
+
+/// Spread the low 32 bits of `v` to even bit positions (stride 2).
+#[inline]
+fn spread2(v: u64) -> u64 {
+    let mut x = v & 0xFFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`spread2`]: gather every second bit into the low 32.
+#[inline]
+fn compact2(v: u64) -> u64 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x
+}
+
+/// Spread the low 21 bits of `v` to every third bit position (stride 3).
+#[inline]
+fn spread3(v: u64) -> u64 {
+    let mut x = v & 0x1F_FFFF;
+    x = (x | (x << 32)) & 0x1F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x1F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`spread3`].
+#[inline]
+fn compact3(v: u64) -> u64 {
+    let mut x = v & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x >> 4)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x >> 8)) & 0x1F_0000_FF00_00FF;
+    x = (x | (x >> 16)) & 0x1F_0000_0000_FFFF;
+    x = (x | (x >> 32)) & 0x1F_FFFF;
+    x
+}
+
+/// Spread a 27-bit value to stride 3 as a `u128` (split 21 + 6).
+#[inline]
+fn spread3_27(v: u64) -> u128 {
+    spread3(v & 0x1F_FFFF) as u128 | (spread3(v >> 21) as u128) << 63
+}
+
+/// Inverse of [`spread3_27`].
+#[inline]
+fn compact3_27(v: u128) -> u64 {
+    compact3(v as u64 & 0x1249_2492_4924_9249) | compact3((v >> 63) as u64) << 21
+}
+
+#[inline]
+fn bias(c: Coord) -> u64 {
+    debug_assert!(
+        (-ROOT_LEN..2 * ROOT_LEN).contains(&c),
+        "coord {c} outside packable range"
+    );
+    (c + KEY_BIAS) as u64
+}
+
+#[inline]
+fn unbias(b: u64) -> Coord {
+    b as Coord - KEY_BIAS
+}
+
+/// Pack an octant into a `u128` key whose natural order equals
+/// [`crate::morton::cmp`]. Supports `D <= 4` and coordinates in
+/// `[-ROOT_LEN, 2*ROOT_LEN)` (checked in debug builds; see [`packable`]).
+#[inline]
+pub fn pack<const D: usize>(o: &Octant<D>) -> u128 {
+    debug_assert!(packable(o), "unpackable octant {o:?}");
+    let interleaved: u128 = match D {
+        2 => pack2_interleave(bias(o.coords[0]), bias(o.coords[1])) as u128,
+        3 => {
+            spread3_27(bias(o.coords[0]))
+                | spread3_27(bias(o.coords[1])) << 1
+                | spread3_27(bias(o.coords[2])) << 2
+        }
+        _ => {
+            // Generic bit loop for the rare other dimensions (D <= 4).
+            let mut idx: u128 = 0;
+            for bit in 0..KEY_COORD_BITS {
+                for (i, &c) in o.coords.iter().enumerate() {
+                    let b = ((bias(c) >> bit) & 1) as u128;
+                    idx |= b << (bit * D as u32 + i as u32);
+                }
+            }
+            idx
+        }
+    };
+    interleaved << KEY_LEVEL_BITS | o.level as u128
+}
+
+#[inline]
+fn pack2_interleave(bx: u64, by: u64) -> u64 {
+    spread2(bx) | spread2(by) << 1
+}
+
+/// Pack into a `u64` — only valid for `D <= 2` (59 bits used in 2D).
+#[inline]
+pub fn pack64<const D: usize>(o: &Octant<D>) -> u64 {
+    debug_assert!(D <= 2, "u64 keys only hold D <= 2");
+    pack::<D>(o) as u64
+}
+
+/// Invert [`pack`].
+#[inline]
+pub fn unpack<const D: usize>(key: u128) -> Octant<D> {
+    let level = (key & ((1 << KEY_LEVEL_BITS) - 1)) as u8;
+    let idx = key >> KEY_LEVEL_BITS;
+    let coords: [Coord; D] = match D {
+        2 => {
+            let i = idx as u64;
+            std::array::from_fn(|a| unbias(compact2(i >> a)))
+        }
+        3 => std::array::from_fn(|a| unbias(compact3_27(idx >> a))),
+        _ => {
+            let mut coords = [0u64; D];
+            for bit in 0..KEY_COORD_BITS {
+                for (i, c) in coords.iter_mut().enumerate() {
+                    let b = ((idx >> (bit * D as u32 + i as u32)) & 1) as u64;
+                    *c |= b << bit;
+                }
+            }
+            std::array::from_fn(|a| unbias(coords[a]))
+        }
+    };
+    Octant { coords, level }
+}
+
+/// Invert [`pack64`].
+#[inline]
+pub fn unpack64<const D: usize>(key: u64) -> Octant<D> {
+    unpack::<D>(key as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::MAX_LEVEL;
+    use crate::morton;
+
+    type Oct2 = Octant<2>;
+    type Oct3 = Octant<3>;
+
+    /// All octants of the first `depth` levels of the subtree at `root`,
+    /// in construction order.
+    fn all_octants<const D: usize>(root: Octant<D>, depth: u8) -> Vec<Octant<D>> {
+        let mut out = vec![root];
+        let mut frontier = vec![root];
+        for _ in 0..depth {
+            let mut next = vec![];
+            for o in frontier {
+                for i in 0..Octant::<D>::NUM_CHILDREN {
+                    let c = o.child(i);
+                    out.push(c);
+                    next.push(c);
+                }
+            }
+            frontier = next;
+        }
+        out
+    }
+
+    #[test]
+    fn key_bits_fit_the_integer() {
+        assert!(key_bits::<2>() <= 64);
+        assert!(key_bits::<3>() <= 128);
+        assert!(key_bits::<4>() <= 128);
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_2d() {
+        for o in all_octants(Oct2::root(), 3) {
+            assert_eq!(unpack::<2>(pack(&o)), o);
+            assert_eq!(unpack64::<2>(pack64(&o)), o);
+        }
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_3d() {
+        for o in all_octants(Oct3::root(), 2) {
+            assert_eq!(unpack::<3>(pack(&o)), o, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_deepest_level() {
+        let o = Oct3::root().first_descendant(MAX_LEVEL);
+        assert_eq!(unpack::<3>(pack(&o)), o);
+        let l = Oct3::root().last_descendant(MAX_LEVEL);
+        assert_eq!(unpack::<3>(pack(&l)), l);
+    }
+
+    #[test]
+    fn roundtrip_out_of_root() {
+        let o = Oct2::root().child(0).neighbor(&[-1, -1]);
+        assert!(packable(&o));
+        assert_eq!(unpack::<2>(pack(&o)), o);
+        let b = Oct3::root().child(7).neighbor(&[1, 1, 1]);
+        assert!(packable(&b));
+        assert_eq!(unpack::<3>(pack(&b)), b);
+        // Extremes of the supported range.
+        let lo = Octant::<2> {
+            coords: [-ROOT_LEN; 2],
+            level: 0,
+        };
+        assert!(packable(&lo));
+        assert_eq!(unpack::<2>(pack(&lo)), lo);
+    }
+
+    #[test]
+    fn order_matches_morton_exhaustive_2d() {
+        // Include out-of-root translations on both sides of the root.
+        let mut octs = all_octants(Oct2::root(), 3);
+        let shifted: Vec<Oct2> = octs
+            .iter()
+            .flat_map(|o| {
+                [[-1, 0], [0, -1], [1, 1], [-1, -1]]
+                    .iter()
+                    .map(|d| {
+                        let mut c = o.coords;
+                        for (x, s) in c.iter_mut().zip(d) {
+                            *x += s * ROOT_LEN;
+                        }
+                        Octant {
+                            coords: c,
+                            level: o.level,
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        octs.extend(shifted);
+        for a in &octs {
+            for b in &octs {
+                assert_eq!(
+                    pack(a).cmp(&pack(b)),
+                    morton::cmp(a, b),
+                    "key order diverges for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_matches_morton_exhaustive_3d() {
+        let mut octs = all_octants(Oct3::root(), 2);
+        let shifted: Vec<Oct3> = octs
+            .iter()
+            .map(|o| {
+                let mut c = o.coords;
+                c[0] -= ROOT_LEN;
+                c[2] += ROOT_LEN;
+                Octant {
+                    coords: c,
+                    level: o.level,
+                }
+            })
+            .collect();
+        octs.extend(shifted);
+        for a in &octs {
+            for b in &octs {
+                assert_eq!(
+                    pack(a).cmp(&pack(b)),
+                    morton::cmp(a, b),
+                    "key order diverges for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn u64_keys_preserve_2d_order() {
+        let octs = all_octants(Oct2::root(), 3);
+        for a in &octs {
+            for b in &octs {
+                assert_eq!(pack64(a).cmp(&pack64(b)), morton::cmp(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_key_is_smaller() {
+        let r = Oct3::root();
+        let mut o = r;
+        for i in [3usize, 5, 0, 7] {
+            let c = o.child(i);
+            assert!(pack(&o) < pack(&c));
+            o = c;
+        }
+    }
+
+    #[test]
+    fn spread_compact_inverses() {
+        for v in [0u64, 1, 0x1F_FFFF, 0x7FF_FFFF, 0x555_5555, 0x2AA_AAAA] {
+            assert_eq!(compact2(spread2(v & 0xFFFF_FFFF)), v & 0xFFFF_FFFF);
+            assert_eq!(compact3(spread3(v & 0x1F_FFFF)), v & 0x1F_FFFF);
+            assert_eq!(compact3_27(spread3_27(v & 0x7FF_FFFF)), v & 0x7FF_FFFF);
+        }
+    }
+}

@@ -51,17 +51,22 @@
 pub mod coords;
 pub mod direction;
 pub mod hash;
+pub mod key;
 pub mod linear;
 pub mod morton;
 pub mod octant;
 pub mod path;
+pub mod sort;
+pub mod table;
 
 pub use coords::{Coord, MAX_LEVEL, ROOT_LEN};
 pub use direction::{codim, directions, directions_up_to_codim, Direction};
 pub use hash::{FxBuildHasher, OctantMap, OctantSet};
 pub use linear::{
     complete_region, complete_subtree, is_complete, is_linear, is_sorted_strict, linearize,
-    merge_sorted,
+    linearize_with, merge_sorted,
 };
 pub use morton::MortonIndex;
 pub use octant::{OctBuf, Octant};
+pub use sort::{sort_octants, sort_octants_with, SortScratch};
+pub use table::OctantTable;

@@ -9,6 +9,7 @@
 
 use crate::morton::MortonIndex;
 use crate::octant::Octant;
+use crate::sort::{sort_octants_with, SortScratch};
 
 /// Is the slice strictly sorted in Morton order?
 pub fn is_sorted_strict<const D: usize>(a: &[Octant<D>]) -> bool {
@@ -42,10 +43,19 @@ pub fn is_complete<const D: usize>(a: &[Octant<D>], root: &Octant<D>) -> bool {
 /// exact duplicates), keeping the finest octants — the `Linearize` step of
 /// the old balance algorithm (Figure 6 of the paper).
 ///
-/// Runs in O(n log n) for the sort plus O(n) for the sweep.
+/// Runs in O(n) per radix digit for the sort plus O(n) for the sweep, and
+/// skips sorting entirely when the input is already strictly sorted (the
+/// common case for splice and completion outputs).
 pub fn linearize<const D: usize>(a: &mut Vec<Octant<D>>) {
-    a.sort_unstable();
-    a.dedup();
+    linearize_with(a, &mut SortScratch::new());
+}
+
+/// [`linearize`] with caller-provided sort scratch for hot loops.
+pub fn linearize_with<const D: usize>(a: &mut Vec<Octant<D>>, s: &mut SortScratch) {
+    if !is_sorted_strict(a) {
+        sort_octants_with(a, s);
+        a.dedup();
+    }
     // An ancestor sorts directly before its first present descendant, so a
     // single backward-looking sweep removes all overlaps.
     let mut w = 0;
@@ -153,6 +163,24 @@ mod tests {
         let mut v = vec![r, r.child(0), r.child(0).child(0), deep];
         linearize(&mut v);
         assert_eq!(v, vec![deep]);
+    }
+
+    #[test]
+    fn linearize_sorted_fast_path_preserves_semantics() {
+        // Strictly sorted input with ancestor chains: the fast path skips
+        // the sort but must still run the ancestor sweep.
+        let r = Oct3::root();
+        let deep = r.child(0).child(0).child(5);
+        let mut fast = vec![r, r.child(0), r.child(0).child(0), deep, r.child(2)];
+        assert!(is_sorted_strict(&fast));
+        let mut slow = fast.clone();
+        slow.reverse(); // force the sorting path
+        let mut s = SortScratch::new();
+        linearize_with(&mut fast, &mut s);
+        assert_eq!(s.presorted_hits + s.radix_sorts + s.comparison_fallbacks, 0);
+        linearize(&mut slow);
+        assert_eq!(fast, slow);
+        assert_eq!(fast, vec![deep, r.child(2)]);
     }
 
     #[test]

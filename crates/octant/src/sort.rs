@@ -1,0 +1,286 @@
+//! LSD radix sort of octants through their packed Morton keys.
+//!
+//! [`sort_octants`] packs each octant into a single integer key (see
+//! [`crate::key`]), radix-sorts the keys least-significant-digit first with
+//! 8-bit digits, and unpacks in place. Because key order equals
+//! [`crate::morton::cmp`], the result is exactly what
+//! `sort_unstable` produces — the proptests assert this — at O(n) per digit
+//! instead of O(n log n) comparisons through the XOR-MSB comparator.
+//!
+//! Two fast paths keep the common cases cheap: an already-sorted input
+//! returns after one linear scan, and trivial digit positions (all keys
+//! sharing a byte, which is the norm — 2D keys use 59 of 64 bits and real
+//! coordinate distributions cluster high bytes) are skipped entirely using
+//! histograms gathered in a single pass over the keys.
+//!
+//! Inputs containing octants outside the packable coordinate range fall
+//! back to `sort_unstable`; the balance algorithms never produce such
+//! octants (see [`crate::key::packable`]), but the fallback keeps the
+//! routine total.
+
+use crate::key::{self, key_bits};
+use crate::octant::Octant;
+
+/// Reusable buffers for [`sort_octants_with`]. One scratch serves any
+/// number of sorts of any dimension; buffers grow to the high-water mark
+/// and are retained across calls. The counters are cumulative and feed the
+/// `forestbal-trace` kernel counters.
+#[derive(Default)]
+pub struct SortScratch {
+    k64: Vec<u64>,
+    t64: Vec<u64>,
+    k128: Vec<u128>,
+    t128: Vec<u128>,
+    /// Radix passes actually executed (trivial single-byte passes excluded).
+    pub radix_passes: u64,
+    /// Sorts satisfied by the already-sorted early-out.
+    pub presorted_hits: u64,
+    /// Sorts routed through the radix path.
+    pub radix_sorts: u64,
+    /// Sorts that fell back to comparison sort (unpackable input).
+    pub comparison_fallbacks: u64,
+}
+
+impl SortScratch {
+    /// New scratch with empty buffers and zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Below this length a comparison sort beats packing + histogramming.
+const RADIX_MIN_LEN: usize = 64;
+
+/// Sort octants into Morton order (ancestors first), equivalent to
+/// `a.sort_unstable()`. Allocates its own scratch; prefer
+/// [`sort_octants_with`] on hot paths.
+pub fn sort_octants<const D: usize>(a: &mut [Octant<D>]) {
+    sort_octants_with(a, &mut SortScratch::new());
+}
+
+/// [`sort_octants`] with caller-provided scratch buffers.
+pub fn sort_octants_with<const D: usize>(a: &mut [Octant<D>], s: &mut SortScratch) {
+    if a.len() < 2 {
+        return;
+    }
+    if is_sorted(a) {
+        s.presorted_hits += 1;
+        return;
+    }
+    if a.len() < RADIX_MIN_LEN || !a.iter().all(key::packable) {
+        s.comparison_fallbacks += 1;
+        a.sort_unstable();
+        return;
+    }
+    s.radix_sorts += 1;
+    if D <= 2 {
+        pack_keys(a, &mut s.k64, key::pack64::<D>);
+        s.radix_passes += radix_lsd(&mut s.k64, &mut s.t64, key_bits::<D>());
+        unpack_keys(a, &s.k64, key::unpack64::<D>);
+    } else {
+        pack_keys(a, &mut s.k128, key::pack::<D>);
+        s.radix_passes += radix_lsd(&mut s.k128, &mut s.t128, key_bits::<D>());
+        unpack_keys(a, &s.k128, key::unpack::<D>);
+    }
+}
+
+#[inline]
+fn is_sorted<const D: usize>(a: &[Octant<D>]) -> bool {
+    a.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[inline]
+fn pack_keys<const D: usize, K>(
+    a: &[Octant<D>],
+    keys: &mut Vec<K>,
+    pack: impl Fn(&Octant<D>) -> K,
+) {
+    keys.clear();
+    keys.extend(a.iter().map(pack));
+}
+
+#[inline]
+fn unpack_keys<const D: usize, K: Copy>(
+    a: &mut [Octant<D>],
+    keys: &[K],
+    unpack: impl Fn(K) -> Octant<D>,
+) {
+    for (o, &k) in a.iter_mut().zip(keys) {
+        *o = unpack(k);
+    }
+}
+
+/// An unsigned integer usable as a radix-sort key.
+trait RadixKey: Copy + Default {
+    fn byte(self, i: u32) -> usize;
+}
+
+impl RadixKey for u64 {
+    #[inline]
+    fn byte(self, i: u32) -> usize {
+        (self >> (8 * i)) as u8 as usize
+    }
+}
+
+impl RadixKey for u128 {
+    #[inline]
+    fn byte(self, i: u32) -> usize {
+        (self >> (8 * i)) as u8 as usize
+    }
+}
+
+/// LSD radix sort of `keys` using `tmp` as the ping-pong buffer, visiting
+/// only the low `bits` bits. Histograms for every digit position are
+/// gathered in one pass, and positions where all keys share one byte value
+/// are skipped. Returns the number of scatter passes executed.
+fn radix_lsd<K: RadixKey>(keys: &mut Vec<K>, tmp: &mut Vec<K>, bits: u32) -> u64 {
+    let n = keys.len();
+    debug_assert!(n < u32::MAX as usize);
+    let num_digits = bits.div_ceil(8) as usize;
+    debug_assert!(num_digits <= 16);
+    let mut hist = [[0u32; 256]; 16];
+    for &k in keys.iter() {
+        for (b, h) in hist.iter_mut().enumerate().take(num_digits) {
+            h[k.byte(b as u32)] += 1;
+        }
+    }
+    tmp.clear();
+    tmp.resize(n, K::default());
+    let mut passes = 0u64;
+    // `keys` always holds the current data; after each scatter the buffers
+    // swap so the loop body never cares which allocation it started in.
+    for (b, h) in hist.iter_mut().enumerate().take(num_digits) {
+        // Trivial pass: every key has the same byte here — order unchanged.
+        if h.iter().any(|&c| c as usize == n) {
+            continue;
+        }
+        let mut sum = 0u32;
+        for c in h.iter_mut() {
+            let start = sum;
+            sum += *c;
+            *c = start;
+        }
+        for &k in keys.iter() {
+            let d = k.byte(b as u32);
+            tmp[h[d] as usize] = k;
+            h[d] += 1;
+        }
+        std::mem::swap(keys, tmp);
+        passes += 1;
+    }
+    passes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coords::ROOT_LEN;
+
+    type Oct3 = Octant<3>;
+
+    /// Deterministic xorshift octant soup: random descent paths from root.
+    fn soup<const D: usize>(n: usize, seed: u64, max_depth: u8) -> Vec<Octant<D>> {
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|_| {
+                let depth = (rng() % (max_depth as u64 + 1)) as u8;
+                let mut o = Octant::<D>::root();
+                for _ in 0..depth {
+                    o = o.child(rng() as usize % Octant::<D>::NUM_CHILDREN);
+                }
+                o
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sort_unstable_3d() {
+        for seed in [1, 7, 99] {
+            let mut a = soup::<3>(500, seed, 10);
+            let mut b = a.clone();
+            a.sort_unstable();
+            sort_octants(&mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn matches_sort_unstable_2d() {
+        let mut a = soup::<2>(777, 42, 14);
+        let mut b = a.clone();
+        a.sort_unstable();
+        sort_octants(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn presorted_early_out() {
+        let mut a = soup::<3>(300, 5, 8);
+        a.sort_unstable();
+        let mut s = SortScratch::new();
+        sort_octants_with(&mut a, &mut s);
+        assert_eq!(s.presorted_hits, 1);
+        assert_eq!(s.radix_sorts, 0);
+        assert_eq!(s.radix_passes, 0);
+    }
+
+    #[test]
+    fn out_of_root_still_sorts() {
+        // Shift half the soup a full root length negative: still packable,
+        // still must match the comparison sort.
+        let mut a = soup::<3>(400, 11, 6);
+        for (i, o) in a.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                o.coords[0] -= ROOT_LEN;
+            }
+        }
+        let mut b = a.clone();
+        a.sort_unstable();
+        sort_octants(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unpackable_falls_back() {
+        let mut a = soup::<3>(200, 3, 6);
+        a[0].coords[0] = -2 * ROOT_LEN; // outside the packable window
+        let mut b = a.clone();
+        let mut s = SortScratch::new();
+        sort_octants_with(&mut a, &mut s);
+        assert_eq!(s.comparison_fallbacks, 1);
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_and_empty_inputs() {
+        let mut v: Vec<Oct3> = vec![];
+        sort_octants(&mut v);
+        let r = Oct3::root();
+        let mut v = vec![r.child(3), r.child(1)];
+        sort_octants(&mut v);
+        assert_eq!(v, vec![r.child(1), r.child(3)]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_dimensions() {
+        let mut s = SortScratch::new();
+        let mut a2 = soup::<2>(300, 9, 9);
+        let mut a3 = soup::<3>(300, 9, 9);
+        let (mut b2, mut b3) = (a2.clone(), a3.clone());
+        sort_octants_with(&mut a2, &mut s);
+        sort_octants_with(&mut a3, &mut s);
+        assert_eq!(s.radix_sorts, 2);
+        assert!(s.radix_passes > 0);
+        b2.sort_unstable();
+        b3.sort_unstable();
+        assert_eq!(a2, b2);
+        assert_eq!(a3, b3);
+    }
+}

@@ -1,0 +1,381 @@
+//! Flat open-addressing octant membership table over packed integer keys.
+//!
+//! [`OctantTable`] replaces the `HashSet`-backed [`crate::hash::OctantSet`]
+//! in the balance kernels. It stores one packed key per slot in a
+//! power-of-two `Vec<u128>`, probes linearly from a hashed home slot, and
+//! never stores the 16-byte octant struct at all — membership is a compare
+//! of integers in a cache-friendly flat array, with no buckets and no
+//! per-entry allocation.
+//!
+//! Unlike the sort path's Morton codec ([`crate::key`]), the table's key
+//! places the biased coordinates *side by side* rather than interleaved:
+//! a membership table never compares keys for order, so it can skip the
+//! bit-spread entirely and encode an octant with a handful of shifts.
+//! The layout shares the sort codec's bias and field widths and is
+//! injective over the same domain ([`crate::key::packable`]).
+//!
+//! Pre-size with [`OctantTable::with_capacity_for`] (or
+//! [`OctantTable::reset_for`], which also reuses the allocation across
+//! kernel invocations): the kernels know an upper bound on insertions from
+//! `input.len()`, so in steady state the table never regrows —
+//! [`OctantTable::grow_count`] stays zero, which the kernel tests assert.
+
+use std::cell::Cell;
+
+use crate::key::{packable, KEY_BIAS, KEY_COORD_BITS, KEY_LEVEL_BITS};
+use crate::octant::Octant;
+
+/// Sentinel for an empty slot. Never a valid key: packed keys use at most
+/// 113 bits (`D = 4`), so `u128::MAX` cannot be produced by [`encode`].
+const EMPTY: u128 = u128::MAX;
+
+/// Injective octant→integer encoding for membership: biased coordinates
+/// side by side above the level bits. No Morton interleave — the table
+/// never orders keys, and skipping the bit-spread makes every `contains`
+/// and `insert` a few shifts instead of the full codec.
+#[inline]
+fn encode<const D: usize>(o: &Octant<D>) -> u128 {
+    debug_assert!(packable(o), "unencodable octant {o:?}");
+    let mut key = o.level as u128;
+    for (i, &c) in o.coords.iter().enumerate() {
+        let biased = (c + KEY_BIAS) as u128;
+        key |= biased << (KEY_LEVEL_BITS + i as u32 * KEY_COORD_BITS);
+    }
+    key
+}
+
+/// Inverse of [`encode`], for iteration and draining.
+#[inline]
+fn decode<const D: usize>(key: u128) -> Octant<D> {
+    let level = (key & ((1 << KEY_LEVEL_BITS) - 1)) as u8;
+    let coords = std::array::from_fn(|i| {
+        let shift = KEY_LEVEL_BITS + i as u32 * KEY_COORD_BITS;
+        let biased = (key >> shift) & ((1 << KEY_COORD_BITS) - 1);
+        biased as i32 - KEY_BIAS
+    });
+    Octant { coords, level }
+}
+
+/// Maximum load factor of 1/2: capacity is at least twice the expected
+/// insertion count, keeping linear-probe chains short.
+const LOAD_NUM: usize = 2;
+
+const MIN_CAP: usize = 16;
+
+/// An insert-and-query set of octants backed by a flat array of packed
+/// integer keys with linear probing.
+///
+/// Supports the operations the balance kernels need — `insert`,
+/// `contains`, iteration, `clear` — plus probe/grow counters for the
+/// `forestbal-trace` instrumentation. Unlike `HashSet` it does not support
+/// removal (the kernels never remove).
+pub struct OctantTable<const D: usize> {
+    slots: Vec<u128>,
+    mask: usize,
+    len: usize,
+    grows: u64,
+    // Probe statistics cover reads too; `contains` takes `&self`, so the
+    // counters live in `Cell`s (the table is per-rank, never shared).
+    probes: Cell<u64>,
+    lookups: Cell<u64>,
+}
+
+impl<const D: usize> OctantTable<D> {
+    /// New empty table with minimal capacity.
+    pub fn new() -> Self {
+        Self::with_capacity_for(0)
+    }
+
+    /// New table sized so `n` insertions trigger no regrowth.
+    pub fn with_capacity_for(n: usize) -> Self {
+        let cap = Self::capacity_for(n);
+        OctantTable {
+            slots: vec![EMPTY; cap],
+            mask: cap - 1,
+            len: 0,
+            grows: 0,
+            probes: Cell::new(0),
+            lookups: Cell::new(0),
+        }
+    }
+
+    fn capacity_for(n: usize) -> usize {
+        (n * LOAD_NUM).next_power_of_two().max(MIN_CAP)
+    }
+
+    /// Clear the table and ensure capacity for `n` insertions without
+    /// regrowth, keeping the existing allocation when it is large enough.
+    /// Counters are cumulative across resets.
+    pub fn reset_for(&mut self, n: usize) {
+        let want = Self::capacity_for(n);
+        if want > self.slots.len() {
+            self.slots.clear();
+            self.slots.resize(want, EMPTY);
+            self.mask = want - 1;
+        } else {
+            self.slots.fill(EMPTY);
+        }
+        self.len = 0;
+    }
+
+    /// Number of stored octants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Times the table regrew because an insert exceeded the load factor.
+    /// Zero whenever the pre-sizing bound held.
+    pub fn grow_count(&self) -> u64 {
+        self.grows
+    }
+
+    /// Total slots inspected across all lookups and inserts (a perfectly
+    /// collision-free workload costs exactly one probe per operation).
+    pub fn probe_count(&self) -> u64 {
+        self.probes.get()
+    }
+
+    /// Total lookup/insert operations.
+    pub fn lookup_count(&self) -> u64 {
+        self.lookups.get()
+    }
+
+    /// Hash the folded key with an fmix64-style avalanche (two
+    /// multiply/xor-shift rounds). Packed keys of a complete octree are
+    /// highly structured — neighbors share almost every bit — and a single
+    /// Fibonacci multiply leaves enough correlation in the masked bits to
+    /// cluster linear probes; full avalanche keeps chains near the
+    /// load-factor optimum.
+    #[inline]
+    fn home_slot(&self, key: u128) -> usize {
+        let mut h = (key as u64) ^ ((key >> 64) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        h ^= h >> 33;
+        h as usize & self.mask
+    }
+
+    /// Walk the probe sequence for `key`; returns the slot index holding
+    /// the key, or the first empty slot.
+    #[inline]
+    fn probe(&self, key: u128) -> usize {
+        self.lookups.set(self.lookups.get() + 1);
+        let mut i = self.home_slot(key);
+        let mut steps = 1u64;
+        loop {
+            let s = self.slots[i];
+            if s == key || s == EMPTY {
+                self.probes.set(self.probes.get() + steps);
+                return i;
+            }
+            i = (i + 1) & self.mask;
+            steps += 1;
+        }
+    }
+
+    /// Is the octant present?
+    #[inline]
+    pub fn contains(&self, o: &Octant<D>) -> bool {
+        self.slots[self.probe(encode(o))] != EMPTY
+    }
+
+    /// Insert an octant; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, o: &Octant<D>) -> bool {
+        let key = encode(o);
+        let i = self.probe(key);
+        if self.slots[i] == key {
+            return false;
+        }
+        self.slots[i] = key;
+        self.len += 1;
+        if self.len * LOAD_NUM > self.slots.len() {
+            self.grow();
+        }
+        true
+    }
+
+    fn grow(&mut self) {
+        self.grows += 1;
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        self.mask = self.slots.len() - 1;
+        for key in old {
+            if key != EMPTY {
+                let i = self.probe(key);
+                self.slots[i] = key;
+            }
+        }
+    }
+
+    /// Iterate the stored octants in slot (arbitrary) order.
+    pub fn iter(&self) -> impl Iterator<Item = Octant<D>> + '_ {
+        self.slots
+            .iter()
+            .filter(|&&k| k != EMPTY)
+            .map(|&k| decode::<D>(k))
+    }
+
+    /// Append all stored octants to `out` (arbitrary order) and clear the
+    /// table, keeping its allocation.
+    pub fn drain_into(&mut self, out: &mut Vec<Octant<D>>) {
+        out.reserve(self.len);
+        for k in self.slots.iter_mut() {
+            if *k != EMPTY {
+                out.push(decode::<D>(*k));
+                *k = EMPTY;
+            }
+        }
+        self.len = 0;
+    }
+}
+
+impl<const D: usize> Default for OctantTable<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::OctantSet;
+
+    type Oct3 = Octant<3>;
+
+    fn soup<const D: usize>(n: usize, seed: u64) -> Vec<Octant<D>> {
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|_| {
+                let depth = (rng() % 9) as u8;
+                let mut o = Octant::<D>::root();
+                for _ in 0..depth {
+                    o = o.child(rng() as usize % Octant::<D>::NUM_CHILDREN);
+                }
+                o
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_contains_basic() {
+        let mut t = OctantTable::<3>::new();
+        let r = Oct3::root();
+        assert!(!t.contains(&r));
+        assert!(t.insert(&r));
+        assert!(!t.insert(&r));
+        assert!(t.contains(&r));
+        assert_eq!(t.len(), 1);
+        assert!(!t.contains(&r.child(0)));
+    }
+
+    #[test]
+    fn matches_octant_set() {
+        let octs = soup::<3>(2000, 31);
+        let mut t = OctantTable::<3>::with_capacity_for(octs.len());
+        let mut h = OctantSet::<3>::default();
+        for o in &octs {
+            assert_eq!(t.insert(o), h.insert(*o), "insert diverges on {o:?}");
+        }
+        assert_eq!(t.len(), h.len());
+        for o in &octs {
+            assert!(t.contains(o));
+            // Probe some absent octants too.
+            let miss = o.first_descendant((o.level + 1).min(crate::coords::MAX_LEVEL));
+            assert_eq!(t.contains(&miss), h.contains(&miss));
+        }
+        let mut from_t: Vec<_> = t.iter().collect();
+        let mut from_h: Vec<_> = h.iter().copied().collect();
+        from_t.sort_unstable();
+        from_h.sort_unstable();
+        assert_eq!(from_t, from_h);
+    }
+
+    #[test]
+    fn presized_table_never_grows() {
+        let octs = soup::<3>(1000, 77);
+        let mut t = OctantTable::<3>::with_capacity_for(octs.len());
+        for o in &octs {
+            t.insert(o);
+        }
+        assert_eq!(t.grow_count(), 0);
+        assert!(t.probe_count() >= t.lookup_count());
+    }
+
+    #[test]
+    fn undersized_table_grows_correctly() {
+        let octs = soup::<2>(600, 5);
+        let mut t = OctantTable::<2>::with_capacity_for(4);
+        let mut h = OctantSet::<2>::default();
+        for o in &octs {
+            t.insert(o);
+            h.insert(*o);
+        }
+        assert!(t.grow_count() > 0);
+        assert_eq!(t.len(), h.len());
+        for o in h.iter() {
+            assert!(t.contains(o));
+        }
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut t = OctantTable::<3>::with_capacity_for(500);
+        let cap = t.capacity();
+        for o in soup::<3>(500, 13).iter() {
+            t.insert(o);
+        }
+        t.reset_for(100);
+        assert_eq!(t.capacity(), cap, "reset shrank the allocation");
+        assert!(t.is_empty());
+        let r = Oct3::root();
+        assert!(!t.contains(&r));
+        assert!(t.insert(&r));
+    }
+
+    #[test]
+    fn drain_into_empties_table() {
+        let octs = soup::<2>(300, 3);
+        let mut t = OctantTable::<2>::with_capacity_for(octs.len());
+        let mut uniq = OctantSet::<2>::default();
+        for o in &octs {
+            t.insert(o);
+            uniq.insert(*o);
+        }
+        let mut out = vec![];
+        t.drain_into(&mut out);
+        assert_eq!(out.len(), uniq.len());
+        assert!(t.is_empty());
+        out.sort_unstable();
+        let mut expect: Vec<_> = uniq.iter().copied().collect();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn out_of_root_members() {
+        let mut t = OctantTable::<2>::new();
+        let o = Octant::<2>::root().child(0).neighbor(&[-1, -1]);
+        assert!(t.insert(&o));
+        assert!(t.contains(&o));
+        assert!(!t.contains(&o.neighbor(&[1, 0])));
+    }
+}

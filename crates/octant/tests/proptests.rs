@@ -1,6 +1,9 @@
 //! Property-based tests for octant arithmetic and linear-octree operations.
 
-use forestbal_octant::{complete_subtree, is_complete, is_linear, linearize, Octant, MAX_LEVEL};
+use forestbal_octant::{
+    complete_subtree, is_complete, is_linear, key, linearize, morton, sort_octants,
+    sort_octants_with, Octant, OctantSet, OctantTable, SortScratch, MAX_LEVEL, ROOT_LEN,
+};
 use proptest::prelude::*;
 
 /// Strategy: a random in-root octant built by a random child-id path.
@@ -195,5 +198,116 @@ proptest! {
                 "only the curve's last octant has no successor"
             ),
         }
+    }
+}
+
+/// Strategy: a random octant that may lie outside the root cube, shifted by
+/// up to one root length per axis — the full range the balance algorithms
+/// produce and the packed-key codec supports.
+fn arb_shifted_octant<const D: usize>(max_depth: u8) -> impl Strategy<Value = Octant<D>> {
+    arb_octant::<D>(max_depth).prop_flat_map(|o| {
+        prop::collection::vec(-1i32..=1, D).prop_map(move |shifts| {
+            let mut o = o;
+            for (c, s) in o.coords.iter_mut().zip(shifts) {
+                *c += s * ROOT_LEN;
+            }
+            o
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn packed_key_roundtrips_2d(o in arb_shifted_octant::<2>(10)) {
+        prop_assert!(key::packable(&o));
+        prop_assert_eq!(key::unpack::<2>(key::pack(&o)), o);
+        prop_assert_eq!(key::unpack64::<2>(key::pack64(&o)), o);
+    }
+
+    #[test]
+    fn packed_key_roundtrips_3d(o in arb_shifted_octant::<3>(10)) {
+        prop_assert_eq!(key::unpack::<3>(key::pack(&o)), o);
+    }
+
+    #[test]
+    fn packed_key_order_matches_morton_2d(
+        a in arb_shifted_octant::<2>(10),
+        b in arb_shifted_octant::<2>(10),
+    ) {
+        prop_assert_eq!(key::pack(&a).cmp(&key::pack(&b)), morton::cmp(&a, &b));
+        prop_assert_eq!(key::pack64(&a).cmp(&key::pack64(&b)), morton::cmp(&a, &b));
+    }
+
+    #[test]
+    fn packed_key_order_matches_morton_3d(
+        a in arb_shifted_octant::<3>(10),
+        b in arb_shifted_octant::<3>(10),
+    ) {
+        prop_assert_eq!(key::pack(&a).cmp(&key::pack(&b)), morton::cmp(&a, &b));
+    }
+
+    #[test]
+    fn radix_sort_matches_sort_unstable_2d(
+        v in prop::collection::vec(arb_shifted_octant::<2>(9), 0..300),
+    ) {
+        let mut radix = v.clone();
+        let mut cmp = v;
+        sort_octants(&mut radix);
+        cmp.sort_unstable();
+        prop_assert_eq!(radix, cmp);
+    }
+
+    #[test]
+    fn radix_sort_matches_sort_unstable_3d(
+        v in prop::collection::vec(arb_shifted_octant::<3>(9), 0..300),
+    ) {
+        let mut radix = v.clone();
+        let mut cmp = v;
+        let mut s = SortScratch::new();
+        sort_octants_with(&mut radix, &mut s);
+        cmp.sort_unstable();
+        prop_assert_eq!(radix, cmp);
+    }
+
+    #[test]
+    fn octant_table_matches_octant_set_2d(
+        v in prop::collection::vec(arb_shifted_octant::<2>(8), 1..200),
+        probes in prop::collection::vec(arb_shifted_octant::<2>(8), 0..50),
+    ) {
+        let mut table = OctantTable::<2>::with_capacity_for(v.len());
+        let mut set = OctantSet::<2>::default();
+        for o in &v {
+            prop_assert_eq!(table.insert(o), set.insert(*o));
+        }
+        prop_assert_eq!(table.len(), set.len());
+        prop_assert_eq!(table.grow_count(), 0, "pre-sized table regrew");
+        for o in v.iter().chain(&probes) {
+            prop_assert_eq!(table.contains(o), set.contains(o));
+        }
+    }
+
+    #[test]
+    fn octant_table_matches_octant_set_3d(
+        v in prop::collection::vec(arb_shifted_octant::<3>(8), 1..200),
+        probes in prop::collection::vec(arb_shifted_octant::<3>(8), 0..50),
+    ) {
+        let mut table = OctantTable::<3>::with_capacity_for(v.len());
+        let mut set = OctantSet::<3>::default();
+        for o in &v {
+            prop_assert_eq!(table.insert(o), set.insert(*o));
+        }
+        prop_assert_eq!(table.len(), set.len());
+        prop_assert_eq!(table.grow_count(), 0, "pre-sized table regrew");
+        for o in v.iter().chain(&probes) {
+            prop_assert_eq!(table.contains(o), set.contains(o));
+        }
+        let mut drained = vec![];
+        table.drain_into(&mut drained);
+        drained.sort_unstable();
+        let mut expect: Vec<_> = set.iter().copied().collect();
+        expect.sort_unstable();
+        prop_assert_eq!(drained, expect);
     }
 }
