@@ -167,6 +167,14 @@ impl<const D: usize> Forest<D> {
         })
     }
 
+    /// The current partition markers: `size + 1` global positions, with
+    /// rank `p` owning `[markers()[p], markers()[p+1])`. Exposed so
+    /// protocol-level tests (e.g. the `forestbal-mc` marker-exchange
+    /// scenario) can compare the exchanged markers across schedules.
+    pub fn markers(&self) -> &[GlobalPos] {
+        &self.markers
+    }
+
     /// Recompute the partition markers (one allgather). Called after any
     /// operation that changes leaf ownership.
     pub fn update_markers(&mut self, ctx: &impl Comm) {

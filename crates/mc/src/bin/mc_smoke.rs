@@ -1,0 +1,125 @@
+//! CI smoke entry point for the model checker.
+//!
+//! Runs the checker exhaustively on Notify at P = 2, the marker exchange
+//! at P = 3 (bounded depth), and the one-pass balance at P = 2; then the
+//! mutation test (the deliberately broken Notify must be caught, and its
+//! minimized counterexample must replay identically from JSON).
+//!
+//! Per scenario it prints one `MC {...}` line with the exploration
+//! counters. Any counterexample trace is written as JSON under the
+//! artifact directory (`--out DIR`, default `mc-artifacts`). Exit status
+//! is nonzero if a real protocol violates, the mutant is *not* detected,
+//! or the replay diverges.
+
+use forestbal_mc::{scenarios, McConfig, McReport, Trace};
+use std::path::{Path, PathBuf};
+
+fn report_line(name: &str, r: &McReport) {
+    let violated = r
+        .violation
+        .as_ref()
+        .map(|v| format!("\"{}\"", v.invariant))
+        .unwrap_or_else(|| "null".into());
+    println!(
+        "MC {{\"scenario\":\"{name}\",\"runs\":{},\"states_visited\":{},\
+         \"states_pruned\":{},\"max_depth_seen\":{},\"truncated\":{},\
+         \"violation\":{violated}}}",
+        r.runs, r.states_visited, r.states_pruned, r.max_depth_seen, r.truncated,
+    );
+}
+
+fn write_artifact(dir: &Path, name: &str, trace: &Trace) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("mc_smoke: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.trace.json"));
+    match std::fs::write(&path, trace.to_json()) {
+        Ok(()) => println!("MC wrote counterexample {}", path.display()),
+        Err(e) => eprintln!("mc_smoke: cannot write {}: {e}", path.display()),
+    }
+}
+
+fn main() {
+    let mut out_dir = PathBuf::from("mc-artifacts");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("mc_smoke: --out needs a directory");
+                    std::process::exit(2);
+                }))
+            }
+            other => {
+                eprintln!("mc_smoke: unknown argument {other:?} (usage: mc_smoke [--out DIR])");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut failed = false;
+
+    // Real protocols: every interleaving must satisfy every invariant.
+    let notify = scenarios::check_notify(vec![vec![0, 1], vec![0]], McConfig::default());
+    report_line("notify-p2", &notify);
+    let markers = scenarios::check_markers(
+        3,
+        McConfig {
+            max_depth: 64,
+            max_runs: 20_000,
+            ..McConfig::default()
+        },
+    );
+    report_line("markers-p3", &markers);
+    let balance = scenarios::check_balance(
+        2,
+        McConfig {
+            max_runs: 20_000,
+            ..McConfig::default()
+        },
+    );
+    report_line("balance-p2", &balance);
+    for (name, r) in [
+        ("notify-p2", &notify),
+        ("markers-p3", &markers),
+        ("balance-p2", &balance),
+    ] {
+        if let Some(v) = &r.violation {
+            eprintln!("mc_smoke: {name} violated {}: {}", v.invariant, v.message);
+            write_artifact(&out_dir, name, &v.trace);
+            failed = true;
+        }
+    }
+
+    // Mutation test: the broken Notify MUST be caught...
+    let mutant = scenarios::check_notify_mutant(McConfig::default());
+    report_line("notify-mutant-p3", &mutant);
+    match &mutant.violation {
+        None => {
+            eprintln!("mc_smoke: mutation test FAILED — the injected bug went undetected");
+            failed = true;
+        }
+        Some(v) => {
+            // ...and its minimized counterexample must survive a JSON
+            // round-trip and replay to the same violation.
+            write_artifact(&out_dir, "notify-mutant-p3", &v.trace);
+            let json = v.trace.to_json();
+            let parsed = Trace::from_json(&json).expect("own trace JSON parses");
+            match scenarios::replay_notify_mutant(&parsed) {
+                Some(rv) if rv.invariant == v.invariant => {
+                    println!(
+                        "MC mutant caught ({} choice(s)) and replayed: {}",
+                        parsed.choices.len(),
+                        rv.invariant
+                    );
+                }
+                other => {
+                    eprintln!("mc_smoke: replay diverged: {other:?}");
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -1,0 +1,181 @@
+//! The replaying exploration strategy: one simulator execution along a
+//! prefix of recorded branch decisions, logging every choice point.
+//!
+//! A fresh [`ExploreStrategy`] is built per execution. While the trail is
+//! shorter than the prefix it re-applies the prefix decision at each
+//! choice point; beyond the prefix it takes arm 0 (deliver the first
+//! candidate in canonical order). Because the simulator and the rank code
+//! are deterministic, identical prefixes reproduce identical executions
+//! bit-for-bit — which is what makes both DFS branching and JSON trace
+//! replay exact.
+
+use forestbal_sim::{Candidate, Choice, Delivered, DeliveryStrategy, MsgMeta, Op};
+use std::collections::HashMap;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    splitmix64(h ^ v)
+}
+
+/// Hash of a message *as the destination rank can observe it*: source,
+/// destination, tag, length, payload content. The global `send_seq` is
+/// deliberately excluded — it is path-dependent (allocation order varies
+/// with the schedule), and including it would make equivalent abstract
+/// states hash apart, defeating pruning.
+fn msg_hash(m: &MsgMeta) -> u64 {
+    let mut h = mix(0x4D53_4721, m.src as u64);
+    h = mix(h, m.dst as u64);
+    h = mix(h, m.tag as u64);
+    h = mix(h, m.bytes as u64);
+    mix(h, m.payload_hash)
+}
+
+/// One recorded choice point of an execution.
+pub(crate) struct TrailPoint {
+    /// Canonical abstract-state hash *before* the decision.
+    pub state: u64,
+    /// Number of enabled actions (always ≥ 2; forced points are not
+    /// recorded).
+    pub arms: u32,
+    /// Index of the action taken.
+    pub chosen: u32,
+}
+
+pub(crate) struct ExploreStrategy<'a> {
+    prefix: &'a [u32],
+    /// Choice points passed during this execution, in order.
+    pub trail: Vec<TrailPoint>,
+    /// Per-rank rolling hash of the delivery history. A rank's behavior
+    /// is a deterministic function of the sequence of events delivered
+    /// *to it*, so these hashes (plus the fault state) identify the
+    /// global abstract state.
+    rank_hash: Vec<u64>,
+    /// Order-insensitive (xor-combined) hash of dropped messages: a drop
+    /// is unobservable to every rank, so only the multiset matters.
+    drop_hash: u64,
+    drops_left: u32,
+    dups_left: u32,
+    eager_collectives: bool,
+    check_fifo: bool,
+    /// Last delivered send seq per (src, dst), for the FIFO invariant.
+    last_seq: HashMap<(usize, usize), u64>,
+    /// False if a same-pair message overtook an earlier one while the
+    /// config promised FIFO.
+    pub fifo_ok: bool,
+}
+
+impl<'a> ExploreStrategy<'a> {
+    pub fn new(
+        size: usize,
+        prefix: &'a [u32],
+        eager_collectives: bool,
+        check_fifo: bool,
+        max_drops: u32,
+        max_duplicates: u32,
+    ) -> Self {
+        ExploreStrategy {
+            prefix,
+            trail: Vec::new(),
+            rank_hash: vec![0; size],
+            drop_hash: 0,
+            drops_left: max_drops,
+            dups_left: max_duplicates,
+            eager_collectives,
+            check_fifo,
+            last_seq: HashMap::new(),
+            fifo_ok: true,
+        }
+    }
+
+    fn state_hash(&self) -> u64 {
+        let mut h = mix(0x5747_4154, self.drop_hash);
+        for (r, &rh) in self.rank_hash.iter().enumerate() {
+            h = mix(h, mix(rh, r as u64));
+        }
+        h
+    }
+}
+
+impl DeliveryStrategy for ExploreStrategy<'_> {
+    fn choose(&mut self, candidates: &[Candidate]) -> Choice {
+        // Candidates arrive in canonical order with collectives first.
+        // Collective resumptions commute with each other and with message
+        // deliveries (they carry no cross-rank information beyond the
+        // already-fixed gather result), so delivering them eagerly is a
+        // partial-order reduction — optional, because exploring their
+        // orderings is itself a useful stress when cheap.
+        if self.eager_collectives && matches!(candidates[0], Candidate::Collective { .. }) {
+            return Choice {
+                index: 0,
+                op: Op::Deliver,
+            };
+        }
+        let mut arms: Vec<Choice> = (0..candidates.len())
+            .map(|index| Choice {
+                index,
+                op: Op::Deliver,
+            })
+            .collect();
+        for (budget, op) in [(self.drops_left, Op::Drop), (self.dups_left, Op::Duplicate)] {
+            if budget > 0 {
+                arms.extend(
+                    candidates
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| matches!(c, Candidate::Message(_)))
+                        .map(|(index, _)| Choice { index, op }),
+                );
+            }
+        }
+        if arms.len() == 1 {
+            return arms[0]; // forced: not a choice point, not recorded
+        }
+        let depth = self.trail.len();
+        let chosen = match self.prefix.get(depth) {
+            // Clamp so a malformed hand-edited trace degrades to a valid
+            // execution instead of an index panic.
+            Some(&c) => (c as usize).min(arms.len() - 1),
+            None => 0,
+        };
+        self.trail.push(TrailPoint {
+            state: self.state_hash(),
+            arms: arms.len() as u32,
+            chosen: chosen as u32,
+        });
+        arms[chosen]
+    }
+
+    fn delivered(&mut self, event: &Delivered) {
+        match event {
+            Delivered::Start { rank } => {
+                self.rank_hash[*rank] = mix(self.rank_hash[*rank], 0x5354_4152);
+            }
+            Delivered::Message(m) | Delivered::Duplicated(m) => {
+                if matches!(event, Delivered::Duplicated(_)) {
+                    self.dups_left -= 1;
+                }
+                if self.check_fifo {
+                    let last = self.last_seq.entry((m.src, m.dst)).or_insert(0);
+                    if m.send_seq < *last {
+                        self.fifo_ok = false;
+                    }
+                    *last = (*last).max(m.send_seq);
+                }
+                self.rank_hash[m.dst] = mix(self.rank_hash[m.dst], msg_hash(m));
+            }
+            Delivered::Collective { dst, gen } => {
+                self.rank_hash[*dst] = mix(self.rank_hash[*dst], mix(0x0C01_1EC7, *gen));
+            }
+            Delivered::Dropped(m) => {
+                self.drops_left -= 1;
+                self.drop_hash ^= mix(0x0D20_99ED, msg_hash(m));
+            }
+        }
+    }
+}

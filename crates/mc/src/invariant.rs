@@ -1,0 +1,72 @@
+//! The pluggable invariant API: predicates over a completed execution.
+//!
+//! Structural invariants — termination (no simulated deadlock), no
+//! orphan messages at quiescence, per-pair FIFO when configured — are
+//! built into the [`Checker`](crate::Checker) because they surface as
+//! scheduler panics or strategy observations rather than as properties
+//! of the output. Everything else (oracles, agreement) is an
+//! [`Invariant`] supplied per scenario.
+
+use forestbal_sim::SimRunOutput;
+use std::fmt::Debug;
+
+/// A named predicate over the per-rank outputs of one execution.
+pub struct Invariant<T> {
+    name: &'static str,
+    #[allow(clippy::type_complexity)]
+    check: Box<dyn Fn(&SimRunOutput<T>) -> Result<(), String> + Send + Sync>,
+}
+
+impl<T> Invariant<T> {
+    /// An invariant from an arbitrary predicate; `Err` carries the
+    /// human-readable violation description.
+    pub fn new(
+        name: &'static str,
+        check: impl Fn(&SimRunOutput<T>) -> Result<(), String> + Send + Sync + 'static,
+    ) -> Self {
+        Invariant {
+            name,
+            check: Box::new(check),
+        }
+    }
+
+    /// The invariant's name (reported in violations and traces).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Evaluate against one execution's output.
+    pub fn check(&self, out: &SimRunOutput<T>) -> Result<(), String> {
+        (self.check)(out)
+    }
+}
+
+impl<T: PartialEq + Debug + Send + Sync + 'static> Invariant<T> {
+    /// Per-rank results must equal `expected` exactly — the oracle
+    /// invariant (e.g. serial balance, pattern transpose).
+    pub fn oracle(name: &'static str, expected: Vec<T>) -> Self {
+        Invariant::new(name, move |out: &SimRunOutput<T>| {
+            for (rank, (got, want)) in out.results.iter().zip(&expected).enumerate() {
+                if got != want {
+                    return Err(format!("rank {rank}: got {got:?}, oracle says {want:?}"));
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Every rank must compute the same value (agreement).
+    pub fn all_ranks_equal(name: &'static str) -> Self {
+        Invariant::new(name, |out: &SimRunOutput<T>| {
+            let first = &out.results[0];
+            for (rank, got) in out.results.iter().enumerate().skip(1) {
+                if got != first {
+                    return Err(format!(
+                        "rank {rank} disagrees with rank 0: {got:?} vs {first:?}"
+                    ));
+                }
+            }
+            Ok(())
+        })
+    }
+}

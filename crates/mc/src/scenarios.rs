@@ -1,0 +1,157 @@
+//! Checker wirings over the three protocol surfaces: Notify reversal,
+//! the partition-marker exchange, and the one-pass balance — plus the
+//! mutation test (a deliberately broken Notify) that proves the checker
+//! detects real reordering bugs.
+//!
+//! Each scenario comes as a `check_*` function (exhaustive exploration)
+//! and a matching `replay_*` function (re-execute a serialized
+//! counterexample trace through the same closure and invariants).
+
+use crate::checker::{replay, Checker, McConfig, McReport, Violation};
+use crate::invariant::Invariant;
+use crate::trace::Trace;
+use forestbal_comm::{reverse_notify, reverse_notify_wildcard_bug, Comm};
+use forestbal_core::Condition;
+use forestbal_forest::serial::is_forest_balanced;
+use forestbal_forest::{serial_forest_balance, BalanceVariant, ReversalScheme};
+use forestbal_mesh::fractal::fractal_forest_2d;
+use forestbal_sim::{SimCtx, SimRunOutput};
+
+/// The expected sender lists of a communication pattern: its transpose,
+/// sorted and deduplicated — the oracle for every reversal scheme.
+pub fn transpose(pattern: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut want = vec![Vec::new(); pattern.len()];
+    for (p, receivers) in pattern.iter().enumerate() {
+        for &q in receivers {
+            want[q].push(p);
+        }
+    }
+    for w in &mut want {
+        w.sort_unstable();
+        w.dedup();
+    }
+    want
+}
+
+/// Exhaustively check [`reverse_notify`] on `pattern` (rank `p` notifies
+/// `pattern[p]`): in every delivery ordering each rank must compute
+/// exactly the transpose.
+pub fn check_notify(pattern: Vec<Vec<usize>>, cfg: McConfig) -> McReport {
+    let size = pattern.len();
+    let invariants = [Invariant::oracle("notify-oracle", transpose(&pattern))];
+    Checker::new(cfg).check(
+        size,
+        move |ctx: &SimCtx| reverse_notify(ctx, &pattern[ctx.rank()]),
+        &invariants,
+    )
+}
+
+/// The ring pattern the mutant provably misroutes on under reordering:
+/// at level 0, rank 2 sends items to ranks 0 and 1 in the same step, and
+/// the mutant's wildcard single-tag `recv` lets rank 0 consume the
+/// level-1 payload during level 0.
+fn mutant_pattern() -> Vec<Vec<usize>> {
+    vec![vec![1], vec![2], vec![0]]
+}
+
+/// Run the mutation test: explore the deliberately broken
+/// [`reverse_notify_wildcard_bug`] at P = 3 with FIFO off. A correct
+/// checker must report an oracle violation (the default time-ordered
+/// schedule passes — only reordering exposes the bug).
+pub fn check_notify_mutant(mut cfg: McConfig) -> McReport {
+    cfg.sim.fifo = false;
+    let pattern = mutant_pattern();
+    let invariants = [Invariant::oracle("notify-oracle", transpose(&pattern))];
+    Checker::new(cfg).check(
+        3,
+        move |ctx: &SimCtx| reverse_notify_wildcard_bug(ctx, &pattern[ctx.rank()]),
+        &invariants,
+    )
+}
+
+/// Replay a serialized mutant counterexample through the same closure and
+/// oracle.
+pub fn replay_notify_mutant(trace: &Trace) -> Option<Violation> {
+    let pattern = mutant_pattern();
+    let invariants = [Invariant::oracle("notify-oracle", transpose(&pattern))];
+    replay(
+        trace,
+        move |ctx: &SimCtx| reverse_notify_wildcard_bug(ctx, &pattern[ctx.rank()]),
+        &invariants,
+    )
+}
+
+/// The marker-exchange closure: build the 2D fractal forest (uniform
+/// refine + fractal refine, each re-exchanging partition markers) and
+/// re-run the marker exchange once more; return a printable digest of
+/// the markers plus the forest checksum.
+fn markers_digest(ctx: &SimCtx) -> String {
+    let mut f = fractal_forest_2d(ctx, 1, 1);
+    f.update_markers(ctx);
+    format!("markers={:?} checksum={:#x}", f.markers(), f.checksum(ctx))
+}
+
+/// Exhaustively check the partition-marker exchange at P = `size`:
+/// explore every collective resume ordering (eager-collective reduction
+/// off) and require every rank, in every ordering, to agree with the
+/// default schedule's markers bit-for-bit.
+pub fn check_markers(size: usize, mut cfg: McConfig) -> McReport {
+    cfg.eager_collectives = false;
+    let expected = forestbal_sim::SimCluster::run(size, cfg.sim, markers_digest).results;
+    let invariants = [
+        Invariant::oracle("markers-oracle", expected),
+        Invariant::all_ranks_equal("markers-agreement"),
+    ];
+    Checker::new(cfg).check(size, markers_digest, &invariants)
+}
+
+/// The balance closure: fractal forest, one-pass balance
+/// (`New` variant + `Notify` reversal), then compare the gathered result
+/// against [`serial_forest_balance`] of the gathered input and check the
+/// 2:1 condition globally. Returns `(matches_serial_oracle, balanced,
+/// global_checksum)`.
+fn balance_vs_oracle(ctx: &SimCtx) -> (bool, bool, u64) {
+    let cond = Condition::full(2);
+    let mut f = fractal_forest_2d(ctx, 1, 2);
+    let before = f.gather(ctx);
+    f.balance(ctx, cond, BalanceVariant::New, ReversalScheme::Notify);
+    let after = f.gather(ctx);
+    let conn = f.connectivity();
+    let expected = serial_forest_balance(conn, &before, cond);
+    (
+        after == expected,
+        is_forest_balanced(conn, &after, cond),
+        f.checksum(ctx),
+    )
+}
+
+/// Exhaustively check the one-pass balance at P = `size` (2D fractal
+/// forest): in every message delivery ordering the result must be
+/// bit-identical to the serial oracle and 2:1-balanced.
+pub fn check_balance(size: usize, cfg: McConfig) -> McReport {
+    let invariants = [
+        Invariant::new(
+            "balance-serial-oracle",
+            |out: &SimRunOutput<(bool, bool, u64)>| {
+                for (rank, &(matches, _, _)) in out.results.iter().enumerate() {
+                    if !matches {
+                        return Err(format!(
+                            "rank {rank}: balanced forest differs from the serial oracle"
+                        ));
+                    }
+                }
+                Ok(())
+            },
+        ),
+        Invariant::new("balance-2to1", |out: &SimRunOutput<(bool, bool, u64)>| {
+            for (rank, &(_, balanced, _)) in out.results.iter().enumerate() {
+                if !balanced {
+                    return Err(format!("rank {rank}: 2:1 condition violated"));
+                }
+            }
+            Ok(())
+        }),
+        Invariant::all_ranks_equal("balance-agreement"),
+    ];
+    Checker::new(cfg).check(size, balance_vs_oracle, &invariants)
+}

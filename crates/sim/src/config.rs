@@ -19,10 +19,24 @@ pub struct SimConfig {
     /// deterministically from `seed` and the message sequence number.
     /// `0` disables jitter. Nonzero values reorder message arrivals,
     /// which is the fault model used to test order-robustness.
+    ///
+    /// Interaction with [`fifo`](Self::fifo): jitter draws delays
+    /// independently per message, so with `fifo: true` (the default) a
+    /// later same-`(src, dst)` message that drew a smaller delay is
+    /// *held back* to the earlier message's arrival time (MPI
+    /// non-overtaking) — jitter then only reorders messages *between
+    /// different pairs*. Set `fifo: false` to let jitter also overtake
+    /// within a pair. Either way a jitter seed samples **one** schedule
+    /// per `(seed, jitter_ns)`; for exhaustive coverage of *every*
+    /// delivery order at small P, use the `forestbal-mc` model checker,
+    /// which drives the simulator through a [`crate::DeliveryStrategy`]
+    /// instead of jitter sampling.
     pub jitter_ns: u64,
     /// Enforce MPI's non-overtaking rule: two messages from the same
     /// source to the same destination arrive in send order even under
-    /// jitter. Disable to inject pairwise reordering faults.
+    /// jitter. Disable to inject pairwise reordering faults. Under a
+    /// [`crate::DeliveryStrategy`] the same flag decides whether
+    /// same-pair reorderings are offered to the strategy at all.
     pub fifo: bool,
     /// Stack size for each simulated rank's coroutine thread. Ranks run
     /// one at a time, but each still needs its own (mostly untouched)

@@ -14,7 +14,10 @@
 //! - ties are resolved deterministically by `(virtual time, rank id,
 //!   sequence number)`, so a seeded run is bit-identical every time,
 //! - seeded per-message delay jitter ([`SimConfig::jitter_ns`]) injects
-//!   message reordering faults without giving up reproducibility.
+//!   message reordering faults without giving up reproducibility,
+//! - a [`DeliveryStrategy`] hook replaces time-ordered delivery with an
+//!   externally chosen order — the executor interface behind the
+//!   `forestbal-mc` exhaustive model checker.
 //!
 //! Because the paper's algorithms are written against the `Comm` trait,
 //! they run unmodified here at P = 4096–65536 on one machine — which is
@@ -44,6 +47,8 @@
 
 mod config;
 mod runtime;
+pub mod strategy;
 
 pub use config::SimConfig;
 pub use runtime::{SimCluster, SimCtx, SimRunOutput};
+pub use strategy::{Candidate, Choice, Delivered, DeliveryStrategy, MsgMeta, Op};

@@ -27,6 +27,7 @@
 //!   `max(entry times) + ⌈log₂P⌉·α + β·total_bytes`.
 
 use crate::config::SimConfig;
+use crate::strategy::{hash_bytes, Candidate, Delivered, DeliveryStrategy, MsgMeta, Op};
 use forestbal_comm::{install_quiet_panic_hook, Comm, CommStats, ShutdownSignal};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
@@ -144,12 +145,22 @@ struct GatherRound {
 /// A completed allgather: `(gen, result, undelivered wake events)`.
 type GatherResult = (u64, Arc<Vec<Vec<u8>>>, usize);
 
-struct Scheduler {
+/// Where undelivered events live. The default runtime pops them in
+/// `(time, rank, seq)` order from a heap; under a [`DeliveryStrategy`]
+/// they sit in an unordered pool and the strategy picks.
+enum EventQueue {
+    Heap(BinaryHeap<Event>),
+    Pool(Vec<Event>),
+}
+
+struct Scheduler<'s> {
     cfg: SimConfig,
     size: usize,
     ranks: Vec<RankState>,
     yield_rx: Receiver<(usize, RankYield)>,
-    heap: BinaryHeap<Event>,
+    queue: EventQueue,
+    /// Delivery-order policy in [`EventQueue::Pool`] mode.
+    strategy: Option<&'s mut dyn DeliveryStrategy>,
     gather: GatherRound,
     gather_result: Option<GatherResult>,
     /// Latest arrival time per (src, dst), for FIFO (non-overtaking)
@@ -164,23 +175,151 @@ struct Scheduler {
     fatal: Option<String>,
 }
 
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
-impl Scheduler {
+/// Strategy-facing metadata of a queued arrival event.
+fn msg_meta(ev: &Event) -> MsgMeta {
+    match &ev.kind {
+        EventKind::Arrival { src, tag, data } => MsgMeta {
+            src: *src,
+            dst: ev.rank,
+            tag: *tag,
+            bytes: data.len(),
+            send_seq: ev.seq,
+            payload_hash: hash_bytes(data),
+        },
+        _ => unreachable!("metadata of a non-message event"),
+    }
+}
+
+impl<'s> Scheduler<'s> {
     fn push(&mut self, time: u64, rank: usize, kind: EventKind) {
         let seq = self.event_seq;
         self.event_seq += 1;
-        self.heap.push(Event {
+        let ev = Event {
             time,
             rank,
             seq,
             kind,
-        });
+        };
+        match &mut self.queue {
+            EventQueue::Heap(h) => h.push(ev),
+            EventQueue::Pool(p) => p.push(ev),
+        }
+    }
+
+    /// The next event to act on: heap order in the default mode; in
+    /// strategy mode, eager `Start`s first, then whatever the strategy
+    /// picks from the deliverable set (handling `Drop`/`Duplicate` faults
+    /// internally).
+    fn next_event(&mut self) -> Option<Event> {
+        let pool = match &mut self.queue {
+            EventQueue::Heap(h) => return h.pop(),
+            EventQueue::Pool(p) => p,
+        };
+        loop {
+            if pool.is_empty() {
+                return None;
+            }
+            // Rank starts are never choice points: executing a rank up to
+            // its first blocking call commutes with everything else.
+            if let Some(i) = pool
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| matches!(e.kind, EventKind::Start))
+                .min_by_key(|(_, e)| e.rank)
+                .map(|(i, _)| i)
+            {
+                let ev = pool.swap_remove(i);
+                let strat = self.strategy.as_mut().expect("pool mode has a strategy");
+                strat.delivered(&Delivered::Start { rank: ev.rank });
+                return Some(ev);
+            }
+            // Build the deliverable set in canonical order: collectives
+            // first by (rank, gen), then messages by (dst, src, tag, seq).
+            // Under FIFO, a message is deliverable only if it is the
+            // earliest-sent in-flight message of its (src, dst) pair.
+            let fifo = self.cfg.fifo;
+            let mut order: Vec<(u8, usize, usize, u32, u64, usize)> = pool
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| match &e.kind {
+                    EventKind::Start => unreachable!("starts drained above"),
+                    EventKind::GatherDone { gen } => Some((0, e.rank, 0, 0, *gen, i)),
+                    EventKind::Arrival { src, tag, .. } => {
+                        let blocked = fifo
+                            && pool.iter().any(|o| {
+                                o.seq < e.seq
+                                    && o.rank == e.rank
+                                    && matches!(&o.kind,
+                                        EventKind::Arrival { src: s2, .. } if *s2 == *src)
+                            });
+                        (!blocked).then_some((1, e.rank, *src, *tag, e.seq, i))
+                    }
+                })
+                .collect();
+            order.sort_unstable();
+            let candidates: Vec<Candidate> = order
+                .iter()
+                .map(|&(_, _, _, _, _, i)| match &pool[i] {
+                    Event {
+                        rank,
+                        kind: EventKind::GatherDone { gen },
+                        ..
+                    } => Candidate::Collective {
+                        dst: *rank,
+                        gen: *gen,
+                    },
+                    ev => Candidate::Message(msg_meta(ev)),
+                })
+                .collect();
+            debug_assert!(!candidates.is_empty(), "non-empty pool, no candidates");
+            let strat = self.strategy.as_mut().expect("pool mode has a strategy");
+            let choice = strat.choose(&candidates);
+            let pool_idx = order[choice.index].5;
+            match (choice.op, &candidates[choice.index]) {
+                (Op::Deliver, Candidate::Collective { dst, gen }) => {
+                    strat.delivered(&Delivered::Collective {
+                        dst: *dst,
+                        gen: *gen,
+                    });
+                    return Some(pool.swap_remove(pool_idx));
+                }
+                (Op::Deliver, Candidate::Message(m)) => {
+                    strat.delivered(&Delivered::Message(*m));
+                    return Some(pool.swap_remove(pool_idx));
+                }
+                (Op::Drop, Candidate::Message(m)) => {
+                    strat.delivered(&Delivered::Dropped(*m));
+                    pool.swap_remove(pool_idx);
+                }
+                (Op::Duplicate, Candidate::Message(m)) => {
+                    strat.delivered(&Delivered::Duplicated(*m));
+                    // Deliver a copy; the original stays in flight under
+                    // the same send seq.
+                    let ev = &pool[pool_idx];
+                    return Some(Event {
+                        time: ev.time,
+                        rank: ev.rank,
+                        seq: ev.seq,
+                        kind: match &ev.kind {
+                            EventKind::Arrival { src, tag, data } => EventKind::Arrival {
+                                src: *src,
+                                tag: *tag,
+                                data: data.clone(),
+                            },
+                            _ => unreachable!("duplicate of a non-message"),
+                        },
+                    });
+                }
+                (op, c) => panic!("strategy chose {op:?} for {c:?}"),
+            }
+        }
     }
 
     /// Schedule arrivals for everything the rank sent since it last
@@ -337,7 +476,7 @@ impl Scheduler {
     }
 
     fn run(&mut self) {
-        while let Some(ev) = self.heap.pop() {
+        while let Some(ev) = self.next_event() {
             if self.panic_payload.is_some() || self.fatal.is_some() {
                 return;
             }
@@ -412,6 +551,30 @@ impl Scheduler {
                 "simulated deadlock: no events left but {} rank(s) blocked: {}",
                 blocked.len(),
                 blocked.join("; ")
+            ));
+            return;
+        }
+        // Quiescence: after every rank finished with no failure, nothing
+        // may remain buffered — a leftover message was sent but never
+        // received, which is a protocol bug (an orphan message).
+        let orphans: Vec<String> = self
+            .ranks
+            .iter()
+            .enumerate()
+            .flat_map(|(dst, st)| {
+                st.pending.iter().flat_map(move |(&tag, q)| {
+                    q.iter().map(move |(src, data)| {
+                        format!("(src={src}, dst={dst}, tag={tag:#x}, {} bytes)", data.len())
+                    })
+                })
+            })
+            .collect();
+        if !orphans.is_empty() {
+            self.fail(format!(
+                "quiescence violated: {} orphan message(s) arrived but were never \
+                 received: {}",
+                orphans.len(),
+                orphans.join(", ")
             ));
         }
     }
@@ -566,8 +729,40 @@ impl SimCluster {
     /// panic in any rank unwinds the whole run with the original payload;
     /// a communication pattern that can never complete (e.g. a recv
     /// nothing will send) panics with a "simulated deadlock" report
-    /// instead of hanging.
+    /// instead of hanging. A run in which every rank finishes but some
+    /// message was never received panics with a "quiescence violated"
+    /// report listing the orphan messages.
     pub fn run<T, F>(size: usize, config: SimConfig, f: F) -> SimRunOutput<T>
+    where
+        T: Send,
+        F: Fn(&SimCtx) -> T + Send + Sync,
+    {
+        Self::run_inner(size, config, None, f)
+    }
+
+    /// Like [`SimCluster::run`], but event delivery order is picked by
+    /// `strategy` instead of virtual time — the executor interface used by
+    /// the `forestbal-mc` model checker to explore every interleaving.
+    /// See [`crate::strategy`] for the contract.
+    pub fn run_with_strategy<T, F>(
+        size: usize,
+        config: SimConfig,
+        strategy: &mut dyn DeliveryStrategy,
+        f: F,
+    ) -> SimRunOutput<T>
+    where
+        T: Send,
+        F: Fn(&SimCtx) -> T + Send + Sync,
+    {
+        Self::run_inner(size, config, Some(strategy), f)
+    }
+
+    fn run_inner<T, F>(
+        size: usize,
+        config: SimConfig,
+        strategy: Option<&mut dyn DeliveryStrategy>,
+        f: F,
+    ) -> SimRunOutput<T>
     where
         T: Send,
         F: Fn(&SimCtx) -> T + Send + Sync,
@@ -596,7 +791,12 @@ impl SimCluster {
                 })
                 .collect(),
             yield_rx,
-            heap: BinaryHeap::new(),
+            queue: if strategy.is_some() {
+                EventQueue::Pool(Vec::new())
+            } else {
+                EventQueue::Heap(BinaryHeap::new())
+            },
+            strategy,
             gather: GatherRound {
                 gen: 0,
                 entries: (0..size).map(|_| None).collect(),
@@ -706,6 +906,7 @@ impl SimCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::Choice;
 
     fn cfg() -> SimConfig {
         SimConfig::default()
@@ -894,6 +1095,79 @@ mod tests {
         assert_eq!(out.results, vec![2_000, 2_000]);
         // Sanity: the virtual clock is not derived from the wall clock.
         let _ = wall.elapsed();
+    }
+
+    /// Always picks the last candidate — the exact reverse of the
+    /// canonical order, maximally far from the default schedule.
+    struct PickLast;
+    impl DeliveryStrategy for PickLast {
+        fn choose(&mut self, candidates: &[Candidate]) -> Choice {
+            Choice {
+                index: candidates.len() - 1,
+                op: Op::Deliver,
+            }
+        }
+        fn delivered(&mut self, _: &Delivered) {}
+    }
+
+    #[test]
+    fn strategy_reorders_same_pair_without_fifo() {
+        let two_sends = |ctx: &SimCtx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 9, vec![1]);
+                ctx.send(1, 9, vec![2]);
+                Vec::new()
+            } else {
+                let (_, a) = ctx.recv(None, 9);
+                let (_, b) = ctx.recv(None, 9);
+                vec![a[0], b[0]]
+            }
+        };
+        let mut cfg_nofifo = cfg();
+        cfg_nofifo.fifo = false;
+        let out = SimCluster::run_with_strategy(2, cfg_nofifo, &mut PickLast, two_sends);
+        assert_eq!(out.results[1], vec![2, 1], "strategy must overtake");
+        // With FIFO on, only the earliest-sent same-pair message is ever
+        // a candidate, so even the adversarial strategy preserves order.
+        let out = SimCluster::run_with_strategy(2, cfg(), &mut PickLast, two_sends);
+        assert_eq!(out.results[1], vec![1, 2], "FIFO must hold");
+    }
+
+    #[test]
+    fn strategy_runs_collectives_and_matches_default() {
+        let work = |ctx: &SimCtx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            ctx.send(next, 1, vec![ctx.rank() as u8]);
+            let (_, d) = ctx.recv(None, 1);
+            ctx.allreduce_sum(d[0] as u64)
+        };
+        let base = SimCluster::run(3, cfg(), work);
+        let strat = SimCluster::run_with_strategy(3, cfg(), &mut PickLast, work);
+        assert_eq!(base.results, strat.results);
+        assert_eq!(base.stats, strat.stats);
+    }
+
+    #[test]
+    fn orphan_message_violates_quiescence() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            SimCluster::run(2, cfg(), |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 5, vec![9; 3]); // never received
+                }
+                ctx.barrier();
+                ctx.barrier();
+            });
+        }));
+        let payload = result.expect_err("orphan message must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("quiescence violated"), "got: {msg}");
+        assert!(
+            msg.contains("(src=0, dst=1, tag=0x5, 3 bytes)"),
+            "got: {msg}"
+        );
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Strategy-driven event delivery: the scheduler hook behind the
+//! `forestbal-mc` model checker.
+//!
+//! In its default mode the simulator delivers events in virtual-time
+//! order — one schedule per `(seed, jitter)` configuration. A
+//! [`DeliveryStrategy`] replaces that policy: at every step the scheduler
+//! presents the *entire* set of currently-deliverable events
+//! ([`Candidate`]s, in a canonical deterministic order) and the strategy
+//! picks which one fires next — and, for messages, whether to deliver it
+//! normally, [drop](Op::Drop) it, or [duplicate](Op::Duplicate) it
+//! (fault injection). This turns the simulator into an executor for
+//! exhaustive interleaving exploration: a model checker can enumerate
+//! every delivery order instead of sampling one per jitter seed.
+//!
+//! Rules the scheduler enforces in strategy mode:
+//!
+//! - **Rank starts are not choice points.** Executing a rank's closure up
+//!   to its first blocking call commutes with every other event (ranks
+//!   interact only through messages), so `Start` events are delivered
+//!   eagerly in rank order and never offered to the strategy.
+//! - **FIFO restriction.** When [`crate::SimConfig::fifo`] is set, a
+//!   message is deliverable only if no earlier-sent message from the same
+//!   source to the same destination is still in flight (MPI's
+//!   non-overtaking rule). With `fifo` off, every in-flight message is a
+//!   candidate, which is what lets a checker explore same-pair
+//!   reorderings.
+//! - **Virtual time is ignored for ordering** (clocks still advance
+//!   monotonically per rank, so `now_ns` stays usable, but makespans are
+//!   not meaningful under a non-time-ordered strategy).
+
+/// Metadata of one in-flight point-to-point message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgMeta {
+    /// Sending rank.
+    pub src: usize,
+    /// Destination rank.
+    pub dst: usize,
+    /// Message tag.
+    pub tag: u32,
+    /// Payload length in bytes.
+    pub bytes: usize,
+    /// Global send-order stamp: messages from one source to one
+    /// destination carry strictly increasing values in send order.
+    pub send_seq: u64,
+    /// Deterministic hash of the payload bytes (content identity for
+    /// state hashing; independent of send order).
+    pub payload_hash: u64,
+}
+
+/// One event the strategy may schedule next. Candidates are presented in
+/// a canonical order — collectives first, then messages sorted by
+/// `(dst, src, tag, send_seq)` — so replaying the same choice indices
+/// reproduces the same schedule bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Candidate {
+    /// An in-flight message that may be delivered (or dropped or
+    /// duplicated, see [`Op`]).
+    Message(MsgMeta),
+    /// A completed allgather round waiting to resume one rank.
+    Collective {
+        /// Rank to resume.
+        dst: usize,
+        /// Allgather round number.
+        gen: u64,
+    },
+}
+
+/// What to do with the chosen candidate. Fault operations apply to
+/// messages only; a strategy must choose [`Op::Deliver`] for
+/// [`Candidate::Collective`] entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Hand the event to its destination rank.
+    Deliver,
+    /// Discard the message: it never arrives (lost-message fault).
+    Drop,
+    /// Deliver a copy and keep the original in flight, so the same
+    /// message can arrive again later (duplicated-message fault).
+    Duplicate,
+}
+
+/// The strategy's decision: which candidate, and what to do with it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Choice {
+    /// Index into the candidate slice passed to
+    /// [`DeliveryStrategy::choose`].
+    pub index: usize,
+    /// Operation to apply to that candidate.
+    pub op: Op,
+}
+
+/// A scheduling action the scheduler just performed. Reported for *every*
+/// event — including the eagerly-delivered `Start`s the strategy is never
+/// asked about — so a strategy can maintain an exact incremental model of
+/// the system state (e.g. per-rank delivery-history hashes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delivered {
+    /// A rank began executing its closure.
+    Start {
+        /// The rank that started.
+        rank: usize,
+    },
+    /// A message reached its destination (delivered to the rank's pending
+    /// buffer or directly into a blocked `recv`).
+    Message(MsgMeta),
+    /// An allgather round completed for one rank.
+    Collective {
+        /// Rank that resumed.
+        dst: usize,
+        /// Allgather round number.
+        gen: u64,
+    },
+    /// A message was discarded by [`Op::Drop`].
+    Dropped(MsgMeta),
+    /// A copy of a message was delivered by [`Op::Duplicate`]; the
+    /// original remains in flight.
+    Duplicated(MsgMeta),
+}
+
+/// Scheduler hook: picks the next deliverable event. See the
+/// [module docs](self) for the contract.
+pub trait DeliveryStrategy {
+    /// Pick the next action among `candidates` (never empty). Must return
+    /// a valid index; `op` must be [`Op::Deliver`] for collectives.
+    fn choose(&mut self, candidates: &[Candidate]) -> Choice;
+
+    /// Observe an action the scheduler performed (chosen ones *and*
+    /// eager `Start` deliveries).
+    fn delivered(&mut self, event: &Delivered);
+}
+
+/// Deterministic payload hash (splitmix-folded, 8 bytes at a time).
+pub(crate) fn hash_bytes(data: &[u8]) -> u64 {
+    let mut h = 0x243F_6A88_85A3_08D3u64 ^ (data.len() as u64);
+    for chunk in data.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h = crate::runtime::splitmix64(h ^ u64::from_le_bytes(w));
+    }
+    h
+}
