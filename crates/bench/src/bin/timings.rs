@@ -4,7 +4,7 @@
 //! to reproduce our results ... can be invoked by the timings example").
 //!
 //! ```text
-//! timings [--exp weak|strong|notify|subtree|kernel|seeds|ripple|simscale|all] [--max-ranks N] [--big]
+//! timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|simscale|all] [--max-ranks N] [--big]
 //!         [--trace-out trace.json]
 //! ```
 //!
@@ -375,6 +375,68 @@ fn run_kernel(big: bool) {
             )
             .emit();
     }
+
+    run_wire();
+}
+
+/// The wire-format study alone: cheap enough for the CI feature matrix,
+/// which compares the emitted forest checksums across `simd` / default /
+/// `--no-default-features` builds.
+fn run_wire() {
+    let us = |s: f64| format!("{:.1}", s * 1e6);
+    println!("\n#### Packed wire format: bytes per octant and codec throughput");
+    let (simd_pack, simd_packable) = forestbal_octant::simd_active();
+    println!(
+        "SIMD kernels active: bmi2 pack/unpack = {simd_pack}, avx2 packable = {simd_packable}"
+    );
+    let wire = wire_experiment();
+    let mut t = Table::new(
+        "Wire codec: fixed-width packed keys with tree-run framing",
+        &[
+            "dim",
+            "key bytes",
+            "octants",
+            "runs",
+            "wire bytes",
+            "bytes/oct",
+            "encode µs",
+            "decode µs",
+            "checksum",
+        ],
+    );
+    for r in &wire {
+        t.row(vec![
+            r.dim.to_string(),
+            r.key_bytes.to_string(),
+            r.octants.to_string(),
+            r.runs.to_string(),
+            r.wire_bytes.to_string(),
+            format!("{:.2}", r.wire_bytes as f64 / r.octants.max(1) as f64),
+            us(r.encode_seconds),
+            us(r.decode_seconds),
+            format!("{:016x}", r.checksum),
+        ]);
+    }
+    t.print();
+
+    for r in &wire {
+        BenchRecord::new("kernel_wire")
+            .u("dim", r.dim as u64)
+            .u("key_bytes", r.key_bytes as u64)
+            .u("octants", r.octants as u64)
+            .u("runs", r.runs as u64)
+            .u("wire_bytes", r.wire_bytes as u64)
+            .f(
+                "bytes_per_octant",
+                r.wire_bytes as f64 / r.octants.max(1) as f64,
+            )
+            .f("encode_s", r.encode_seconds)
+            .f("decode_s", r.decode_seconds)
+            .u("forest_checksum", r.checksum)
+            .u("simd_pack", simd_pack as u64)
+            .u("simd_packable", simd_packable as u64)
+            .emit();
+    }
 }
 
 fn run_seeds() {
@@ -644,7 +706,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
-                    "usage: timings [--exp weak|strong|notify|subtree|kernel|seeds|ripple|simscale|all] \
+                    "usage: timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|simscale|all] \
                      [--max-ranks N] [--big] [--trace-out trace.json]"
                 );
                 std::process::exit(2);
@@ -652,12 +714,13 @@ fn main() {
         }
     }
     let known = [
-        "all", "subtree", "kernel", "seeds", "notify", "weak", "strong", "ripple", "simscale",
+        "all", "subtree", "kernel", "wire", "seeds", "notify", "weak", "strong", "ripple",
+        "simscale",
     ];
     if !known.contains(&exp.as_str()) {
         eprintln!("unknown experiment {exp}");
         eprintln!(
-            "usage: timings [--exp weak|strong|notify|subtree|kernel|seeds|ripple|simscale|all] \
+            "usage: timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|simscale|all] \
              [--max-ranks N] [--big] [--trace-out trace.json]"
         );
         std::process::exit(2);
@@ -668,6 +731,11 @@ fn main() {
     }
     if all || exp == "kernel" {
         run_kernel(big);
+    }
+    if exp == "wire" {
+        // `kernel` (and `all`) already include the wire table; this runs
+        // it alone, fast enough for the CI feature matrix.
+        run_wire();
     }
     if all || exp == "seeds" {
         run_seeds();

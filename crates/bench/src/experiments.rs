@@ -825,6 +825,104 @@ pub fn kernel_experiment(targets: &[usize]) -> Vec<KernelRow> {
         .collect()
 }
 
+/// One row of the wire-format study: bytes per octant, tree-run framing
+/// overhead, and memcpy encode/decode throughput for the packed-key codec
+/// (`forestbal_forest::codec`), on a deterministic balanced forest.
+///
+/// The checksum is the forest checksum of the balanced mesh the row was
+/// measured on. It is independent of the `simd` feature by construction
+/// (the BMI2 batch codecs are bit-identical to the scalar fallback), so
+/// CI compares it across feature configurations.
+#[derive(Clone, Debug)]
+pub struct WireRow {
+    /// Spatial dimension of the forest.
+    pub dim: usize,
+    /// Bytes per octant on the wire (`codec::key_size`): 8 in 2D, 16 in 3D.
+    pub key_bytes: usize,
+    /// Leaves serialized.
+    pub octants: usize,
+    /// Tree runs in the encoded stream (each costs 8 bytes of framing).
+    pub runs: usize,
+    /// Total encoded bytes: `octants * key_bytes + 8 * runs`.
+    pub wire_bytes: usize,
+    /// Serializing the local forest (runs + memcpy of the SoA keys).
+    pub encode_seconds: f64,
+    /// Decoding back to per-tree octant vectors (memcpy + batch unpack).
+    pub decode_seconds: f64,
+    /// Forest checksum of the balanced mesh (feature-independent).
+    pub checksum: u64,
+}
+
+fn wire_row<const D: usize>(
+    build: impl Fn(&forestbal_comm::RankCtx) -> Forest<D> + Sync,
+) -> WireRow {
+    use std::hint::black_box;
+    let out = Cluster::run(1, |ctx| {
+        let mut f = build(ctx);
+        f.balance_with_report(
+            ctx,
+            Condition::full(D as u8),
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+        );
+        let bytes = f.serialize_local();
+        let octants = f.num_local();
+        let runs = f.trees_packed().count();
+        assert_eq!(
+            bytes.len(),
+            octants * forestbal_forest::codec::key_size::<D>() + 8 * runs,
+            "wire format drifted from key_size + run framing"
+        );
+        // Differential: the decoded forest is the forest.
+        let back = Forest::<D>::deserialize_leaves(&bytes);
+        for (t, v) in f.trees() {
+            assert_eq!(back[&t], v.iter().collect::<Vec<_>>());
+        }
+        let reps = (200_000 / octants.max(1)).clamp(3, 50);
+        let encode_seconds = timed(reps, || {
+            black_box(f.serialize_local());
+        });
+        let decode_seconds = timed(reps, || {
+            black_box(Forest::<D>::deserialize_leaves(black_box(&bytes)));
+        });
+        WireRow {
+            dim: D,
+            key_bytes: forestbal_forest::codec::key_size::<D>(),
+            octants,
+            runs,
+            wire_bytes: bytes.len(),
+            encode_seconds,
+            decode_seconds,
+            checksum: f.checksum(ctx),
+        }
+    });
+    out.results.into_iter().next().unwrap()
+}
+
+/// Measure the packed wire format on deterministic balanced fractal
+/// forests, one row per dimension. Rows double as correctness witnesses:
+/// the byte budget is asserted exactly and the decode is compared leaf by
+/// leaf against the source forest.
+pub fn wire_experiment() -> Vec<WireRow> {
+    vec![
+        // 2D: a 2x2 brick with an asymmetric corner refinement, so the
+        // stream carries several tree runs and the checksum does not
+        // collapse by symmetry.
+        wire_row::<2>(|ctx| {
+            let conn = std::sync::Arc::new(forestbal_forest::BrickConnectivity::<2>::new(
+                [2, 2],
+                [false; 2],
+            ));
+            let mut f = Forest::new_uniform(conn, ctx, 3);
+            f.refine(true, 7, |t, o| {
+                (t == 0 && o.child_id() == 3) || (t == 3 && o.child_id() == 0)
+            });
+            f
+        }),
+        wire_row::<3>(|ctx| fractal_forest(ctx, 3, 2)),
+    ]
+}
+
 /// One row of the seed-vs-auxiliary study (§IV / Figures 4b and 9).
 #[derive(Clone, Debug)]
 pub struct SeedsRow {

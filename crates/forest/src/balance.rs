@@ -21,6 +21,12 @@
 //!    constructing auxiliary octants across any gaps; new: each queried
 //!    octant is reconstructed independently from its merged seeds and
 //!    spliced into the leaf array — no full-partition work.
+//!
+//! Storage is packed keys end to end ([`crate::store`]); the struct-based
+//! subtree kernels of `forestbal_core` run on batch-decoded arrays at the
+//! phase boundaries, and the wire carries fixed-width packed keys
+//! (queries as `(u32 eid, u32 tree, key)` records, responses as
+//! `(u32 eid, u32 count, count × key)` groups — see [`crate::codec`]).
 
 use crate::codec;
 use crate::connectivity::{translate, TreeId};
@@ -30,7 +36,10 @@ use forestbal_core::{
     balance_subtree_new_with_stats_scratch, balance_subtree_old_ext_scratch, find_seeds,
     reconstruct_from_seeds_scratch, BalanceScratch, Condition,
 };
-use forestbal_octant::{directions, is_linear, linearize, sort_octants, Coord, Octant};
+use forestbal_octant::{
+    directions, is_linear, is_linear_keys, key, linearize, pack_batch, sort_octants, unpack_batch,
+    Coord, Octant, PackedOctant,
+};
 use forestbal_trace as trace;
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -172,29 +181,37 @@ impl<const D: usize> Forest<D> {
         // rank's phase-1 loop and is threaded on through phase 4.
         let mut scratch = BalanceScratch::<D>::new();
         let mut local_stats = forestbal_core::BalanceStats::default();
+        let mut decoded: Vec<Octant<D>> = Vec::new();
         for (_, v) in self.local.iter_mut() {
             if v.is_empty() {
                 continue;
             }
-            let sub = v[0].nearest_common_ancestor(&v[v.len() - 1]);
-            let (lo, hi) = (v[0].index(), v[v.len() - 1].last_index());
+            let (lo, hi) = (
+                PackedOctant::<D>(v[0]).index(),
+                PackedOctant::<D>(v[v.len() - 1]).last_index(),
+            );
+            decoded.clear();
+            unpack_batch(v, &mut decoded);
+            let sub = decoded[0].nearest_common_ancestor(&decoded[decoded.len() - 1]);
             let (balanced, bs) = match variant {
                 BalanceVariant::Old => {
-                    balance_subtree_old_ext_scratch(&sub, v, &[], cond, &mut scratch)
+                    balance_subtree_old_ext_scratch(&sub, &decoded, &[], cond, &mut scratch)
                 }
                 BalanceVariant::New => {
-                    balance_subtree_new_with_stats_scratch(&sub, v, cond, &mut scratch)
+                    balance_subtree_new_with_stats_scratch(&sub, &decoded, cond, &mut scratch)
                 }
             };
             local_stats.hash_queries += bs.hash_queries;
             local_stats.binary_searches += bs.binary_searches;
             local_stats.sorted_len += bs.sorted_len;
             local_stats.output_len += bs.output_len;
-            *v = balanced
+            let clipped: Vec<Octant<D>> = balanced
                 .into_iter()
                 .filter(|o| o.index() >= lo && o.last_index() <= hi)
                 .collect();
-            debug_assert!(is_linear(v));
+            v.clear();
+            pack_batch(&clipped, v);
+            debug_assert!(is_linear_keys::<D>(v));
         }
         let t1 = ctx.now_ns();
         trace::span_end(|| t1);
@@ -220,7 +237,7 @@ impl<const D: usize> Forest<D> {
         let mut entries: Vec<QueryEntry<D>> = Vec::new();
         let mut per_rank: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
 
-        for (&t, v) in self.local.iter() {
+        for (t, v) in self.local.iter() {
             if v.is_empty() {
                 continue;
             }
@@ -230,8 +247,10 @@ impl<const D: usize> Forest<D> {
             // inside the root and within this rank's local range cannot
             // generate queries. The vast majority of leaves pass this
             // O(1) test and skip the 3^D-direction loop entirely.
-            let (range_lo, range_hi) = (v[0].index(), v[v.len() - 1].last_index());
-            for r in v {
+            let range_lo = PackedOctant::<D>(v[0]).index();
+            let range_hi = PackedOctant::<D>(v[v.len() - 1]).last_index();
+            for &k in v {
+                let r = key::unpack::<D>(k);
                 let len = r.len();
                 let ins_min: [Coord; D] = std::array::from_fn(|i| r.coords[i] - len);
                 let interior = ins_min.iter().all(|&c| c >= 0)
@@ -258,13 +277,13 @@ impl<const D: usize> Forest<D> {
                         if owner == me && t2 == t && off == [0; D] {
                             continue; // same tree, same rank: phase 1 did it
                         }
-                        let key = (owner, t2, off);
-                        if seen.contains(&key) {
+                        let dest = (owner, t2, off);
+                        if seen.contains(&dest) {
                             continue;
                         }
-                        seen.push(key);
+                        seen.push(dest);
                         let qid = *qid.get_or_insert_with(|| {
-                            queries.push((t, *r));
+                            queries.push((t, r));
                             (queries.len() - 1) as u32
                         });
                         let eid = entries.len() as u32;
@@ -276,15 +295,16 @@ impl<const D: usize> Forest<D> {
         }
 
         // Encode per-destination query buffers (self entries bypass the
-        // network).
+        // network): `(u32 eid, u32 tree, key)` records — per-record tree
+        // ids here, since consecutive entries rarely share a tree.
         let encode_entries = |eids: &[u32]| -> Vec<u8> {
-            let mut buf = Vec::with_capacity(eids.len() * (8 + codec::octant_size::<D>()));
+            let mut buf = Vec::with_capacity(eids.len() * (8 + codec::key_size::<D>()));
             for &eid in eids {
                 let e = &entries[eid as usize];
                 let (_, r) = queries[e.qid as usize];
                 codec::put_u32(&mut buf, eid);
                 codec::put_u32(&mut buf, e.tree);
-                codec::put_octant(&mut buf, &translate(&r, &e.off));
+                codec::put_key::<D>(&mut buf, key::pack(&translate(&r, &e.off)));
             }
             buf
         };
@@ -363,7 +383,7 @@ impl<const D: usize> Forest<D> {
                 let e = &entries[eid];
                 let back: [Coord; D] = std::array::from_fn(|i| -e.off[i]);
                 for _ in 0..count {
-                    let o = codec::get_octant::<D>(data, &mut pos);
+                    let o = key::unpack::<D>(codec::get_key::<D>(data, &mut pos));
                     per_qid[e.qid as usize].push(translate(&o, &back));
                 }
             }
@@ -426,35 +446,40 @@ impl<const D: usize> Forest<D> {
 
     /// Phase 3 responder: for each encoded query entry, find the local
     /// leaves inside the query octant's insulation layer that might cause
-    /// it to split, and encode the response (raw octants or seeds).
+    /// it to split, and encode the response (raw octants or seeds). The
+    /// insulation scan runs on the packed key array; only leaves that
+    /// survive the level precheck are decoded.
     fn answer_queries(&self, data: &[u8], cond: Condition, variant: BalanceVariant) -> Vec<u8> {
         let mut reply = Vec::new();
         let mut pos = 0;
         while pos < data.len() {
             let eid = codec::get_u32(data, &mut pos);
             let tree = codec::get_u32(data, &mut pos);
-            let r = codec::get_octant::<D>(data, &mut pos);
+            let r = key::unpack::<D>(codec::get_key::<D>(data, &mut pos));
 
             let mut out: Vec<Octant<D>> = Vec::new();
-            if let Some(v) = self.local.get(&tree) {
+            if let Some(v) = self.local.get(tree) {
                 for dir in directions::<D>() {
                     let n = r.neighbor(&dir);
                     if !n.is_inside_root() {
                         continue; // insulation falling outside this tree
                     }
                     // Local leaves strictly inside the insulation member.
-                    let lo = v.partition_point(|o| o.index() < n.index());
-                    for o in v[lo..]
+                    let (n_lo, n_hi) = (n.index(), n.last_index());
+                    let lo = v.partition_point(|&k| PackedOctant::<D>(k).index() < n_lo);
+                    for &k in v[lo..]
                         .iter()
-                        .take_while(|o| o.last_index() <= n.last_index())
+                        .take_while(|&&k| PackedOctant::<D>(k).last_index() <= n_hi)
                     {
-                        if o.level < r.level + 2 {
+                        let p = PackedOctant::<D>(k);
+                        if p.level() < r.level + 2 {
                             continue; // too coarse to split r
                         }
+                        let o = key::unpack::<D>(k);
                         match variant {
-                            BalanceVariant::Old => out.push(*o),
+                            BalanceVariant::Old => out.push(o),
                             BalanceVariant::New => {
-                                if let Some(seeds) = find_seeds(o, &r, cond) {
+                                if let Some(seeds) = find_seeds(&o, &r, cond) {
                                     out.extend(seeds);
                                 }
                             }
@@ -484,7 +509,7 @@ impl<const D: usize> Forest<D> {
             codec::put_u32(&mut reply, eid);
             codec::put_u32(&mut reply, out.len() as u32);
             for o in &out {
-                codec::put_octant(&mut reply, o);
+                codec::put_key::<D>(&mut reply, key::pack(o));
             }
         }
         reply
@@ -492,7 +517,8 @@ impl<const D: usize> Forest<D> {
 
     /// New-variant rebalance: reconstruct each queried octant from its
     /// merged seeds and splice the result into the leaf array. No
-    /// full-partition work, no auxiliary octants.
+    /// full-partition work, no auxiliary octants. The splice itself runs
+    /// on packed keys: replaced leaves are found by exact key match.
     fn rebalance_new(
         &mut self,
         queries: &[(TreeId, Octant<D>)],
@@ -500,8 +526,8 @@ impl<const D: usize> Forest<D> {
         cond: Condition,
         scratch: &mut BalanceScratch<D>,
     ) {
-        // tree -> (query octant -> replacement leaves)
-        let mut splices: BTreeMap<TreeId, BTreeMap<Octant<D>, Vec<Octant<D>>>> = BTreeMap::new();
+        // tree -> (query key -> packed replacement leaves)
+        let mut splices: BTreeMap<TreeId, BTreeMap<u128, Vec<u128>>> = BTreeMap::new();
         for (qid, mut seeds) in per_qid.into_iter().enumerate() {
             if seeds.is_empty() {
                 continue;
@@ -510,23 +536,25 @@ impl<const D: usize> Forest<D> {
             scratch.linearize(&mut seeds);
             let s = reconstruct_from_seeds_scratch(&r, &seeds, cond, scratch);
             if s.len() > 1 {
-                splices.entry(t).or_default().insert(r, s);
+                let mut packed = Vec::with_capacity(s.len());
+                pack_batch(&s, &mut packed);
+                splices.entry(t).or_default().insert(key::pack(&r), packed);
             }
         }
         for (t, mut reps) in splices {
             let v = self
                 .local
-                .get_mut(&t)
+                .get_mut(t)
                 .expect("splice in tree without leaves");
             let mut out = Vec::with_capacity(v.len() + reps.len() * 8);
-            for leaf in v.iter() {
-                match reps.remove(leaf) {
+            for &k in v.iter() {
+                match reps.remove(&k) {
                     Some(s) => out.extend(s),
-                    None => out.push(*leaf),
+                    None => out.push(k),
                 }
             }
             debug_assert!(reps.is_empty(), "replacement for a vanished leaf");
-            debug_assert!(is_linear(&out));
+            debug_assert!(is_linear_keys::<D>(&out));
             *v = out;
         }
     }
@@ -551,27 +579,34 @@ impl<const D: usize> Forest<D> {
             received.dedup();
             let v = self
                 .local
-                .get_mut(&t)
+                .get_mut(t)
                 .expect("response for tree without leaves");
             if v.is_empty() {
                 continue;
             }
-            let sub = v[0].nearest_common_ancestor(&v[v.len() - 1]);
-            let (lo, hi) = (v[0].index(), v[v.len() - 1].last_index());
+            let (lo, hi) = (
+                PackedOctant::<D>(v[0]).index(),
+                PackedOctant::<D>(v[v.len() - 1]).last_index(),
+            );
+            let mut decoded: Vec<Octant<D>> = Vec::with_capacity(v.len());
+            unpack_batch(v, &mut decoded);
+            let sub = decoded[0].nearest_common_ancestor(&decoded[decoded.len() - 1]);
             let (interior_extra, exterior): (Vec<_>, Vec<_>) =
                 received.into_iter().partition(|o| sub.contains(o));
-            let mut interior = forestbal_octant::merge_sorted(v, &interior_extra);
+            let mut interior = forestbal_octant::merge_sorted(&decoded, &interior_extra);
             // Received octants are leaves of other partitions: disjoint
             // from ours, but deduplicate defensively.
             interior.dedup();
             debug_assert!(is_linear(&interior));
             let (balanced, _) =
                 balance_subtree_old_ext_scratch(&sub, &interior, &exterior, cond, scratch);
-            *v = balanced
+            let clipped: Vec<Octant<D>> = balanced
                 .into_iter()
                 .filter(|o| o.index() >= lo && o.last_index() <= hi)
                 .collect();
-            debug_assert!(is_linear(v));
+            v.clear();
+            pack_batch(&clipped, v);
+            debug_assert!(is_linear_keys::<D>(v));
         }
     }
 }

@@ -1,35 +1,81 @@
-//! Wire encoding of octants and query/response payloads.
+//! Wire encoding v2: packed-key records that encode and decode as a
+//! bounds-checked `memcpy`.
 //!
-//! Fixed-size little-endian records keep the byte counters meaningful:
-//! an octant is `4*D + 1` bytes, exactly the information content the
-//! paper's implementation ships per quadrant.
+//! Every octant-bearing message ships the octant as its packed Morton key
+//! (see `forestbal_octant::key`) in fixed-width little-endian form:
+//! **8 bytes in 2D** (59-bit key) and **16 bytes in 3D** (86-bit key),
+//! versus the `4*D + 1 = 9/13` bytes of the v1 field-by-field codec — and,
+//! unlike v1, with no per-field shifting on either end: the bytes on the
+//! wire *are* the storage representation of the SoA forest
+//! (`crate::store`), so batch encode/decode degenerates to a copy.
+//!
+//! Octant streams are framed as *tree runs* — `(u32 tree, u32 count,
+//! count × key)` — so the 4-byte tree id of v1's per-record `(tree,
+//! octant)` framing is paid once per run instead of once per octant.
+//! Producers emit runs with [`RunEncoder`]; a producer whose tree sequence
+//! is not monotone (the ripple boundary exchange translates octants into
+//! neighbor trees mid-stream) simply starts a new run, which is always
+//! correct, merely less compact.
+//!
+//! Bytes per octant on the wire is published as [`key_size`] and surfaces
+//! in the kernel BENCH JSON (`wire_bytes_2d`/`wire_bytes_3d`) so
+//! message-volume changes stay visible in the perf trajectory.
 
 use crate::connectivity::TreeId;
-use forestbal_octant::{Coord, Octant};
+use forestbal_octant::Octant;
 
-/// Bytes per encoded octant.
-pub const fn octant_size<const D: usize>() -> usize {
-    4 * D + 1
+/// Bytes per octant on the wire: one packed key, 8 bytes for `D <= 2`
+/// (59-bit keys) and 16 bytes for larger `D` (86-bit keys in 3D).
+pub const fn key_size<const D: usize>() -> usize {
+    if D <= 2 {
+        8
+    } else {
+        16
+    }
 }
 
-/// Append an octant to `buf`.
-pub fn put_octant<const D: usize>(buf: &mut Vec<u8>, o: &Octant<D>) {
-    for c in &o.coords {
-        buf.extend_from_slice(&c.to_le_bytes());
+/// Append one packed key in little-endian fixed width.
+#[inline]
+pub fn put_key<const D: usize>(buf: &mut Vec<u8>, k: u128) {
+    if D <= 2 {
+        buf.extend_from_slice(&(k as u64).to_le_bytes());
+    } else {
+        buf.extend_from_slice(&k.to_le_bytes());
     }
-    buf.push(o.level);
 }
 
-/// Read an octant at `pos`, advancing it.
-pub fn get_octant<const D: usize>(buf: &[u8], pos: &mut usize) -> Octant<D> {
-    let mut coords = [0 as Coord; D];
-    for c in coords.iter_mut() {
-        *c = Coord::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap());
-        *pos += 4;
+/// Read one packed key at `pos`, advancing it.
+#[inline]
+pub fn get_key<const D: usize>(buf: &[u8], pos: &mut usize) -> u128 {
+    let k = if D <= 2 {
+        u64::from_le_bytes(buf[*pos..*pos + 8].try_into().unwrap()) as u128
+    } else {
+        u128::from_le_bytes(buf[*pos..*pos + 16].try_into().unwrap())
+    };
+    *pos += key_size::<D>();
+    k
+}
+
+/// Append a batch of packed keys — the memcpy half of the wire format.
+pub fn put_keys<const D: usize>(buf: &mut Vec<u8>, keys: &[u128]) {
+    buf.reserve(keys.len() * key_size::<D>());
+    if D <= 2 {
+        for &k in keys {
+            buf.extend_from_slice(&(k as u64).to_le_bytes());
+        }
+    } else {
+        for &k in keys {
+            buf.extend_from_slice(&k.to_le_bytes());
+        }
     }
-    let level = buf[*pos];
-    *pos += 1;
-    Octant { coords, level }
+}
+
+/// Read `count` packed keys at `pos` into `out`, advancing `pos`.
+pub fn get_keys<const D: usize>(buf: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u128>) {
+    out.reserve(count);
+    for _ in 0..count {
+        out.push(get_key::<D>(buf, pos));
+    }
 }
 
 /// Append a `u32`.
@@ -44,33 +90,89 @@ pub fn get_u32(buf: &[u8], pos: &mut usize) -> u32 {
     v
 }
 
-/// Append a `(tree, octant)` pair.
-pub fn put_tree_octant<const D: usize>(buf: &mut Vec<u8>, t: TreeId, o: &Octant<D>) {
-    put_u32(buf, t);
-    put_octant(buf, o);
+/// Streaming encoder of tree runs `(u32 tree, u32 count, count × key)`.
+///
+/// Push `(tree, key)` pairs in any order; consecutive pushes for the same
+/// tree extend the open run, a tree switch closes it and opens a new one.
+/// [`RunEncoder::finish`] must be called before the buffer is shipped (it
+/// back-patches the open run's count).
+#[derive(Default)]
+pub struct RunEncoder {
+    tree: TreeId,
+    count_pos: Option<usize>,
+    count: u32,
 }
 
-/// Read a `(tree, octant)` pair at `pos`, advancing it.
-pub fn get_tree_octant<const D: usize>(buf: &[u8], pos: &mut usize) -> (TreeId, Octant<D>) {
-    let t = get_u32(buf, pos);
-    let o = get_octant(buf, pos);
-    (t, o)
+impl RunEncoder {
+    /// New encoder with no open run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one `(tree, key)` record to `buf`.
+    #[inline]
+    pub fn push<const D: usize>(&mut self, buf: &mut Vec<u8>, tree: TreeId, k: u128) {
+        if self.count_pos.is_none() || tree != self.tree {
+            self.finish(buf);
+            put_u32(buf, tree);
+            self.count_pos = Some(buf.len());
+            put_u32(buf, 0);
+            self.tree = tree;
+        }
+        self.count += 1;
+        put_key::<D>(buf, k);
+    }
+
+    /// Append a whole key batch for one tree as a single run.
+    pub fn push_run<const D: usize>(&mut self, buf: &mut Vec<u8>, tree: TreeId, keys: &[u128]) {
+        if keys.is_empty() {
+            return;
+        }
+        self.finish(buf);
+        put_u32(buf, tree);
+        put_u32(buf, keys.len() as u32);
+        put_keys::<D>(buf, keys);
+    }
+
+    /// Close the open run (if any), back-patching its count. Idempotent.
+    /// Only rewrites bytes already written by `push`, so a slice suffices.
+    pub fn finish(&mut self, buf: &mut [u8]) {
+        if let Some(p) = self.count_pos.take() {
+            buf[p..p + 4].copy_from_slice(&self.count.to_le_bytes());
+            self.count = 0;
+        }
+    }
+}
+
+/// Decode a buffer of tree runs, invoking `f` once per run with the
+/// decoded key batch. Keys within a run are in producer order.
+pub fn for_each_run<const D: usize>(buf: &[u8], mut f: impl FnMut(TreeId, &[u128])) {
+    let mut pos = 0;
+    let mut keys: Vec<u128> = Vec::new();
+    while pos < buf.len() {
+        let t = get_u32(buf, &mut pos);
+        let n = get_u32(buf, &mut pos) as usize;
+        keys.clear();
+        get_keys::<D>(buf, &mut pos, n, &mut keys);
+        f(t, &keys);
+    }
+    debug_assert_eq!(pos, buf.len());
 }
 
 use crate::forest::Forest;
 
 impl<const D: usize> Forest<D> {
-    /// Serialize this rank's leaves (tree ids + octants) to bytes — the
-    /// per-rank payload of a p4est-style save. The connectivity and rank
-    /// layout are not included; pair with the same connectivity and any
-    /// partition on load.
+    /// Serialize this rank's leaves to bytes — one tree run per local
+    /// tree, copied straight out of the SoA storage. The connectivity and
+    /// rank layout are not included; pair with the same connectivity and
+    /// any partition on load.
     pub fn serialize_local(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(self.num_local() * (4 + octant_size::<D>()));
-        for (t, v) in self.trees() {
-            for o in v {
-                put_tree_octant(&mut buf, t, o);
-            }
+        let mut buf = Vec::with_capacity(self.num_local() * key_size::<D>() + 8 * 4);
+        let mut enc = RunEncoder::new();
+        for (t, keys) in self.trees_packed() {
+            enc.push_run::<D>(&mut buf, t, keys);
         }
+        enc.finish(&mut buf);
         buf
     }
 
@@ -80,15 +182,17 @@ impl<const D: usize> Forest<D> {
         data: &[u8],
     ) -> std::collections::BTreeMap<crate::connectivity::TreeId, Vec<forestbal_octant::Octant<D>>>
     {
-        let mut map: std::collections::BTreeMap<_, Vec<_>> = Default::default();
-        let mut pos = 0;
-        while pos < data.len() {
-            let (t, o) = get_tree_octant::<D>(data, &mut pos);
-            map.entry(t).or_default().push(o);
-        }
+        let mut keyed: std::collections::BTreeMap<TreeId, Vec<u128>> = Default::default();
+        for_each_run::<D>(data, |t, keys| {
+            keyed.entry(t).or_default().extend_from_slice(keys)
+        });
         let mut sort = forestbal_octant::SortScratch::new();
-        for v in map.values_mut() {
-            forestbal_octant::sort_octants_with(v, &mut sort);
+        let mut map: std::collections::BTreeMap<_, Vec<Octant<D>>> = Default::default();
+        for (t, mut keys) in keyed {
+            forestbal_octant::sort_keys_with::<D>(&mut keys, &mut sort);
+            let mut v = Vec::with_capacity(keys.len());
+            forestbal_octant::unpack_batch(&keys, &mut v);
+            map.insert(t, v);
         }
         map
     }
@@ -97,6 +201,7 @@ impl<const D: usize> Forest<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use forestbal_octant::key;
 
     #[test]
     fn forest_serialization_roundtrip() {
@@ -108,9 +213,12 @@ mod tests {
             let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 2);
             f.refine(true, 4, |t, o| t == 0 && o.coords[0] == 0);
             let bytes = f.serialize_local();
+            // Run framing: 8 bytes per octant + 8 bytes per tree run.
+            let runs = f.trees().count();
+            assert_eq!(bytes.len(), f.num_local() * key_size::<2>() + 8 * runs);
             let back = Forest::<2>::deserialize_leaves(&bytes);
             for (t, v) in f.trees() {
-                assert_eq!(back[&t], v);
+                assert_eq!(back[&t], v.iter().collect::<Vec<_>>());
             }
             // Concatenation across ranks reproduces the gathered forest.
             let all = ctx.allgather(bytes);
@@ -124,37 +232,69 @@ mod tests {
     }
 
     #[test]
-    fn octant_roundtrip() {
-        let o = Octant::<3>::root().child(5).child(2);
+    fn key_record_widths() {
+        let o2 = Octant::<2>::root().child(1).child(2);
         let mut buf = Vec::new();
-        put_octant(&mut buf, &o);
-        assert_eq!(buf.len(), octant_size::<3>());
+        put_key::<2>(&mut buf, key::pack(&o2));
+        assert_eq!(buf.len(), key_size::<2>());
+        assert_eq!(buf.len(), 8);
         let mut pos = 0;
-        assert_eq!(get_octant::<3>(&buf, &mut pos), o);
-        assert_eq!(pos, buf.len());
+        assert_eq!(get_key::<2>(&buf, &mut pos), key::pack(&o2));
+
+        let o3 = Octant::<3>::root().child(5).child(2);
+        let mut buf = Vec::new();
+        put_key::<3>(&mut buf, key::pack(&o3));
+        assert_eq!(buf.len(), key_size::<3>());
+        assert_eq!(buf.len(), 16);
+        let mut pos = 0;
+        assert_eq!(get_key::<3>(&buf, &mut pos), key::pack(&o3));
     }
 
     #[test]
     fn negative_coords_roundtrip() {
         let o = Octant::<2>::root().child(0).neighbor(&[-1, -1]);
         let mut buf = Vec::new();
-        put_octant(&mut buf, &o);
+        put_key::<2>(&mut buf, key::pack(&o));
         let mut pos = 0;
-        assert_eq!(get_octant::<2>(&buf, &mut pos), o);
+        assert_eq!(key::unpack::<2>(get_key::<2>(&buf, &mut pos)), o);
     }
 
     #[test]
-    fn mixed_stream() {
-        let o1 = Octant::<2>::root().child(1);
-        let o2 = Octant::<2>::root().child(2).child(3);
+    fn run_encoder_merges_and_splits() {
+        let r = Octant::<2>::root();
+        let ks: Vec<u128> = (0..4).map(|i| key::pack(&r.child(i))).collect();
         let mut buf = Vec::new();
-        put_u32(&mut buf, 7);
-        put_tree_octant(&mut buf, 3, &o1);
-        put_tree_octant(&mut buf, 9, &o2);
+        let mut enc = RunEncoder::new();
+        // Non-monotone tree sequence: 3, 3, 9, 3 — three runs.
+        enc.push::<2>(&mut buf, 3, ks[0]);
+        enc.push::<2>(&mut buf, 3, ks[1]);
+        enc.push::<2>(&mut buf, 9, ks[2]);
+        enc.push::<2>(&mut buf, 3, ks[3]);
+        enc.finish(&mut buf);
+        enc.finish(&mut buf); // idempotent
+        assert_eq!(buf.len(), 3 * 8 + 4 * key_size::<2>());
+        let mut seen = Vec::new();
+        for_each_run::<2>(&buf, |t, keys| seen.push((t, keys.to_vec())));
+        assert_eq!(
+            seen,
+            vec![(3, vec![ks[0], ks[1]]), (9, vec![ks[2]]), (3, vec![ks[3]]),]
+        );
+    }
+
+    #[test]
+    fn batch_put_get_roundtrip_3d() {
+        let r = Octant::<3>::root();
+        let keys: Vec<u128> = (0..8)
+            .map(|i| key::pack(&r.child(i).child(7 - i)))
+            .collect();
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 42);
+        put_keys::<3>(&mut buf, &keys);
         let mut pos = 0;
-        assert_eq!(get_u32(&buf, &mut pos), 7);
-        assert_eq!(get_tree_octant::<2>(&buf, &mut pos), (3, o1));
-        assert_eq!(get_tree_octant::<2>(&buf, &mut pos), (9, o2));
+        assert_eq!(get_u32(&buf, &mut pos), 42);
+        let mut out = Vec::new();
+        get_keys::<3>(&buf, &mut pos, keys.len(), &mut out);
+        assert_eq!(out, keys);
         assert_eq!(pos, buf.len());
     }
 }

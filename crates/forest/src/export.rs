@@ -3,7 +3,10 @@
 //! Writes an ASCII `UNSTRUCTURED_GRID` file with one quad/hexahedron per
 //! leaf and cell data for refinement level and owner tree — enough to
 //! open the meshes of Figures 1, 14 and 16 in ParaView. Intended for
-//! debugging and the examples; production I/O is out of scope.
+//! debugging and the examples; production I/O is out of scope. It
+//! consumes the already-decoded output of [`crate::Forest::gather`]
+//! (struct octants, needed here for their float corner coordinates), so
+//! the packed-key storage refactor leaves this module untouched.
 
 use crate::connectivity::{BrickConnectivity, TreeId};
 use forestbal_octant::{Octant, ROOT_LEN};

@@ -9,8 +9,12 @@
 
 use crate::codec;
 use crate::connectivity::{BrickConnectivity, TreeId};
+use crate::store::{LeafSlice, LeafStore};
 use forestbal_comm::Comm;
-use forestbal_octant::{is_linear, MortonIndex, Octant, MAX_LEVEL};
+use forestbal_octant::{
+    is_linear, is_linear_keys, key, pack_batch, unpack_batch, MortonIndex, Octant, PackedOctant,
+    MAX_LEVEL,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -39,9 +43,9 @@ pub struct Forest<const D: usize> {
     conn: Arc<BrickConnectivity<D>>,
     rank: usize,
     size: usize,
-    /// Local leaves per tree (sorted, linear); trees without local leaves
-    /// are absent.
-    pub(crate) local: BTreeMap<TreeId, Vec<Octant<D>>>,
+    /// Local leaves per tree as flat sorted arrays of packed Morton keys
+    /// (SoA; see [`crate::store`]); trees without local leaves are absent.
+    pub(crate) local: LeafStore<D>,
     /// `size + 1` partition markers; rank `p` owns positions in
     /// `[markers[p], markers[p+1])`.
     pub(crate) markers: Vec<GlobalPos>,
@@ -62,17 +66,17 @@ impl<const D: usize> Forest<D> {
         let lo = total * rank / p;
         let hi = total * (rank + 1) / p;
 
-        let mut local: BTreeMap<TreeId, Vec<Octant<D>>> = BTreeMap::new();
+        let mut local: LeafStore<D> = LeafStore::new();
         let mut g = lo;
         while g < hi {
             let tree = (g / per_tree) as TreeId;
             let in_tree_end = per_tree * (g / per_tree + 1);
             let run_end = hi.min(in_tree_end);
-            let v = local.entry(tree).or_default();
+            let v = local.entry(tree);
             v.reserve((run_end - g) as usize);
             for j in g..run_end {
                 let idx = (j % per_tree) * cells;
-                v.push(Octant::from_index(idx, level));
+                v.push(key::pack(&Octant::<D>::from_index(idx, level)));
             }
             g = run_end;
         }
@@ -98,14 +102,14 @@ impl<const D: usize> Forest<D> {
         let p = ctx.size();
         let lo = total * ctx.rank() / p;
         let hi = total * (ctx.rank() + 1) / p;
-        let mut local: BTreeMap<TreeId, Vec<Octant<D>>> = BTreeMap::new();
+        let mut local: LeafStore<D> = LeafStore::new();
         let mut seen = 0usize;
         for (&t, v) in global {
             debug_assert!(is_linear(v));
             let start = lo.saturating_sub(seen).min(v.len());
             let end = hi.saturating_sub(seen).min(v.len());
             if start < end {
-                local.insert(t, v[start..end].to_vec());
+                pack_batch(&v[start..end], local.entry(t));
             }
             seen += v.len();
         }
@@ -135,14 +139,21 @@ impl<const D: usize> Forest<D> {
         self.size
     }
 
-    /// Iterate local `(tree, leaves)` pairs.
-    pub fn trees(&self) -> impl Iterator<Item = (TreeId, &[Octant<D>])> {
-        self.local.iter().map(|(&t, v)| (t, v.as_slice()))
+    /// Iterate local `(tree, leaves)` pairs as decoded-on-demand views
+    /// over the packed key arrays.
+    pub fn trees(&self) -> impl Iterator<Item = (TreeId, LeafSlice<'_, D>)> {
+        self.local.slices()
+    }
+
+    /// Iterate local `(tree, packed keys)` pairs — the raw SoA storage,
+    /// for kernels that operate on keys directly.
+    pub fn trees_packed(&self) -> impl Iterator<Item = (TreeId, &[u128])> {
+        self.local.iter()
     }
 
     /// Local leaf count.
     pub fn num_local(&self) -> usize {
-        self.local.values().map(|v| v.len()).sum()
+        self.local.num_octants()
     }
 
     /// Global leaf count (one allreduce).
@@ -153,17 +164,17 @@ impl<const D: usize> Forest<D> {
     /// Maximum local level (0 when empty).
     pub fn max_local_level(&self) -> u8 {
         self.local
-            .values()
-            .flat_map(|v| v.iter().map(|o| o.level))
+            .iter()
+            .flat_map(|(_, v)| v.iter().map(|&k| PackedOctant::<D>(k).level()))
             .max()
             .unwrap_or(0)
     }
 
     /// Global position of this rank's first leaf.
     pub fn first_local_pos(&self) -> Option<GlobalPos> {
-        self.local.iter().next().map(|(&t, v)| GlobalPos {
+        self.local.first().map(|(t, k)| GlobalPos {
             tree: t,
-            index: v[0].index(),
+            index: PackedOctant::<D>(k).index(),
         })
     }
 
@@ -231,8 +242,11 @@ impl<const D: usize> Forest<D> {
     /// This rank's owned position range within `tree`, if any leaves of
     /// the tree are local: inclusive `(lo, hi)` unit-cell indices.
     pub fn local_range(&self, tree: TreeId) -> Option<(MortonIndex, MortonIndex)> {
-        let v = self.local.get(&tree)?;
-        Some((v[0].index(), v[v.len() - 1].last_index()))
+        let v = self.local.get(tree)?;
+        Some((
+            PackedOctant::<D>(v[0]).index(),
+            PackedOctant::<D>(v[v.len() - 1]).last_index(),
+        ))
     }
 
     /// Refine local leaves: replace each leaf for which `pred` returns
@@ -247,20 +261,21 @@ impl<const D: usize> Forest<D> {
         mut pred: impl FnMut(TreeId, &Octant<D>) -> bool,
     ) {
         assert!(max_level <= MAX_LEVEL);
-        for (&t, v) in self.local.iter_mut() {
-            let mut out = Vec::with_capacity(v.len());
-            // Depth-first with an explicit stack keeps Morton order.
-            let mut stack: Vec<Octant<D>> = Vec::new();
+        for (t, v) in self.local.iter_mut() {
+            let mut out: Vec<u128> = Vec::with_capacity(v.len());
+            // Depth-first with an explicit stack keeps Morton order. The
+            // split is pure key arithmetic; only `pred` sees a decoded view.
+            let mut stack: Vec<PackedOctant<D>> = Vec::new();
             for &leaf in v.iter() {
-                stack.push(leaf);
+                stack.push(PackedOctant(leaf));
                 while let Some(o) = stack.pop() {
-                    if o.level < max_level && pred(t, &o) {
+                    if o.level() < max_level && pred(t, &o.octant()) {
                         for i in (0..Octant::<D>::NUM_CHILDREN).rev() {
                             let c = o.child(i);
                             if recursive {
                                 stack.push(c);
                             } else {
-                                out.push(c);
+                                out.push(c.0);
                             }
                         }
                         if !recursive {
@@ -269,11 +284,11 @@ impl<const D: usize> Forest<D> {
                             out[n - Octant::<D>::NUM_CHILDREN..].reverse();
                         }
                     } else {
-                        out.push(o);
+                        out.push(o.0);
                     }
                 }
             }
-            debug_assert!(is_linear(&out));
+            debug_assert!(is_linear_keys::<D>(&out));
             *v = out;
         }
     }
@@ -283,51 +298,50 @@ impl<const D: usize> Forest<D> {
     /// recursive). Purely local.
     pub fn coarsen(&mut self, mut pred: impl FnMut(TreeId, &Octant<D>) -> bool) {
         let nc = Octant::<D>::NUM_CHILDREN;
-        for (&t, v) in self.local.iter_mut() {
-            let mut out: Vec<Octant<D>> = Vec::with_capacity(v.len());
+        for (t, v) in self.local.iter_mut() {
+            let mut out: Vec<u128> = Vec::with_capacity(v.len());
             let mut i = 0;
             while i < v.len() {
-                let o = v[i];
-                let is_family_head = o.level > 0
+                let o = PackedOctant::<D>(v[i]);
+                let is_family_head = o.level() > 0
                     && o.child_id() == 0
                     && i + nc <= v.len()
-                    && (1..nc).all(|j| v[i + j] == o.sibling(j));
-                if is_family_head && (0..nc).all(|j| pred(t, &v[i + j])) {
-                    out.push(o.parent());
+                    && (1..nc).all(|j| v[i + j] == o.sibling(j).0);
+                if is_family_head && (0..nc).all(|j| pred(t, &key::unpack(v[i + j]))) {
+                    out.push(o.parent().0);
                     i += nc;
                 } else {
-                    out.push(o);
+                    out.push(o.0);
                     i += 1;
                 }
             }
-            debug_assert!(is_linear(&out));
+            debug_assert!(is_linear_keys::<D>(&out));
             *v = out;
         }
     }
 
     /// Gather the whole forest on every rank (tests and tools only).
+    /// Ships the packed-key run format of [`codec`] and radix-sorts the
+    /// merged key arrays before decoding once at the API edge.
     pub fn gather(&self, ctx: &impl Comm) -> BTreeMap<TreeId, Vec<Octant<D>>> {
-        let mut payload = Vec::new();
-        for (t, v) in self.trees() {
-            for o in v {
-                codec::put_tree_octant(&mut payload, t, o);
-            }
-        }
+        let payload = self.serialize_local();
         let all = ctx.allgather(payload);
-        let mut global: BTreeMap<TreeId, Vec<Octant<D>>> = BTreeMap::new();
+        let mut keyed: BTreeMap<TreeId, Vec<u128>> = BTreeMap::new();
         for part in all.iter() {
-            let mut pos = 0;
-            while pos < part.len() {
-                let (t, o) = codec::get_tree_octant(part, &mut pos);
-                global.entry(t).or_default().push(o);
-            }
+            codec::for_each_run::<D>(part, |t, keys| {
+                keyed.entry(t).or_default().extend_from_slice(keys)
+            });
         }
         // Ranks own disjoint contiguous slices, but interleaved pushes may
         // disorder trees split across ranks.
         let mut sort = forestbal_octant::SortScratch::new();
-        for v in global.values_mut() {
-            forestbal_octant::sort_octants_with(v, &mut sort);
-            debug_assert!(is_linear(v));
+        let mut global: BTreeMap<TreeId, Vec<Octant<D>>> = BTreeMap::new();
+        for (t, mut keys) in keyed {
+            forestbal_octant::sort_keys_with::<D>(&mut keys, &mut sort);
+            let mut v = Vec::with_capacity(keys.len());
+            unpack_batch(&keys, &mut v);
+            debug_assert!(is_linear(&v));
+            global.insert(t, v);
         }
         global
     }
@@ -337,7 +351,7 @@ impl<const D: usize> Forest<D> {
     pub fn checksum(&self, ctx: &impl Comm) -> u64 {
         let mut h = 0u64;
         for (t, v) in self.trees() {
-            for o in v {
+            for o in v.iter() {
                 let mut x = (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
                 for (i, &c) in o.coords.iter().enumerate() {
                     x ^= ((c as u32 as u64) << 8).rotate_left(17 * (i as u32 + 1));

@@ -8,11 +8,11 @@
 //! neighbor octants across faces, edges, and corners, including across
 //! tree boundaries.
 
-use crate::codec;
+use crate::codec::{self, RunEncoder};
 use crate::connectivity::TreeId;
 use crate::forest::Forest;
 use forestbal_comm::{reverse_notify, Comm};
-use forestbal_octant::{directions, Octant};
+use forestbal_octant::{directions, key, Octant, PackedOctant};
 use std::collections::BTreeMap;
 
 const GHOST_TAG: u32 = 0xBA1A_0020;
@@ -60,10 +60,14 @@ impl<const D: usize> Forest<D> {
 
         // Symmetric construction: send each of my boundary leaves, in its
         // *home* tree and coordinates, to every rank owning part of its
-        // insulation layer; what I receive is exactly my ghost layer.
-        let mut out: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
-        for (&t, v) in self.local.iter() {
-            for r in v {
+        // insulation layer; what I receive is exactly my ghost layer. The
+        // leaf ships as its packed key straight out of the SoA storage,
+        // framed into tree runs (wire format v2).
+        let mut out: BTreeMap<usize, (Vec<u8>, RunEncoder)> = BTreeMap::new();
+        let mut sent_octants = 0u64;
+        for (t, keys) in self.local.iter() {
+            for &k in keys {
+                let r = key::unpack::<D>(k);
                 let mut sent_to: Vec<usize> = Vec::new();
                 for dir in directions::<D>() {
                     let n = r.neighbor(&dir);
@@ -75,7 +79,9 @@ impl<const D: usize> Forest<D> {
                             continue;
                         }
                         sent_to.push(owner);
-                        codec::put_tree_octant(out.entry(owner).or_default(), t, r);
+                        let (buf, enc) = out.entry(owner).or_default();
+                        enc.push::<D>(buf, t, k);
+                        sent_octants += 1;
                     }
                 }
             }
@@ -83,27 +89,23 @@ impl<const D: usize> Forest<D> {
 
         let receivers: Vec<usize> = out.keys().copied().collect();
         let senders = reverse_notify(ctx, &receivers);
-        for (&d, buf) in &out {
+        for (&d, (buf, enc)) in out.iter_mut() {
+            enc.finish(buf);
             ctx.send(d, GHOST_TAG, buf.clone());
         }
         let mut layer = GhostLayer::default();
         for s in senders {
             let (src, data) = ctx.recv(Some(s), GHOST_TAG);
-            let mut pos = 0;
-            while pos < data.len() {
-                let (t, o) = codec::get_tree_octant::<D>(&data, &mut pos);
-                layer.per_tree.entry(t).or_default().push((src, o));
-            }
+            codec::for_each_run::<D>(&data, |t, keys| {
+                let v = layer.per_tree.entry(t).or_default();
+                v.extend(keys.iter().map(|&k| (src, key::unpack::<D>(k))));
+            });
         }
         for v in layer.per_tree.values_mut() {
             v.sort_by_key(|&(_, o)| o);
             v.dedup();
         }
-        let rec = 4 + codec::octant_size::<D>(); // (tree, octant) record size
-        forestbal_trace::counter_add(
-            "ghost.sent_octants",
-            out.values().map(|b| b.len() / rec).sum::<usize>() as u64,
-        );
+        forestbal_trace::counter_add("ghost.sent_octants", sent_octants);
         forestbal_trace::counter_add("ghost.recv_octants", layer.len() as u64);
         forestbal_trace::span_end(|| ctx.now_ns());
         layer
@@ -121,8 +123,8 @@ impl<const D: usize> Forest<D> {
     ) -> bool {
         let ghosts = self.ghost_layer(ctx);
         let mut ok = true;
-        'outer: for (t, v) in self.local.iter().map(|(&t, v)| (t, v)) {
-            for o in v {
+        'outer: for (t, v) in self.trees() {
+            for o in v.iter() {
                 for dir in directions::<D>() {
                     if !cond.constrains(forestbal_octant::codim(&dir)) {
                         continue;
@@ -152,10 +154,11 @@ impl<const D: usize> Forest<D> {
         t: TreeId,
         q: &Octant<D>,
     ) -> Option<Octant<D>> {
-        if let Some((_, v)) = self.trees().find(|&(tt, _)| tt == t) {
-            let i = v.partition_point(|o| o <= q);
-            if i > 0 && v[i - 1].contains(q) {
-                return Some(v[i - 1]);
+        if let Some(v) = self.local.get(t) {
+            let qk = key::pack(q);
+            let i = v.partition_point(|&k| k <= qk);
+            if i > 0 && PackedOctant::<D>(v[i - 1]).contains(PackedOctant(qk)) {
+                return Some(key::unpack(v[i - 1]));
             }
         }
         let gv = ghosts.tree(t);
@@ -171,11 +174,11 @@ impl<const D: usize> Forest<D> {
             let Some((t2, n2)) = self.connectivity().transform(tg, &n) else {
                 continue;
             };
-            let Some(v) = self.local.get(&t2) else {
+            let Some(v) = self.local.get(t2) else {
                 continue;
             };
-            let lo = v.partition_point(|o| o.last_index() < n2.index());
-            if lo < v.len() && v[lo].index() <= n2.last_index() {
+            let lo = v.partition_point(|&k| PackedOctant::<D>(k).last_index() < n2.index());
+            if lo < v.len() && PackedOctant::<D>(v[lo]).index() <= n2.last_index() {
                 return true;
             }
         }
@@ -222,7 +225,7 @@ mod tests {
             let global = f.gather(ctx);
             // Every neighbor of a local leaf is local or a ghost.
             let locals: Vec<(TreeId, Vec<Octant<2>>)> =
-                f.trees().map(|(t, v)| (t, v.to_vec())).collect();
+                f.trees().map(|(t, v)| (t, v.iter().collect())).collect();
             for (t, v) in locals {
                 for o in &v {
                     for dir in directions::<2>() {

@@ -68,23 +68,23 @@ impl<const D: usize> Forest<D> {
     /// cluster). Requires a face-balanced forest and its ghost layer.
     pub fn for_each_face(&self, ghosts: &GhostLayer<D>, mut visit: impl FnMut(FaceVisit<D>)) {
         for (t, v) in self.trees() {
-            for o in v {
+            for o in v.iter() {
                 for axis in 0..D {
                     for sign in [-1i8, 1] {
-                        match self.face_neighbor(ghosts, t, o, axis, sign) {
+                        match self.face_neighbor(ghosts, t, &o, axis, sign) {
                             FaceNeighbor::Boundary => visit(FaceVisit::Boundary {
                                 tree: t,
-                                leaf: *o,
+                                leaf: o,
                                 axis,
                                 sign,
                             }),
                             FaceNeighbor::Same(t2, n) => {
                                 // Emit from the globally smaller side so
                                 // exactly one rank reports the face.
-                                if (t, *o) < (t2, n) {
+                                if (t, o) < (t2, n) {
                                     visit(FaceVisit::Same {
                                         tree: t,
-                                        leaf: *o,
+                                        leaf: o,
                                         axis,
                                         sign,
                                         ntree: t2,
@@ -96,7 +96,7 @@ impl<const D: usize> Forest<D> {
                                 // The fine side owns the hanging sub-face.
                                 visit(FaceVisit::Hanging {
                                     tree: t,
-                                    leaf: *o,
+                                    leaf: o,
                                     axis,
                                     sign,
                                     ntree: t2,

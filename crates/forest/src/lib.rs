@@ -27,6 +27,7 @@ pub mod partition;
 pub mod ripple;
 pub mod search;
 pub mod serial;
+pub mod store;
 
 pub use balance::{BalanceReport, BalanceTimings, BalanceVariant, ReversalScheme};
 pub use connectivity::{BrickConnectivity, TreeId};
@@ -37,3 +38,4 @@ pub use neighbors::FaceNeighbor;
 pub use nodes::Nodes;
 pub use ripple::RippleStats;
 pub use serial::serial_forest_balance;
+pub use store::{LeafSlice, LeafStore};

@@ -78,10 +78,11 @@ impl<const D: usize> Forest<D> {
         FaceNeighbor::Fine(t2, fine)
     }
 
-    /// Is `q` a leaf, either locally or in the ghost layer?
+    /// Is `q` a leaf, either locally or in the ghost layer? The local
+    /// probe is an integer binary search on the packed key array.
     fn leaf_exists(&self, ghosts: &GhostLayer<D>, t: TreeId, q: &Octant<D>) -> bool {
-        if let Some((_, v)) = self.trees().find(|&(tt, _)| tt == t) {
-            if v.binary_search(q).is_ok() {
+        if let Some(v) = self.local.get(t) {
+            if v.binary_search(&forestbal_octant::key::pack(q)).is_ok() {
                 return true;
             }
         }
@@ -106,7 +107,7 @@ mod tests {
             let ghosts = f.ghost_layer(ctx);
             let leaves: Vec<_> = f
                 .trees()
-                .flat_map(|(t, v)| v.iter().map(move |o| (t, *o)))
+                .flat_map(|(t, v)| v.iter().map(move |o| (t, o)))
                 .collect();
             for (t, o) in leaves {
                 for axis in 0..2 {
@@ -143,7 +144,7 @@ mod tests {
             let ghosts = f.ghost_layer(ctx);
             let leaves: Vec<_> = f
                 .trees()
-                .flat_map(|(t, v)| v.iter().map(move |o| (t, *o)))
+                .flat_map(|(t, v)| v.iter().map(move |o| (t, o)))
                 .collect();
             let mut fine_faces = 0;
             let mut coarse_faces = 0;

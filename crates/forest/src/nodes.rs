@@ -66,12 +66,15 @@ impl<const D: usize> Forest<D> {
         let mut coords: Vec<[i64; D]> = Vec::new();
         for (t, v) in self.trees() {
             let tc = self.connectivity().tree_coords(t);
-            for o in v {
+            for o in v.iter() {
                 for corner in 0..Octant::<D>::NUM_CHILDREN {
-                    coords.push(self.canonical_node(&tc, o, corner, &extent));
+                    coords.push(self.canonical_node(&tc, &o, corner, &extent));
                 }
             }
         }
+        // Node coordinates are `[i64; D]` global grid points, not Morton
+        // keys, so the packed radix path does not apply here; this sort
+        // is outside the balance hot path.
         coords.sort_unstable();
         coords.dedup();
 
@@ -193,7 +196,7 @@ impl<const D: usize> Forest<D> {
         cell: &Octant<D>,
     ) -> Option<Octant<D>> {
         if let Some(l) = self.find_leaf(tree, cell) {
-            return Some(*l);
+            return Some(l);
         }
         let gv = ghosts.tree(tree);
         let i = gv.partition_point(|&(_, o)| o <= *cell);
@@ -295,7 +298,7 @@ mod tests {
                 .map(|n| n.gcoord)
                 .collect();
             assert!(!hanging.is_empty(), "graded mesh must have T-intersections");
-            let leaves: Vec<Octant<2>> = f.trees().flat_map(|(_, v)| v.iter().copied()).collect();
+            let leaves: Vec<Octant<2>> = f.trees().flat_map(|(_, v)| v.iter()).collect();
             for o in &leaves {
                 for axis in 0..2 {
                     for side in 0..2 {

@@ -6,11 +6,11 @@
 //! receivers of every migration message are computable from one allgather
 //! of local (weighted) counts, so no pattern reversal is needed here.
 
-use crate::codec;
+use crate::codec::{self, RunEncoder};
 use crate::forest::Forest;
+use crate::store::LeafStore;
 use forestbal_comm::Comm;
 use forestbal_octant::Octant;
-use std::collections::BTreeMap;
 
 const PARTITION_TAG: u32 = 0xA110_0001;
 
@@ -33,8 +33,8 @@ impl<const D: usize> Forest<D> {
         // Local weights, leaf by leaf, plus the local total.
         let mut local_weights: Vec<u64> = Vec::with_capacity(self.num_local());
         for (t, v) in self.trees() {
-            for o in v {
-                let w = weight(t, o);
+            for o in v.iter() {
+                let w = weight(t, &o);
                 assert!(w > 0, "leaf weights must be positive");
                 local_weights.push(w);
             }
@@ -61,16 +61,20 @@ impl<const D: usize> Forest<D> {
         let cut = |q: usize| -> u64 { (total as u128 * q as u128 / p as u128) as u64 };
 
         // Route each local leaf by the weight-space position of its start.
-        let mut outgoing: Vec<Vec<u8>> = vec![Vec::new(); p];
+        // Leaves migrate as packed keys in tree runs (wire format v2).
+        let mut outgoing: Vec<(Vec<u8>, RunEncoder)> = (0..p).map(|_| Default::default()).collect();
+        let mut migrated = vec![0u64; p];
         let mut acc = prefix[ctx.rank()];
         let mut dst = 0usize;
         let mut idx = 0usize;
-        for (t, v) in self.trees() {
-            for o in v {
+        for (t, keys) in self.trees_packed() {
+            for &k in keys {
                 while dst + 1 < p && cut(dst + 1) <= acc {
                     dst += 1;
                 }
-                codec::put_tree_octant(&mut outgoing[dst], t, o);
+                let (buf, enc) = &mut outgoing[dst];
+                enc.push::<D>(buf, t, k);
+                migrated[dst] += 1;
                 acc += local_weights[idx];
                 idx += 1;
             }
@@ -85,18 +89,18 @@ impl<const D: usize> Forest<D> {
             rank_totals[s] > 0 && prefix[s] < cut(d + 1) && prefix[s + 1] > cut(d)
         };
         let me = ctx.rank();
-        let rec = 4 + codec::octant_size::<D>();
         forestbal_trace::counter_add(
             "partition.migrated_octants",
-            outgoing
+            migrated
                 .iter()
                 .enumerate()
                 .filter(|&(q, _)| q != me)
-                .map(|(_, b)| b.len() / rec)
-                .sum::<usize>() as u64,
+                .map(|(_, &n)| n)
+                .sum::<u64>(),
         );
         let mut incoming: Vec<(usize, Vec<u8>)> = Vec::new();
-        for (q, buf) in outgoing.iter_mut().enumerate() {
+        for (q, (buf, enc)) in outgoing.iter_mut().enumerate() {
+            enc.finish(buf);
             if q == me {
                 incoming.push((q, std::mem::take(buf)));
             } else if talks(me, q) {
@@ -113,17 +117,13 @@ impl<const D: usize> Forest<D> {
         }
         incoming.sort_by_key(|(src, _)| *src);
 
-        let mut local: BTreeMap<crate::connectivity::TreeId, Vec<Octant<D>>> = BTreeMap::new();
+        let mut local: LeafStore<D> = LeafStore::new();
         for (_, data) in incoming {
-            let mut pos = 0;
-            while pos < data.len() {
-                let (t, o) = codec::get_tree_octant::<D>(&data, &mut pos);
-                local.entry(t).or_default().push(o);
-            }
+            codec::for_each_run::<D>(&data, |t, keys| local.entry(t).extend_from_slice(keys));
         }
         let mut sort = forestbal_octant::SortScratch::new();
-        for v in local.values_mut() {
-            forestbal_octant::sort_octants_with(v, &mut sort);
+        for (_, v) in local.iter_mut() {
+            forestbal_octant::sort_keys_with::<D>(v, &mut sort);
         }
         self.local = local;
         self.update_markers(ctx);
@@ -197,7 +197,9 @@ mod tests {
             assert!(f.num_local() <= (total as usize).div_ceil(5) + 1);
             // Markers must be consistent after migration.
             for (t, v) in f.trees() {
-                let owners: Vec<_> = f.owners_of_range(t, v[0].index(), v[0].index()).collect();
+                let owners: Vec<_> = f
+                    .owners_of_range(t, v.get(0).index(), v.get(0).index())
+                    .collect();
                 assert!(owners.contains(&ctx.rank()));
             }
         });

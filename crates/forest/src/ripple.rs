@@ -13,13 +13,18 @@
 //! changed anything. The one-pass algorithm of [`crate::balance`] does
 //! the same job with a single query/response round; this baseline exists
 //! for the ablation benchmarks and as an independent cross-check.
+//!
+//! The split fixed points run natively on packed keys: the worklists are
+//! `BTreeSet<u128>`/`VecDeque<u128>` and all neighbor/containment tests
+//! are [`PackedOctant`] bit arithmetic — no struct octants are
+//! materialized except the per-leaf decode in the boundary scan.
 
-use crate::codec;
+use crate::codec::{self, RunEncoder};
 use crate::connectivity::TreeId;
 use crate::forest::Forest;
 use forestbal_comm::{reverse_notify, Comm};
 use forestbal_core::Condition;
-use forestbal_octant::{codim, directions, is_linear, Octant};
+use forestbal_octant::{codim, directions, is_linear_keys, key, Octant, PackedOctant};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 const RIPPLE_TAG: u32 = 0xBA1A_0010;
@@ -47,15 +52,19 @@ impl<const D: usize> Forest<D> {
             let mut changed = self.local_ripple_fixed_point(cond, &mut stats);
 
             // Exchange boundary leaves with every rank owning part of a
-            // local leaf's insulation layer.
-            let mut out: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+            // local leaf's insulation layer. Translated leaves go out as
+            // packed keys in tree runs; the tree sequence is not monotone
+            // here, so runs may be short — still correct (see codec docs).
+            let mut out: BTreeMap<usize, (Vec<u8>, RunEncoder)> = BTreeMap::new();
             let me = ctx.rank();
-            for (&t, v) in self.local.iter() {
-                if v.is_empty() {
+            for (t, keys) in self.local.iter() {
+                if keys.is_empty() {
                     continue;
                 }
-                let (range_lo, range_hi) = (v[0].index(), v[v.len() - 1].last_index());
-                for r in v {
+                let range_lo = PackedOctant::<D>(keys[0]).index();
+                let range_hi = PackedOctant::<D>(keys[keys.len() - 1]).last_index();
+                for &k in keys {
+                    let r = key::unpack::<D>(k);
                     // Fast interior rejection (see `balance.rs`): a leaf
                     // whose insulation box stays within the local range
                     // exchanges nothing.
@@ -82,11 +91,11 @@ impl<const D: usize> Forest<D> {
                             if owner == me && t2 == t && off == [0; D] {
                                 continue;
                             }
-                            let buf = out.entry(owner).or_default();
-                            codec::put_tree_octant(
+                            let (buf, enc) = out.entry(owner).or_default();
+                            enc.push::<D>(
                                 buf,
                                 t2,
-                                &crate::connectivity::translate(r, &off),
+                                key::pack(&crate::connectivity::translate(&r, &off)),
                             );
                         }
                     }
@@ -98,22 +107,23 @@ impl<const D: usize> Forest<D> {
                 .into_iter()
                 .filter(|&s| s != me)
                 .collect();
-            for &d in &receivers {
-                ctx.send(d, RIPPLE_TAG, out[&d].clone());
-            }
-            let mut ghosts: BTreeMap<TreeId, Vec<Octant<D>>> = BTreeMap::new();
-            let absorb = |data: &[u8], ghosts: &mut BTreeMap<TreeId, Vec<Octant<D>>>| {
-                let mut pos = 0;
-                while pos < data.len() {
-                    let (t, o) = codec::get_tree_octant::<D>(data, &mut pos);
-                    ghosts.entry(t).or_default().push(o);
+            for (&d, (buf, enc)) in out.iter_mut() {
+                enc.finish(buf);
+                if d != me {
+                    ctx.send(d, RIPPLE_TAG, buf.clone());
                 }
+            }
+            let mut ghosts: BTreeMap<TreeId, Vec<u128>> = BTreeMap::new();
+            let absorb = |data: &[u8], ghosts: &mut BTreeMap<TreeId, Vec<u128>>| {
+                codec::for_each_run::<D>(data, |t, keys| {
+                    ghosts.entry(t).or_default().extend_from_slice(keys)
+                });
             };
             for &s in &senders {
                 let (_, data) = ctx.recv(Some(s), RIPPLE_TAG);
                 absorb(&data, &mut ghosts);
             }
-            if let Some(buf) = out.get(&me) {
+            if let Some((buf, _)) = out.get(&me) {
                 absorb(buf, &mut ghosts);
             }
 
@@ -139,13 +149,16 @@ impl<const D: usize> Forest<D> {
             if v.is_empty() {
                 continue;
             }
-            let (lo, hi) = (v[0].index(), v[v.len() - 1].last_index());
-            let mut set: BTreeSet<Octant<D>> = v.iter().copied().collect();
-            let mut work: VecDeque<Octant<D>> = v.iter().copied().collect();
-            while let Some(o) = work.pop_front() {
-                if !set.contains(&o) {
+            let lo = PackedOctant::<D>(v[0]).index();
+            let hi = PackedOctant::<D>(v[v.len() - 1]).last_index();
+            let mut set: BTreeSet<u128> = v.iter().copied().collect();
+            let mut work: VecDeque<u128> = v.iter().copied().collect();
+            let mut tree_changed = false;
+            while let Some(k) = work.pop_front() {
+                if !set.contains(&k) {
                     continue;
                 }
+                let o = PackedOctant::<D>(k);
                 for dir in directions::<D>() {
                     if !cond.constrains(codim(&dir)) {
                         continue;
@@ -154,48 +167,52 @@ impl<const D: usize> Forest<D> {
                     if !n.is_inside_root() || n.index() < lo || n.last_index() > hi {
                         continue; // outside this rank's slice: ghost rounds
                     }
-                    while let Some(&c) = set.range(..=n).next_back() {
-                        if !c.contains(&n) || c.level + 1 >= o.level {
+                    while let Some(&ck) = set.range(..=n.0).next_back() {
+                        let c = PackedOctant::<D>(ck);
+                        if !c.contains(n) || c.level() + 1 >= o.level() {
                             break;
                         }
-                        set.remove(&c);
+                        set.remove(&ck);
                         stats.splits += 1;
-                        changed = true;
+                        tree_changed = true;
                         for i in 0..Octant::<D>::NUM_CHILDREN {
-                            let ch = c.child(i);
+                            let ch = c.child(i).0;
                             set.insert(ch);
                             work.push_back(ch);
                         }
                     }
                 }
             }
-            if changed {
+            if tree_changed {
+                changed = true;
                 *v = set.into_iter().collect();
-                debug_assert!(is_linear(v));
+                debug_assert!(is_linear_keys::<D>(v));
             }
         }
         changed
     }
 
-    /// Split local leaves violating 2:1 against received ghost octants
+    /// Split local leaves violating 2:1 against received ghost keys
     /// (which may lie outside the tree root). Returns whether anything
     /// changed.
     fn split_against_ghosts(
         &mut self,
-        ghosts: &BTreeMap<TreeId, Vec<Octant<D>>>,
+        ghosts: &BTreeMap<TreeId, Vec<u128>>,
         cond: Condition,
         stats: &mut RippleStats,
     ) -> bool {
         let mut changed = false;
         for (t, gs) in ghosts {
-            let Some(v) = self.local.get_mut(t) else {
+            let Some(v) = self.local.get_mut(*t) else {
                 continue;
             };
             if v.is_empty() {
                 continue;
             }
-            let mut set: BTreeSet<Octant<D>> = v.iter().copied().collect();
-            for g in gs {
+            let mut set: BTreeSet<u128> = v.iter().copied().collect();
+            let mut tree_changed = false;
+            for &gk in gs {
+                let g = PackedOctant::<D>(gk);
                 for dir in directions::<D>() {
                     if !cond.constrains(codim(&dir)) {
                         continue;
@@ -206,22 +223,24 @@ impl<const D: usize> Forest<D> {
                     if !n.is_inside_root() {
                         continue;
                     }
-                    while let Some(&c) = set.range(..=n).next_back() {
-                        if !c.contains(&n) || c.level + 1 >= g.level {
+                    while let Some(&ck) = set.range(..=n.0).next_back() {
+                        let c = PackedOctant::<D>(ck);
+                        if !c.contains(n) || c.level() + 1 >= g.level() {
                             break;
                         }
-                        set.remove(&c);
+                        set.remove(&ck);
                         stats.splits += 1;
-                        changed = true;
+                        tree_changed = true;
                         for i in 0..Octant::<D>::NUM_CHILDREN {
-                            set.insert(c.child(i));
+                            set.insert(c.child(i).0);
                         }
                     }
                 }
             }
-            if changed {
+            if tree_changed {
+                changed = true;
                 *v = set.into_iter().collect();
-                debug_assert!(is_linear(v));
+                debug_assert!(is_linear_keys::<D>(v));
             }
         }
         changed

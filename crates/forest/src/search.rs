@@ -4,20 +4,23 @@
 
 use crate::connectivity::TreeId;
 use crate::forest::{Forest, GlobalPos};
-use forestbal_octant::{Coord, Octant, MAX_LEVEL, ROOT_LEN};
+use forestbal_octant::{key, Coord, Octant, PackedOctant, MAX_LEVEL, ROOT_LEN};
 
 impl<const D: usize> Forest<D> {
     /// The local leaf of `tree` containing octant `q` (an ancestor of or
-    /// equal to `q`), if this rank owns it.
-    pub fn find_leaf(&self, tree: TreeId, q: &Octant<D>) -> Option<&Octant<D>> {
-        let v = self.tree_leaves(tree)?;
-        let i = v.partition_point(|o| o <= q);
-        (i > 0 && v[i - 1].contains(q)).then(|| &v[i - 1])
+    /// equal to `q`), if this rank owns it. The search runs on the packed
+    /// key array; only the hit is decoded (returned by value).
+    pub fn find_leaf(&self, tree: TreeId, q: &Octant<D>) -> Option<Octant<D>> {
+        let v = self.local.get(tree)?;
+        let qk = key::pack(q);
+        let i = v.partition_point(|&k| k <= qk);
+        (i > 0 && PackedOctant::<D>(v[i - 1]).contains(PackedOctant(qk)))
+            .then(|| key::unpack(v[i - 1]))
     }
 
     /// The local leaf containing the integer point `p` of `tree`
     /// (coordinates in `[0, ROOT_LEN)`), if this rank owns it.
-    pub fn find_leaf_at_point(&self, tree: TreeId, p: [Coord; D]) -> Option<&Octant<D>> {
+    pub fn find_leaf_at_point(&self, tree: TreeId, p: [Coord; D]) -> Option<Octant<D>> {
         debug_assert!(p.iter().all(|&c| (0..ROOT_LEN).contains(&c)));
         let cell = Octant::<D> {
             coords: p,
@@ -41,11 +44,6 @@ impl<const D: usize> Forest<D> {
             tree,
             index: q.index(),
         })
-    }
-
-    /// Slice of this rank's leaves for a tree, if any.
-    fn tree_leaves(&self, tree: TreeId) -> Option<&[Octant<D>]> {
-        self.trees().find(|&(t, _)| t == tree).map(|(_, v)| v)
     }
 }
 

@@ -5,6 +5,12 @@
 //! boundaries: neighbor regions leaving a tree are remapped through the
 //! connectivity, and the split worklist spans all trees. Independent of
 //! the λ functions, seeds, and the parallel machinery it validates.
+//!
+//! This oracle deliberately stays on struct octants and `BTreeSet`s
+//! rather than the packed-key data plane of [`crate::store`]: it is
+//! test-only, off every benchmark path, and its value is being an
+//! *independent* implementation — sharing the packed arithmetic with the
+//! code under test would weaken the cross-check.
 
 use crate::connectivity::{BrickConnectivity, TreeId};
 use forestbal_core::Condition;

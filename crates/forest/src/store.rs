@@ -1,0 +1,239 @@
+//! SoA leaf storage: flat per-tree arrays of packed Morton keys.
+//!
+//! Before the packed-native refactor the forest held
+//! `BTreeMap<TreeId, Vec<Octant<D>>>` — 12/16-byte structs behind a
+//! pointer-chasing map, converted to packed keys at every kernel boundary
+//! and back. [`LeafStore`] replaces that with a sorted `Vec` of
+//! `(TreeId, Vec<u128>)` pairs: the keys *are* the storage, so the radix
+//! sort, linearize/merge, binary searches, and the wire codec all operate
+//! on the integer arrays with zero conversion. Keys are stored as `u128`
+//! regardless of dimension (2D keys occupy the low 59 bits) so the store
+//! stays dimension-generic; the wire codec narrows 2D records to 8 bytes.
+//!
+//! The struct [`Octant`] remains the view type at API edges:
+//! [`LeafSlice`] decodes on demand, yielding octants *by value*.
+//!
+//! Invariants (debug-checked by users at mutation sites):
+//! * trees are sorted by id and hold no empty arrays;
+//! * each tree's keys are sorted (integer order ≡ Morton preorder) and
+//!   linear (no overlaps).
+
+use crate::connectivity::TreeId;
+use forestbal_octant::{key, Octant, PackedOctant};
+
+/// Per-tree sorted arrays of packed leaf keys — the native storage of
+/// [`crate::Forest`]. See the module docs for the layout and invariants.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct LeafStore<const D: usize> {
+    /// `(tree, keys)` pairs sorted by tree id; no empty key arrays.
+    trees: Vec<(TreeId, Vec<u128>)>,
+}
+
+impl<const D: usize> LeafStore<D> {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove all trees.
+    pub fn clear(&mut self) {
+        self.trees.clear();
+    }
+
+    /// Number of trees holding at least one local leaf.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Total number of local leaves.
+    pub fn num_octants(&self) -> usize {
+        self.trees.iter().map(|(_, v)| v.len()).sum()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// The key array of `tree`, if it has local leaves.
+    pub fn get(&self, tree: TreeId) -> Option<&[u128]> {
+        self.trees
+            .binary_search_by_key(&tree, |&(t, _)| t)
+            .ok()
+            .map(|i| self.trees[i].1.as_slice())
+    }
+
+    /// Mutable key array of `tree`, if present.
+    pub fn get_mut(&mut self, tree: TreeId) -> Option<&mut Vec<u128>> {
+        self.trees
+            .binary_search_by_key(&tree, |&(t, _)| t)
+            .ok()
+            .map(|i| &mut self.trees[i].1)
+    }
+
+    /// Mutable key array of `tree`, inserting an empty one (at the sorted
+    /// position) if absent.
+    pub fn entry(&mut self, tree: TreeId) -> &mut Vec<u128> {
+        let i = match self.trees.binary_search_by_key(&tree, |&(t, _)| t) {
+            Ok(i) => i,
+            Err(i) => {
+                self.trees.insert(i, (tree, Vec::new()));
+                i
+            }
+        };
+        &mut self.trees[i].1
+    }
+
+    /// Drop trees whose key arrays became empty (restores the invariant
+    /// after draining mutations).
+    pub fn prune_empty(&mut self) {
+        self.trees.retain(|(_, v)| !v.is_empty());
+    }
+
+    /// Iterate `(tree, keys)` in tree order.
+    pub fn iter(&self) -> impl Iterator<Item = (TreeId, &[u128])> {
+        self.trees.iter().map(|(t, v)| (*t, v.as_slice()))
+    }
+
+    /// Iterate `(tree, keys)` mutably in tree order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (TreeId, &mut Vec<u128>)> {
+        self.trees.iter_mut().map(|(t, v)| (*t, v))
+    }
+
+    /// The first `(tree, key)` in global order.
+    pub fn first(&self) -> Option<(TreeId, u128)> {
+        self.trees.first().map(|(t, v)| (*t, v[0]))
+    }
+
+    /// Iterate `(tree, decoded leaves)` as [`LeafSlice`] views.
+    pub fn slices(&self) -> impl Iterator<Item = (TreeId, LeafSlice<'_, D>)> {
+        self.trees.iter().map(|(t, v)| (*t, LeafSlice::new(v)))
+    }
+}
+
+/// A read view over one tree's sorted packed keys that decodes to the
+/// struct [`Octant`] on demand (by value). This is what
+/// [`crate::Forest::trees`] yields, keeping mesh generators, exporters and
+/// tests on the ergonomic struct API while storage stays packed.
+#[derive(Clone, Copy)]
+pub struct LeafSlice<'a, const D: usize> {
+    keys: &'a [u128],
+}
+
+impl<'a, const D: usize> LeafSlice<'a, D> {
+    /// Wrap a sorted key slice.
+    pub fn new(keys: &'a [u128]) -> Self {
+        LeafSlice { keys }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Is the slice empty?
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The underlying packed keys.
+    pub fn keys(&self) -> &'a [u128] {
+        self.keys
+    }
+
+    /// Decode leaf `i`.
+    pub fn get(&self, i: usize) -> Octant<D> {
+        key::unpack(self.keys[i])
+    }
+
+    /// Leaf `i` as a packed octant (no decode).
+    pub fn packed(&self, i: usize) -> PackedOctant<D> {
+        PackedOctant(self.keys[i])
+    }
+
+    /// Decode the first leaf.
+    pub fn first(&self) -> Option<Octant<D>> {
+        self.keys.first().map(|&k| key::unpack(k))
+    }
+
+    /// Decode the last leaf.
+    pub fn last(&self) -> Option<Octant<D>> {
+        self.keys.last().map(|&k| key::unpack(k))
+    }
+
+    /// Iterate decoded leaves in Morton order.
+    pub fn iter(&self) -> impl Iterator<Item = Octant<D>> + 'a {
+        self.keys.iter().map(|&k| key::unpack(k))
+    }
+
+    /// Binary search for an octant (integer search on its packed key).
+    pub fn binary_search(&self, o: &Octant<D>) -> Result<usize, usize> {
+        self.keys.binary_search(&key::pack(o))
+    }
+
+    /// First index at which `pred` (over the decoded leaf) is false;
+    /// `pred` must be monotone in Morton order.
+    pub fn partition_point(&self, mut pred: impl FnMut(&Octant<D>) -> bool) -> usize {
+        self.keys.partition_point(|&k| pred(&key::unpack(k)))
+    }
+}
+
+impl<'a, const D: usize> IntoIterator for LeafSlice<'a, D> {
+    type Item = Octant<D>;
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, u128>, fn(&u128) -> Octant<D>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.keys.iter().map(|&k| key::unpack(k))
+    }
+}
+
+impl<const D: usize> std::fmt::Debug for LeafSlice<'_, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_keeps_tree_order() {
+        let mut s = LeafStore::<2>::new();
+        for t in [3u32, 1, 2, 1, 0] {
+            s.entry(t).push(key::pack(&Octant::<2>::root()));
+        }
+        let ids: Vec<_> = s.iter().map(|(t, _)| t).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(s.num_octants(), 5);
+        assert_eq!(s.get(1).unwrap().len(), 2);
+        assert!(s.get(7).is_none());
+    }
+
+    #[test]
+    fn prune_drops_empty_trees() {
+        let mut s = LeafStore::<2>::new();
+        s.entry(0).push(1);
+        s.entry(5);
+        assert_eq!(s.num_trees(), 2);
+        s.prune_empty();
+        assert_eq!(s.num_trees(), 1);
+        assert_eq!(s.first(), Some((0, 1)));
+    }
+
+    #[test]
+    fn slice_decodes_and_searches() {
+        let r = Octant::<2>::root();
+        let leaves = [r.child(0), r.child(1), r.child(2), r.child(3)];
+        let keys: Vec<u128> = leaves.iter().map(key::pack).collect();
+        let s = LeafSlice::<2>::new(&keys);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.get(2), leaves[2]);
+        assert_eq!(s.first(), Some(leaves[0]));
+        assert_eq!(s.last(), Some(leaves[3]));
+        assert_eq!(s.binary_search(&leaves[1]), Ok(1));
+        assert!(s.binary_search(&r).is_err());
+        assert_eq!(s.partition_point(|o| o < &leaves[2]), 2);
+        let dec: Vec<_> = s.iter().collect();
+        assert_eq!(dec, leaves);
+    }
+}

@@ -24,6 +24,74 @@ fn pseudo_refine(seed: u64, t: TreeId, o: &Octant<2>, denom: u64) -> bool {
     (h >> 33).is_multiple_of(denom)
 }
 
+/// Random octant from a seed word: a random descent from the root,
+/// sometimes translated across a tree boundary afterwards (negative or
+/// past-the-root coordinates), as the ripple and ghost senders produce.
+fn pseudo_octant<const D: usize>(mut h: u64) -> Octant<D> {
+    let mut step = move || {
+        h ^= h << 13;
+        h ^= h >> 7;
+        h ^= h << 17;
+        h
+    };
+    let mut o = Octant::<D>::root();
+    for _ in 0..step() % 8 {
+        o = o.child((step() % Octant::<D>::NUM_CHILDREN as u64) as usize);
+    }
+    if step().is_multiple_of(3) {
+        let mut dir = [0i8; D];
+        for d in dir.iter_mut() {
+            *d = (step() % 3) as i8 - 1;
+        }
+        o = o.neighbor(&dir);
+    }
+    o
+}
+
+/// The batch key codec and the tree-run wire framing round-trip an
+/// arbitrary `(tree, octant)` record stream: batch pack/unpack agrees
+/// with the scalar codec, `RunEncoder` → `for_each_run` reproduces the
+/// records grouped into runs at tree switches, and the byte budget is
+/// exactly one key per octant plus 8 framing bytes per run.
+fn wire_roundtrip<const D: usize>(seeds: &[u64]) -> Result<(), String> {
+    use forestbal_forest::codec::{self, RunEncoder};
+    use forestbal_octant::{key, pack_batch, unpack_batch};
+    let recs: Vec<(TreeId, Octant<D>)> = seeds
+        .iter()
+        .map(|&h| (((h >> 48) % 5) as TreeId, pseudo_octant::<D>(h)))
+        .collect();
+    let octs: Vec<Octant<D>> = recs.iter().map(|r| r.1).collect();
+
+    let mut keys = Vec::new();
+    pack_batch(&octs, &mut keys);
+    let scalar: Vec<u128> = octs.iter().map(key::pack).collect();
+    prop_assert_eq!(&keys, &scalar, "batch pack diverged from scalar");
+    let mut back = Vec::new();
+    unpack_batch(&keys, &mut back);
+    prop_assert_eq!(&back, &octs, "batch unpack is not the inverse");
+
+    let mut buf = Vec::new();
+    let mut enc = RunEncoder::new();
+    for (&(t, _), &k) in recs.iter().zip(&keys) {
+        enc.push::<D>(&mut buf, t, k);
+    }
+    enc.finish(&mut buf);
+    let mut runs = 0usize;
+    let mut decoded: Vec<(TreeId, u128)> = Vec::new();
+    codec::for_each_run::<D>(&buf, |t, ks| {
+        runs += 1;
+        assert!(!ks.is_empty(), "empty run emitted");
+        decoded.extend(ks.iter().map(|&k| (t, k)));
+    });
+    let want: Vec<(TreeId, u128)> = recs.iter().zip(&keys).map(|(&(t, _), &k)| (t, k)).collect();
+    prop_assert_eq!(decoded, want);
+    let switches =
+        recs.windows(2).filter(|w| w[0].0 != w[1].0).count() + usize::from(!recs.is_empty());
+    prop_assert_eq!(runs, switches, "runs must split exactly at tree switches");
+    prop_assert_eq!(buf.len(), keys.len() * codec::key_size::<D>() + 8 * runs);
+    Ok(())
+}
+
 proptest! {
     // Each case spawns clusters; keep the counts modest.
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -88,6 +156,16 @@ proptest! {
             .results[0]
         };
         prop_assert_eq!(run(true), run(false), "seed={} p={}", seed, p);
+    }
+
+    #[test]
+    fn wire_codec_roundtrip_random_2d(seeds in proptest::collection::vec(any::<u64>(), 0..200)) {
+        wire_roundtrip::<2>(&seeds)?;
+    }
+
+    #[test]
+    fn wire_codec_roundtrip_random_3d(seeds in proptest::collection::vec(any::<u64>(), 0..200)) {
+        wire_roundtrip::<3>(&seeds)?;
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! CI smoke entry point for the model checker.
 //!
 //! Runs the checker exhaustively on Notify at P = 2, the marker exchange
-//! at P = 3 (bounded depth), and the one-pass balance at P = 2; then the
-//! mutation test (the deliberately broken Notify must be caught, and its
-//! minimized counterexample must replay identically from JSON).
+//! at P = 3 (bounded depth), the one-pass balance at P = 2, and the
+//! packed-wire ghost exchange at P = 2; then the mutation test (the
+//! deliberately broken Notify must be caught, and its minimized
+//! counterexample must replay identically from JSON).
 //!
 //! Per scenario it prints one `MC {...}` line with the exploration
 //! counters. Any counterexample trace is written as JSON under the
@@ -79,10 +80,19 @@ fn main() {
         },
     );
     report_line("balance-p2", &balance);
+    let ghosts = scenarios::check_ghosts(
+        2,
+        McConfig {
+            max_runs: 20_000,
+            ..McConfig::default()
+        },
+    );
+    report_line("ghosts-p2", &ghosts);
     for (name, r) in [
         ("notify-p2", &notify),
         ("markers-p3", &markers),
         ("balance-p2", &balance),
+        ("ghosts-p2", &ghosts),
     ] {
         if let Some(v) = &r.violation {
             eprintln!("mc_smoke: {name} violated {}: {}", v.invariant, v.message);

@@ -105,6 +105,43 @@ pub fn check_markers(size: usize, mut cfg: McConfig) -> McReport {
     Checker::new(cfg).check(size, markers_digest, &invariants)
 }
 
+/// The ghost-exchange closure: build the 2D fractal forest and collect
+/// the ghost layer — the exchange ships packed keys in tree runs
+/// (`forestbal_forest::codec`), so this drives the wire format v2
+/// encoder and decoder under adversarial delivery orders. The digest
+/// also cross-checks every ghost against the gathered global forest:
+/// the octant must exist under its tree and the claimed owner must be a
+/// different rank.
+fn ghosts_digest(ctx: &SimCtx) -> String {
+    let mut f = fractal_forest_2d(ctx, 1, 2);
+    let ghosts = f.ghost_layer(ctx);
+    let global = f.gather(ctx);
+    let mut valid = true;
+    let mut items: Vec<String> = Vec::new();
+    for (t, owner, g) in ghosts.iter() {
+        valid &= owner != ctx.rank();
+        valid &= global.get(&t).is_some_and(|v| v.binary_search(g).is_ok());
+        items.push(format!("{t}:{owner}:l{}@{:?}", g.level, g.coords));
+    }
+    items.sort();
+    format!(
+        "valid={valid} n={} ghosts={items:?} checksum={:#x}",
+        ghosts.len(),
+        f.checksum(ctx)
+    )
+}
+
+/// Exhaustively check the ghost exchange at P = `size`: in every message
+/// delivery ordering each rank must assemble exactly the ghost layer the
+/// default schedule produces (the exchange is deterministic), every
+/// ghost must decode to a real remote leaf, and ranks' layers must be
+/// mutually consistent with the global forest.
+pub fn check_ghosts(size: usize, cfg: McConfig) -> McReport {
+    let expected = forestbal_sim::SimCluster::run(size, cfg.sim, ghosts_digest).results;
+    let invariants = [Invariant::oracle("ghosts-oracle", expected)];
+    Checker::new(cfg).check(size, ghosts_digest, &invariants)
+}
+
 /// The balance closure: fractal forest, one-pass balance
 /// (`New` variant + `Notify` reversal), then compare the gathered result
 /// against [`serial_forest_balance`] of the gathered input and check the

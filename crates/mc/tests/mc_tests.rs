@@ -48,6 +48,16 @@ fn balance_p2_every_interleaving_matches_serial_oracle() {
 }
 
 #[test]
+fn ghost_exchange_p2_every_interleaving_assembles_same_layer() {
+    // The ghost exchange ships packed keys in tree runs (wire format
+    // v2); every delivery ordering must decode to the identical layer.
+    let report = scenarios::check_ghosts(2, McConfig::default());
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(!report.truncated);
+    assert!(report.runs >= 2, "reordering must create > 1 execution");
+}
+
+#[test]
 fn drop_fault_is_caught_as_termination_violation() {
     let report = scenarios::check_notify(
         vec![vec![0, 1], vec![0]],

@@ -20,7 +20,7 @@ pub mod ice_sheet;
 pub mod random;
 pub mod sphere;
 
-pub use fractal::{fractal_forest, FRACTAL_CHILDREN};
+pub use fractal::{fractal_forest, fractal_forest_2d, FRACTAL_CHILDREN};
 pub use ice_sheet::{ice_sheet_forest, GroundingLine, IceSheetParams};
 pub use random::random_forest;
 pub use sphere::{sphere_forest, SphereParams};

@@ -71,6 +71,20 @@ pub fn packable<const D: usize>(o: &Octant<D>) -> bool {
             .all(|&c| (-ROOT_LEN..2 * ROOT_LEN).contains(&c))
 }
 
+/// Are all octants packable? Equivalent to `a.iter().all(packable)`, but
+/// dispatches to the AVX2 kernel when the `simd` feature is enabled and the
+/// CPU supports it — this check guards the radix-sort and wire-codec fast
+/// paths, so it runs over every hot octant array.
+#[inline]
+pub fn packable_all<const D: usize>(a: &[Octant<D>]) -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::avx2_available() {
+        // SAFETY: avx2 support was just detected at runtime.
+        return unsafe { crate::simd::packable_all_avx2(a) };
+    }
+    a.iter().all(packable)
+}
+
 /// Spread the low 32 bits of `v` to even bit positions (stride 2).
 #[inline]
 fn spread2(v: u64) -> u64 {

@@ -55,18 +55,23 @@ pub mod key;
 pub mod linear;
 pub mod morton;
 pub mod octant;
+pub mod packed;
 pub mod path;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub mod simd;
 pub mod sort;
 pub mod table;
 
 pub use coords::{Coord, MAX_LEVEL, ROOT_LEN};
 pub use direction::{codim, directions, directions_up_to_codim, Direction};
 pub use hash::{FxBuildHasher, OctantMap, OctantSet};
+pub use key::{packable, packable_all};
 pub use linear::{
-    complete_region, complete_subtree, is_complete, is_linear, is_sorted_strict, linearize,
-    linearize_with, merge_sorted,
+    complete_region, complete_subtree, is_complete, is_linear, is_linear_keys, is_sorted_strict,
+    linearize, linearize_with, merge_sorted,
 };
 pub use morton::MortonIndex;
 pub use octant::{OctBuf, Octant};
-pub use sort::{sort_octants, sort_octants_with, SortScratch};
+pub use packed::{pack_batch, simd_active, unpack_batch, PackedOctant};
+pub use sort::{sort_keys_with, sort_octants, sort_octants_with, SortScratch};
 pub use table::OctantTable;

@@ -25,6 +25,15 @@ pub fn is_linear<const D: usize>(a: &[Octant<D>]) -> bool {
         .all(|w| w[0] < w[1] && !w[0].is_ancestor_of(&w[1]))
 }
 
+/// [`is_linear`] over packed keys: strictly sorted (integer order equals
+/// Morton preorder) with no ancestor/descendant pairs. The native check of
+/// the SoA forest storage — no decode.
+pub fn is_linear_keys<const D: usize>(keys: &[u128]) -> bool {
+    use crate::packed::PackedOctant;
+    keys.windows(2)
+        .all(|w| w[0] < w[1] && !PackedOctant::<D>(w[0]).is_ancestor_of(PackedOctant(w[1])))
+}
+
 /// Is the sorted linear slice a complete octree of `root` (no holes)?
 pub fn is_complete<const D: usize>(a: &[Octant<D>], root: &Octant<D>) -> bool {
     if a.is_empty() {

@@ -67,7 +67,7 @@ pub fn sort_octants_with<const D: usize>(a: &mut [Octant<D>], s: &mut SortScratc
         s.presorted_hits += 1;
         return;
     }
-    if a.len() < RADIX_MIN_LEN || !a.iter().all(key::packable) {
+    if a.len() < RADIX_MIN_LEN || !key::packable_all(a) {
         s.comparison_fallbacks += 1;
         a.sort_unstable();
         return;
@@ -82,6 +82,28 @@ pub fn sort_octants_with<const D: usize>(a: &mut [Octant<D>], s: &mut SortScratc
         s.radix_passes += radix_lsd(&mut s.k128, &mut s.t128, key_bits::<D>());
         unpack_keys(a, &s.k128, key::unpack::<D>);
     }
+}
+
+/// Radix-sort an array of packed keys in place — the native sort of the
+/// SoA forest storage, where leaves already live as `u128` keys and no
+/// pack/unpack conversion is needed at all. `D` selects the key width
+/// actually populated ([`key_bits`]); passes over bytes above it are
+/// skipped. Shares the early-outs and counters of [`sort_octants_with`].
+pub fn sort_keys_with<const D: usize>(keys: &mut Vec<u128>, s: &mut SortScratch) {
+    if keys.len() < 2 {
+        return;
+    }
+    if keys.windows(2).all(|w| w[0] <= w[1]) {
+        s.presorted_hits += 1;
+        return;
+    }
+    if keys.len() < RADIX_MIN_LEN {
+        s.comparison_fallbacks += 1;
+        keys.sort_unstable();
+        return;
+    }
+    s.radix_sorts += 1;
+    s.radix_passes += radix_lsd(keys, &mut s.t128, key_bits::<D>());
 }
 
 #[inline]

@@ -1,0 +1,113 @@
+//! P=4 differential pin for the packed-key data plane: the threaded
+//! `Cluster` and the discrete-event `SimCluster` must produce the *same
+//! bits* — gathered meshes octant by octant, balance volume counters,
+//! and per-rank `CommStats` including the per-tag table — now that every
+//! octant-bearing message ships fixed-width packed keys
+//! (`forestbal_forest::codec`). The per-tag byte counts double as a wire
+//! format check: query traffic is an exact multiple of the
+//! `(u32 eid, u32 tree, key)` record size, 8 + `key_size` bytes.
+
+use forestbal_comm::{Cluster, Comm};
+use forestbal_core::Condition;
+use forestbal_forest::balance::{QUERY_TAG, RESPONSE_TAG};
+use forestbal_forest::{codec, BalanceVariant, Forest, ReversalScheme, TreeId};
+use forestbal_mesh::fractal_forest;
+use forestbal_octant::Octant;
+use forestbal_sim::{SimCluster, SimConfig};
+use std::collections::BTreeMap;
+
+const P: usize = 4;
+
+type Gathered<const D: usize> = BTreeMap<TreeId, Vec<Octant<D>>>;
+
+/// Everything a rank observes from one balance, minus wall-clock time.
+fn balanced_3d<C: Comm>(ctx: &C, variant: BalanceVariant) -> (Gathered<3>, u64, u64, u64, u64) {
+    let mut f = fractal_forest(ctx, 2, 3);
+    let rep = f.balance_with_report(ctx, Condition::full(3), variant, ReversalScheme::Notify);
+    let sum = f.checksum(ctx);
+    (
+        f.gather(ctx),
+        rep.query_bytes,
+        rep.response_bytes,
+        rep.messages,
+        sum,
+    )
+}
+
+#[test]
+fn packed_balance_bit_identical_across_runtimes_p4() {
+    for variant in [BalanceVariant::New, BalanceVariant::Old] {
+        let threaded = Cluster::run(P, move |ctx| balanced_3d(ctx, variant));
+        let sim = SimCluster::run(P, SimConfig::default(), move |ctx| {
+            balanced_3d(ctx, variant)
+        });
+
+        // Full mesh, volume counters, and checksum, rank by rank.
+        assert_eq!(threaded.results, sim.results, "{variant:?}");
+        // Per-rank CommStats, including the per-tag (messages, bytes)
+        // table for every protocol tag in the run.
+        assert_eq!(threaded.stats, sim.stats, "{variant:?}");
+
+        for (rank, s) in threaded.stats.iter().enumerate() {
+            // Wire format: queries are fixed-width (eid, tree, key)
+            // records — 8 + 16 bytes each in 3D.
+            let q = s.tag_stats(QUERY_TAG);
+            let record = 8 + codec::key_size::<3>() as u64;
+            assert_eq!(
+                q.bytes % record,
+                0,
+                "rank {rank} {variant:?}: query bytes not a whole number of records"
+            );
+            // Responses are (eid, count, count × key) records: their
+            // bytes are 8 per answered query plus a whole number of keys.
+            let r = s.tag_stats(RESPONSE_TAG);
+            assert_eq!(
+                r.bytes % 8,
+                0,
+                "rank {rank} {variant:?}: response bytes misaligned"
+            );
+        }
+
+        // The balance actually communicated (P=4 splits the fractal
+        // brick across ranks), so the pins above are not vacuous.
+        let total_q: u64 = threaded.results.iter().map(|r| r.1).sum();
+        assert!(total_q > 0, "{variant:?}: no query traffic at P=4");
+    }
+}
+
+/// The same pin in 2D, where keys are 8 bytes: a 2x2 brick with an
+/// asymmetric refinement that couples trees across faces and corners.
+#[test]
+fn packed_balance_bit_identical_across_runtimes_p4_2d() {
+    use forestbal_forest::BrickConnectivity;
+    use std::sync::Arc;
+
+    fn run<C: Comm>(ctx: &C) -> (Gathered<2>, u64, u64, u64) {
+        let conn = Arc::new(BrickConnectivity::<2>::new([2, 2], [false; 2]));
+        let mut f = Forest::new_uniform(conn, ctx, 2);
+        f.refine(true, 6, |t, o| {
+            (t == 0 && o.child_id() == 3) || (t == 3 && o.child_id() == 0)
+        });
+        let rep = f.balance_with_report(
+            ctx,
+            Condition::full(2),
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+        );
+        (
+            f.gather(ctx),
+            rep.query_bytes,
+            rep.response_bytes,
+            rep.messages,
+        )
+    }
+
+    let threaded = Cluster::run(P, run);
+    let sim = SimCluster::run(P, SimConfig::default(), run);
+    assert_eq!(threaded.results, sim.results);
+    assert_eq!(threaded.stats, sim.stats);
+    let record = 8 + codec::key_size::<2>() as u64; // 16 bytes per query in 2D
+    for s in &threaded.stats {
+        assert_eq!(s.tag_stats(QUERY_TAG).bytes % record, 0);
+    }
+}

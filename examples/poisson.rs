@@ -109,7 +109,7 @@ fn main() {
             ReversalScheme::Notify,
         );
         let nodes = f.enumerate_nodes(ctx);
-        let leaves: Vec<Octant<2>> = f.trees().flat_map(|(_, v)| v.iter().copied()).collect();
+        let leaves: Vec<Octant<2>> = f.trees().flat_map(|(_, v)| v.iter()).collect();
         (leaves, nodes)
     });
     let (leaves, nodes) = &out.results[0];
