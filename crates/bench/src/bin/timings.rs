@@ -4,7 +4,7 @@
 //! to reproduce our results ... can be invoked by the timings example").
 //!
 //! ```text
-//! timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|simscale|all] [--max-ranks N] [--big]
+//! timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|local|simscale|all] [--max-ranks N] [--big]
 //!         [--trace-out trace.json]
 //! ```
 //!
@@ -666,6 +666,107 @@ fn run_simscale(big: bool) {
     t.print();
 }
 
+/// The Local-rebalance study: full vs incremental commit of the same
+/// clustered batch at dirty fractions of ~0.1%, 1% and 10%, plus
+/// service request latency histograms. Emits one `BENCH {...}` line per
+/// row (the committed snapshot is `BENCH_local.json`; see
+/// EXPERIMENTS.md for the regeneration recipe).
+fn run_local(max_ranks: usize, big: bool) {
+    let p = max_ranks.min(4);
+    let reps = 3;
+    println!("\n#### Incremental epoch commit: full balance vs Local rebalance (P = {p})");
+    let rows = local_experiment(p, reps, big);
+
+    let ms = |s: f64| format!("{:.3}", s * 1e3);
+    let mut t = Table::new(
+        "Commit cost of one clustered edit, best of reps (ms, cluster max)",
+        &[
+            "mesh",
+            "leaves",
+            "dirty",
+            "dirty %",
+            "full",
+            "incremental",
+            "speedup",
+            "rounds",
+            "splits",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.mesh.to_string(),
+            r.leaves.to_string(),
+            r.dirty_global.to_string(),
+            format!("{:.3}", r.dirty_frac * 100.0),
+            ms(r.full_seconds),
+            ms(r.incremental_seconds),
+            ratio(r.full_seconds, r.incremental_seconds),
+            r.rounds.to_string(),
+            r.splits.to_string(),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "Service latency, log2-bucket upper bounds (µs; count across ranks)",
+        &[
+            "mesh",
+            "dirty %",
+            "locate n",
+            "locate p50",
+            "locate p99",
+            "neighbor n",
+            "neighbor p50",
+            "neighbor p99",
+            "commit n",
+            "commit p50",
+            "commit p99",
+        ],
+    );
+    let us = |ns: u64| format!("{:.1}", ns as f64 * 1e-3);
+    for r in &rows {
+        t.row(vec![
+            r.mesh.to_string(),
+            format!("{:.3}", r.dirty_frac * 100.0),
+            r.point_locate.count.to_string(),
+            us(r.point_locate.p50_ns),
+            us(r.point_locate.p99_ns),
+            r.neighbor_query.count.to_string(),
+            us(r.neighbor_query.p50_ns),
+            us(r.neighbor_query.p99_ns),
+            r.commit.count.to_string(),
+            us(r.commit.p50_ns),
+            us(r.commit.p99_ns),
+        ]);
+    }
+    t.print();
+
+    for r in &rows {
+        BenchRecord::new("local")
+            .u("ranks", r.ranks as u64)
+            .s("mesh", r.mesh)
+            .u("leaves", r.leaves)
+            .u("dirty_global", r.dirty_global)
+            .f("dirty_frac", r.dirty_frac)
+            .f("full_s", r.full_seconds)
+            .f("incremental_s", r.incremental_seconds)
+            .f("speedup", r.speedup)
+            .u("rounds", r.rounds as u64)
+            .u("splits", r.splits)
+            .u("forest_checksum", r.checksum)
+            .u("point_locate_n", r.point_locate.count)
+            .u("point_locate_p50_ns", r.point_locate.p50_ns)
+            .u("point_locate_p99_ns", r.point_locate.p99_ns)
+            .u("neighbor_query_n", r.neighbor_query.count)
+            .u("neighbor_query_p50_ns", r.neighbor_query.p50_ns)
+            .u("neighbor_query_p99_ns", r.neighbor_query.p99_ns)
+            .u("commit_n", r.commit.count)
+            .u("commit_p50_ns", r.commit.p50_ns)
+            .u("commit_p99_ns", r.commit.p99_ns)
+            .emit();
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut exp = "all".to_string();
@@ -706,7 +807,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
-                    "usage: timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|simscale|all] \
+                    "usage: timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|local|simscale|all] \
                      [--max-ranks N] [--big] [--trace-out trace.json]"
                 );
                 std::process::exit(2);
@@ -714,13 +815,13 @@ fn main() {
         }
     }
     let known = [
-        "all", "subtree", "kernel", "wire", "seeds", "notify", "weak", "strong", "ripple",
+        "all", "subtree", "kernel", "wire", "seeds", "notify", "weak", "strong", "ripple", "local",
         "simscale",
     ];
     if !known.contains(&exp.as_str()) {
         eprintln!("unknown experiment {exp}");
         eprintln!(
-            "usage: timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|simscale|all] \
+            "usage: timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|local|simscale|all] \
              [--max-ranks N] [--big] [--trace-out trace.json]"
         );
         std::process::exit(2);
@@ -751,6 +852,9 @@ fn main() {
     }
     if all || exp == "ripple" {
         run_ripple(max_ranks);
+    }
+    if all || exp == "local" {
+        run_local(max_ranks, big);
     }
     // Deliberately not part of `all`: large simulated rank counts are
     // only sensible in release builds.

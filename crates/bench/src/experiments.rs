@@ -19,8 +19,9 @@ use forestbal_mesh::{fractal_forest, ice_sheet_forest, IceSheetParams};
 use forestbal_octant::{
     complete_subtree, linearize, sort_octants_with, Octant, OctantSet, OctantTable, SortScratch,
 };
+use forestbal_service::{clustered_batch, ForestService, Request, RequestClass, ServiceConfig};
 use forestbal_sim::{SimCluster, SimConfig};
-use forestbal_trace::{ClusterTrace, RankTrace, Tracer};
+use forestbal_trace::{bucket_bounds, ClusterTrace, Histogram, RankTrace, Tracer, HIST_BUCKETS};
 use std::time::Instant;
 
 /// One row of a scaling study: both variants on the same mesh. Timings
@@ -993,6 +994,295 @@ pub fn seeds_distance_experiment(depths: &[u8], reps: usize) -> Vec<SeedsRow> {
             }
         })
         .collect()
+}
+
+/// Latency summary of one service request class, reduced from the
+/// cluster-merged log2 histogram: the reported percentiles are the
+/// *upper bounds* of the bucket containing that percentile.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Samples recorded across all ranks.
+    pub count: u64,
+    /// Upper bound of the median's bucket, nanoseconds.
+    pub p50_ns: u64,
+    /// Upper bound of the 99th percentile's bucket, nanoseconds.
+    pub p99_ns: u64,
+}
+
+fn hist_summary(h: &Histogram) -> LatencySummary {
+    let count = h.count();
+    let quantile = |frac: f64| -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let target = ((frac * count as f64).ceil() as u64).max(1);
+        let mut acc = 0u64;
+        for (b, c) in h.nonzero() {
+            acc += c;
+            if acc >= target {
+                return bucket_bounds(b).1;
+            }
+        }
+        bucket_bounds(HIST_BUCKETS - 1).1
+    };
+    LatencySummary {
+        count,
+        p50_ns: quantile(0.50),
+        p99_ns: quantile(0.99),
+    }
+}
+
+/// One row of the Local-rebalance study (the incremental-epoch service):
+/// the same clustered refine batch committed against the same balanced
+/// snapshot twice — by the dirty-region incremental rebalance and by a
+/// full balance. Timings are cluster maxima, best of the repetitions,
+/// and the two result forests are asserted checksum-identical before
+/// the row is produced. The latency summaries come from a separate
+/// short service epoch loop (queries interleaved with commits) over the
+/// same snapshot.
+#[derive(Clone, Debug)]
+pub struct LocalRow {
+    /// Simulated (threaded) rank count.
+    pub ranks: usize,
+    /// Workload mesh: `"fractal"` or `"ice_sheet"`.
+    pub mesh: &'static str,
+    /// Global leaves in the balanced base snapshot.
+    pub leaves: u64,
+    /// Global dirty leaves produced by the batch.
+    pub dirty_global: u64,
+    /// `dirty_global / leaves` — the knob under study.
+    pub dirty_frac: f64,
+    /// Full balance of the edited forest (scratch-reusing), seconds.
+    pub full_seconds: f64,
+    /// Incremental rebalance of the same edit, seconds.
+    pub incremental_seconds: f64,
+    /// `full_seconds / incremental_seconds`.
+    pub speedup: f64,
+    /// Incremental communication rounds to quiescence.
+    pub rounds: u32,
+    /// Leaves split by the incremental ripple (cluster sum).
+    pub splits: u64,
+    /// Checksum of the rebalanced forest (identical both ways).
+    pub checksum: u64,
+    /// Point-location latency from the service epoch loop.
+    pub point_locate: LatencySummary,
+    /// Neighbor-query latency from the service epoch loop.
+    pub neighbor_query: LatencySummary,
+    /// Commit latency from the service epoch loop.
+    pub commit: LatencySummary,
+}
+
+/// Draw a pseudo-random local leaf, weighted by leaves per tree.
+fn sample_leaf(f: &Forest<3>, s: &mut u64) -> Option<(u32, Octant<3>)> {
+    let n = f.num_local();
+    if n == 0 {
+        return None;
+    }
+    let mut pick = (xorshift64(s) as usize) % n;
+    for (t, v) in f.trees() {
+        if pick < v.len() {
+            return Some((t, v.get(pick)));
+        }
+        pick -= v.len();
+    }
+    None
+}
+
+fn xorshift64(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn local_point(
+    p: usize,
+    mesh: &'static str,
+    target_frac: f64,
+    reps: usize,
+    build: impl Fn(&forestbal_comm::RankCtx) -> Forest<3> + Sync,
+) -> LocalRow {
+    let cond = Condition::full(3);
+    let out = Cluster::run(p, |ctx| {
+        let mut base = build(ctx);
+        let mut scratch = BalanceScratch::new();
+        base.balance_with_report_scratch(
+            ctx,
+            cond,
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+            &mut scratch,
+        );
+        let ghosts = base.ghost_layer(ctx);
+        let leaves = base.num_global(ctx);
+
+        // Refining one leaf replaces it with 8 children, so the edit
+        // dirties ~8 leaves per request; size the per-rank budget so the
+        // measured dirty fraction lands near the target.
+        let budget = ((target_frac * base.num_local() as f64) / 8.0).ceil() as usize;
+        let seed = 0x10CA_1BA1 ^ ((ctx.rank() as u64) << 32);
+        let batch = clustered_batch(&base, seed, budget, forestbal_octant::MAX_LEVEL);
+
+        let mut inc_best = u64::MAX;
+        let mut full_best = u64::MAX;
+        let mut dirty_global = 0u64;
+        let mut rounds = 0u32;
+        let mut splits = 0u64;
+        let mut checksum = 0u64;
+        for _ in 0..reps {
+            // Incremental arm: clone the snapshot and its ghost layer,
+            // apply the edits (untimed — both arms pay it identically),
+            // then time only the rebalance.
+            let mut fi = base.clone();
+            let mut gi = ghosts.clone();
+            let dirty = fi.apply_edits(&batch, forestbal_octant::MAX_LEVEL);
+            dirty_global = ctx.allreduce_sum(dirty.len() as u64);
+            ctx.barrier();
+            let t0 = Instant::now();
+            let rep = fi.balance_incremental(ctx, cond, &dirty, &mut gi);
+            inc_best = inc_best.min(ctx.allreduce_max(t0.elapsed().as_nanos() as u64));
+            rounds = rep.rounds;
+            splits = ctx.allreduce_sum(rep.splits);
+
+            // Full arm: identical edit, full balance with a warm scratch.
+            let mut ff = base.clone();
+            ff.apply_edits(&batch, forestbal_octant::MAX_LEVEL);
+            ctx.barrier();
+            let t0 = Instant::now();
+            ff.balance_with_report_scratch(
+                ctx,
+                cond,
+                BalanceVariant::New,
+                ReversalScheme::Notify,
+                &mut scratch,
+            );
+            full_best = full_best.min(ctx.allreduce_max(t0.elapsed().as_nanos() as u64));
+
+            checksum = fi.checksum(ctx);
+            assert_eq!(
+                checksum,
+                ff.checksum(ctx),
+                "{mesh}: incremental rebalance diverged from full balance"
+            );
+        }
+
+        // A short service epoch loop over the same snapshot feeds the
+        // per-class latency histograms: queries against the immutable
+        // snapshot between commits, one clustered batch per epoch.
+        let mut cfg = ServiceConfig::new(3);
+        cfg.fallback_dirty_fraction = f64::INFINITY; // always incremental
+        let mut svc = ForestService::new(ctx, base.clone(), cfg);
+        let mut qseed = seed ^ 0x9E37_79B9;
+        for e in 0..3u64 {
+            for _ in 0..64 {
+                if let Some((t, o)) = sample_leaf(svc.forest(), &mut qseed) {
+                    svc.submit(
+                        ctx,
+                        Request::PointLocate {
+                            tree: t,
+                            point: o.coords,
+                        },
+                    );
+                    let axis = (xorshift64(&mut qseed) % 3) as usize;
+                    let sign = if xorshift64(&mut qseed) & 1 == 0 {
+                        1
+                    } else {
+                        -1
+                    };
+                    svc.submit(
+                        ctx,
+                        Request::NeighborQuery {
+                            tree: t,
+                            octant: o,
+                            axis,
+                            sign,
+                        },
+                    );
+                }
+            }
+            let b = clustered_batch(
+                svc.forest(),
+                seed ^ (e + 1).wrapping_mul(0xA5A5),
+                budget,
+                forestbal_octant::MAX_LEVEL,
+            );
+            svc.submit_batch(&b);
+            svc.commit(ctx);
+        }
+
+        // Cluster-merge the query/commit histograms (raw buckets over
+        // allgather), so every rank reports identical summaries.
+        const CLASSES: [RequestClass; 3] = [
+            RequestClass::PointLocate,
+            RequestClass::NeighborQuery,
+            RequestClass::Commit,
+        ];
+        let mut bytes = Vec::with_capacity(CLASSES.len() * HIST_BUCKETS * 8);
+        for class in CLASSES {
+            for b in svc.latency(class).buckets {
+                bytes.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        let all = ctx.allgather(bytes);
+        let mut merged = [Histogram::default(); 3];
+        for r in all.iter() {
+            for (i, h) in merged.iter_mut().enumerate() {
+                for b in 0..HIST_BUCKETS {
+                    let off = (i * HIST_BUCKETS + b) * 8;
+                    h.buckets[b] += u64::from_le_bytes(r[off..off + 8].try_into().unwrap());
+                }
+            }
+        }
+
+        LocalRow {
+            ranks: p,
+            mesh,
+            leaves,
+            dirty_global,
+            dirty_frac: dirty_global as f64 / leaves.max(1) as f64,
+            full_seconds: full_best as f64 * 1e-9,
+            incremental_seconds: inc_best as f64 * 1e-9,
+            speedup: full_best as f64 / (inc_best as f64).max(1.0),
+            rounds,
+            splits,
+            checksum,
+            point_locate: hist_summary(&merged[0]),
+            neighbor_query: hist_summary(&merged[1]),
+            commit: hist_summary(&merged[2]),
+        }
+    });
+    out.results.into_iter().next().expect("at least one rank")
+}
+
+/// The Local-rebalance study: the same clustered edit committed by full
+/// balance and by the incremental dirty-region rebalance, at dirty
+/// fractions near 0.1%, 1% and 10%, on the fractal mesh and the masked
+/// ice-sheet mesh.
+pub fn local_experiment(p: usize, reps: usize, big: bool) -> Vec<LocalRow> {
+    let fracs = [0.001, 0.01, 0.10];
+    let (flevel, fspread) = if big { (3, 4) } else { (2, 4) };
+    let ice = if big {
+        IceSheetParams {
+            nx: 8,
+            ny: 8,
+            max_level: 7,
+            ..IceSheetParams::default()
+        }
+    } else {
+        IceSheetParams::default()
+    };
+    let mut rows = Vec::new();
+    for frac in fracs {
+        rows.push(local_point(p, "fractal", frac, reps, |ctx| {
+            fractal_forest(ctx, flevel, fspread)
+        }));
+    }
+    for frac in fracs {
+        rows.push(local_point(p, "ice_sheet", frac, reps, move |ctx| {
+            ice_sheet_forest(ctx, ice)
+        }));
+    }
+    rows
 }
 
 #[cfg(test)]

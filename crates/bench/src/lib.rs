@@ -11,7 +11,8 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    adapted_subtree_input, notify_experiment, par_is_balanced, ripple_ablation_experiment,
-    seeds_distance_experiment, sim_balance_scaling, sim_balance_traced, sim_reversal_scaling,
-    strong_scaling_experiment, subtree_experiment, weak_scaling_experiment, TracedSimBalance,
+    adapted_subtree_input, local_experiment, notify_experiment, par_is_balanced,
+    ripple_ablation_experiment, seeds_distance_experiment, sim_balance_scaling, sim_balance_traced,
+    sim_reversal_scaling, strong_scaling_experiment, subtree_experiment, weak_scaling_experiment,
+    LatencySummary, LocalRow, TracedSimBalance,
 };

@@ -169,6 +169,23 @@ impl<const D: usize> Forest<D> {
         variant: BalanceVariant,
         reversal: ReversalScheme,
     ) -> BalanceReport {
+        let mut scratch = BalanceScratch::<D>::new();
+        self.balance_with_report_scratch(ctx, cond, variant, reversal, &mut scratch)
+    }
+
+    /// Like [`Forest::balance_with_report`], with caller-provided kernel
+    /// working memory. Long-running consumers (the epoch loop of
+    /// `forestbal-service`) hold one [`BalanceScratch`] across epochs so
+    /// a fallback full balance re-enters with warm arenas instead of
+    /// reallocating them every time.
+    pub fn balance_with_report_scratch(
+        &mut self,
+        ctx: &impl Comm,
+        cond: Condition,
+        variant: BalanceVariant,
+        reversal: ReversalScheme,
+        scratch: &mut BalanceScratch<D>,
+    ) -> BalanceReport {
         let t_total = ctx.now_ns();
         trace::span_begin("balance", || t_total);
         let mut report = BalanceReport::default();
@@ -179,7 +196,7 @@ impl<const D: usize> Forest<D> {
         trace::span_begin("local_balance", || t0);
         // One arena of kernel working memory serves every subtree of this
         // rank's phase-1 loop and is threaded on through phase 4.
-        let mut scratch = BalanceScratch::<D>::new();
+        let ks_base = scratch.stats();
         let mut local_stats = forestbal_core::BalanceStats::default();
         let mut decoded: Vec<Octant<D>> = Vec::new();
         for (_, v) in self.local.iter_mut() {
@@ -195,10 +212,10 @@ impl<const D: usize> Forest<D> {
             let sub = decoded[0].nearest_common_ancestor(&decoded[decoded.len() - 1]);
             let (balanced, bs) = match variant {
                 BalanceVariant::Old => {
-                    balance_subtree_old_ext_scratch(&sub, &decoded, &[], cond, &mut scratch)
+                    balance_subtree_old_ext_scratch(&sub, &decoded, &[], cond, scratch)
                 }
                 BalanceVariant::New => {
-                    balance_subtree_new_with_stats_scratch(&sub, &decoded, cond, &mut scratch)
+                    balance_subtree_new_with_stats_scratch(&sub, &decoded, cond, scratch)
                 }
             };
             local_stats.hash_queries += bs.hash_queries;
@@ -220,11 +237,26 @@ impl<const D: usize> Forest<D> {
         trace::counter_add("balance.local.sorted_len", local_stats.sorted_len as u64);
         trace::counter_add("balance.local.output_len", local_stats.output_len as u64);
         let ks_local = scratch.stats();
-        trace::counter_add("balance.local.radix_passes", ks_local.radix_passes);
-        trace::counter_add("balance.local.presorted_sorts", ks_local.presorted_hits);
-        trace::counter_add("balance.local.table_probes", ks_local.table_probes);
-        trace::counter_add("balance.local.table_lookups", ks_local.table_lookups);
-        trace::counter_add("balance.local.table_grows", ks_local.table_grows);
+        trace::counter_add(
+            "balance.local.radix_passes",
+            ks_local.radix_passes - ks_base.radix_passes,
+        );
+        trace::counter_add(
+            "balance.local.presorted_sorts",
+            ks_local.presorted_hits - ks_base.presorted_hits,
+        );
+        trace::counter_add(
+            "balance.local.table_probes",
+            ks_local.table_probes - ks_base.table_probes,
+        );
+        trace::counter_add(
+            "balance.local.table_lookups",
+            ks_local.table_lookups - ks_base.table_lookups,
+        );
+        trace::counter_add(
+            "balance.local.table_grows",
+            ks_local.table_grows - ks_base.table_grows,
+        );
         report.timings.local_balance = Duration::from_nanos(t1 - t0);
 
         // ---- Phase 2: build queries --------------------------------
@@ -411,8 +443,8 @@ impl<const D: usize> Forest<D> {
         let t0 = t1;
         trace::span_begin("rebalance", || t0);
         match variant {
-            BalanceVariant::New => self.rebalance_new(&queries, per_qid, cond, &mut scratch),
-            BalanceVariant::Old => self.rebalance_old(&queries, per_qid, cond, &mut scratch),
+            BalanceVariant::New => self.rebalance_new(&queries, per_qid, cond, scratch),
+            BalanceVariant::Old => self.rebalance_old(&queries, per_qid, cond, scratch),
         }
         let t1 = ctx.now_ns();
         trace::span_end(|| t1);
@@ -438,7 +470,7 @@ impl<const D: usize> Forest<D> {
             "balance.rebalance.table_grows",
             ks.table_grows - ks_local.table_grows,
         );
-        trace::counter_add("balance.scratch.reuses", ks.reuses);
+        trace::counter_add("balance.scratch.reuses", ks.reuses - ks_base.reuses);
         report.timings.rebalance = Duration::from_nanos(t1 - t0);
         report.timings.total = Duration::from_nanos(t1 - t_total);
         report

@@ -12,8 +12,8 @@ use crate::connectivity::{BrickConnectivity, TreeId};
 use crate::store::{LeafSlice, LeafStore};
 use forestbal_comm::Comm;
 use forestbal_octant::{
-    is_linear, is_linear_keys, key, pack_batch, unpack_batch, MortonIndex, Octant, PackedOctant,
-    MAX_LEVEL,
+    is_linear, is_linear_keys, key, pack_batch, sort_keys_with, unpack_batch, MortonIndex, Octant,
+    PackedOctant, SortScratch, MAX_LEVEL,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -49,6 +49,24 @@ pub struct Forest<const D: usize> {
     /// `size + 1` partition markers; rank `p` owns positions in
     /// `[markers[p], markers[p+1])`.
     pub(crate) markers: Vec<GlobalPos>,
+    /// Radix-sort working memory, retained across mutations so the
+    /// post-edit ordering of [`Forest::refine`] / [`Forest::coarsen`] /
+    /// [`Forest::apply_edits`] reuses buffers and the presorted
+    /// early-out is counted per forest.
+    pub(crate) sort: SortScratch,
+}
+
+impl<const D: usize> Clone for Forest<D> {
+    fn clone(&self) -> Self {
+        Forest {
+            conn: Arc::clone(&self.conn),
+            rank: self.rank,
+            size: self.size,
+            local: self.local.clone(),
+            markers: self.markers.clone(),
+            sort: SortScratch::new(),
+        }
+    }
 }
 
 impl<const D: usize> Forest<D> {
@@ -86,6 +104,7 @@ impl<const D: usize> Forest<D> {
             size: ctx.size(),
             local,
             markers: Vec::new(),
+            sort: SortScratch::new(),
         };
         f.update_markers(ctx);
         f
@@ -119,6 +138,7 @@ impl<const D: usize> Forest<D> {
             size: ctx.size(),
             local,
             markers: Vec::new(),
+            sort: SortScratch::new(),
         };
         f.update_markers(ctx);
         f
@@ -288,9 +308,15 @@ impl<const D: usize> Forest<D> {
                     }
                 }
             }
+            // The DFS emits in Morton order, so this is the presorted
+            // early-out of the radix sort — a linear scan, never a full
+            // O(N log N) rebuild. Kept as the single ordering authority
+            // so every mutation path shares the same fast path/counters.
+            sort_keys_with::<D>(&mut out, &mut self.sort);
             debug_assert!(is_linear_keys::<D>(&out));
             *v = out;
         }
+        debug_assert!(self.local.check_invariants());
     }
 
     /// Coarsen local leaves: replace each complete, locally owned family
@@ -315,9 +341,11 @@ impl<const D: usize> Forest<D> {
                     i += 1;
                 }
             }
+            sort_keys_with::<D>(&mut out, &mut self.sort);
             debug_assert!(is_linear_keys::<D>(&out));
             *v = out;
         }
+        debug_assert!(self.local.check_invariants());
     }
 
     /// Gather the whole forest on every rank (tests and tools only).

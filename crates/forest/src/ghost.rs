@@ -47,6 +47,26 @@ impl<const D: usize> GhostLayer<D> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Splice a changed remote leaf into the layer: every entry of `t`
+    /// overlapping `g` (a stale ancestor, or the pre-split/pre-coarsen
+    /// leaves of its region) is dropped and `(owner, g)` takes its sorted
+    /// place. The incremental balance of [`crate::incremental`] keeps a
+    /// prior epoch's layer exact with this as remote adaptations arrive.
+    pub fn patch(&mut self, t: TreeId, owner: usize, g: Octant<D>) {
+        let v = self.per_tree.entry(t).or_default();
+        let (lo, hi) = (g.index(), g.last_index());
+        v.retain(|&(_, o)| o.last_index() < lo || o.index() > hi);
+        let i = v.partition_point(|&(_, o)| o < g);
+        v.insert(i, (owner, g));
+    }
+
+    /// Does the layer contain exactly this `(tree, owner, octant)` entry?
+    pub fn contains(&self, t: TreeId, owner: usize, g: &Octant<D>) -> bool {
+        self.tree(t)
+            .binary_search_by_key(g, |&(_, o)| o)
+            .is_ok_and(|i| self.tree(t)[i].0 == owner)
+    }
 }
 
 impl<const D: usize> Forest<D> {

@@ -1,0 +1,785 @@
+//! Incremental 2:1 rebalance restricted to dirty insulation regions.
+//!
+//! The paper's strong-scaling headline (Fig. 16–17) is *Local* balance:
+//! after a small adaptation, only the neighborhoods of changed octants
+//! need rebalancing, so the cost scales with the size of the change, not
+//! the mesh. This module supplies the forest-side machinery the
+//! `forestbal-service` epoch loop builds on:
+//!
+//! * [`AdaptBatch`] / [`Forest::apply_edits`] — targeted refine/coarsen
+//!   by leaf, applied in one sorted-merge pass over the SoA key arrays
+//!   (edit keys are radix-sorted first; the leaf arrays are never fully
+//!   re-sorted), returning the [`DirtySet`] of created leaves.
+//! * [`Forest::balance_incremental`] — a *seeded* ripple: instead of
+//!   exchanging every boundary leaf each round
+//!   ([`Forest::balance_ripple`]), only **changed** leaves travel, the
+//!   prior epoch's [`GhostLayer`] is patched in place as they arrive,
+//!   and the local fixed point runs over a splice overlay so untouched
+//!   parts of the leaf arrays are never rewritten or re-indexed.
+//!
+//! ## Why the result is bit-identical to a full balance
+//!
+//! 2:1 balance is a closure operator: every forest has a unique minimal
+//! balanced refinement, and [`Forest::balance`] (pinned against
+//! [`crate::serial_forest_balance`]) computes exactly that. The seeded
+//! ripple splits a leaf only when an actual current leaf forces it
+//! (never speculatively), and terminates only when no rank changed
+//! anything — a global fixed point of the same closure. Minimality plus
+//! closure means the two algorithms cannot differ by a single leaf,
+//! which the differential tests in `forestbal-service` assert leaf for
+//! leaf and checksum for checksum.
+//!
+//! ## Round structure
+//!
+//! Each round: (1) announce the changed leaves whose insulation layer
+//! reaches other ranks, in home-frame packed-key runs (the ghost wire
+//! format); (2) receive remote changes, [`GhostLayer::patch`] them in,
+//! and seed the worklist with them *and* with local leaves adjacent to
+//! them (the reverse direction: an unchanged fine leaf must split a
+//! freshly coarsened remote parent); (3) drain the worklist to a local
+//! fixed point, recording splits in the overlay; (4) vote. Patching
+//! *before* processing is what keeps simultaneous adaptations on both
+//! sides of a partition boundary from ever splitting against a stale
+//! ghost entry.
+
+use crate::codec::{self, RunEncoder};
+use crate::connectivity::TreeId;
+use crate::forest::Forest;
+use crate::ghost::GhostLayer;
+use forestbal_comm::{reverse_notify, Comm};
+use forestbal_core::Condition;
+use forestbal_octant::{codim, directions, key, sort_keys_with, Octant, PackedOctant, MAX_LEVEL};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Tag of the changed-leaf announcements (per-tag [`CommStats`] slot).
+///
+/// [`CommStats`]: forestbal_comm::CommStats
+pub const INCREMENTAL_TAG: u32 = 0xBA1A_0030;
+
+/// A batch of targeted adaptations, addressed by leaf. Requests are
+/// collected in arbitrary order; [`Forest::apply_edits`] sorts and
+/// applies them in one pass. Requests that no longer apply (the leaf is
+/// not local, a coarsen family is incomplete or also being refined) are
+/// skipped, not errors — under batching, requests race by design.
+#[derive(Clone, Debug, Default)]
+pub struct AdaptBatch<const D: usize> {
+    /// `(tree, packed leaf key)` pairs to replace by their children.
+    refine: Vec<(TreeId, u128)>,
+    /// `(tree, packed parent key)` pairs whose complete local family is
+    /// to be replaced by the parent.
+    coarsen: Vec<(TreeId, u128)>,
+}
+
+impl<const D: usize> AdaptBatch<D> {
+    /// New empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request splitting `leaf` of `tree`.
+    pub fn refine(&mut self, tree: TreeId, leaf: &Octant<D>) {
+        self.refine.push((tree, key::pack(leaf)));
+    }
+
+    /// Request merging the family of `parent` in `tree`.
+    pub fn coarsen(&mut self, tree: TreeId, parent: &Octant<D>) {
+        self.coarsen.push((tree, key::pack(parent)));
+    }
+
+    /// Request splitting a leaf given as a packed key.
+    pub fn refine_key(&mut self, tree: TreeId, k: u128) {
+        self.refine.push((tree, k));
+    }
+
+    /// Request a coarsen given the parent's packed key.
+    pub fn coarsen_key(&mut self, tree: TreeId, k: u128) {
+        self.coarsen.push((tree, k));
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.refine.len() + self.coarsen.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.refine.is_empty() && self.coarsen.is_empty()
+    }
+
+    /// Drop all requests.
+    pub fn clear(&mut self) {
+        self.refine.clear();
+        self.coarsen.clear();
+    }
+
+    /// Append every request of `other`.
+    pub fn extend(&mut self, other: &AdaptBatch<D>) {
+        self.refine.extend_from_slice(&other.refine);
+        self.coarsen.extend_from_slice(&other.coarsen);
+    }
+}
+
+/// The dirty set of an applied [`AdaptBatch`]: every leaf that did not
+/// exist before the edits (refine children and coarsen parents), per
+/// tree in Morton order. This is what seeds
+/// [`Forest::balance_incremental`], and its size against
+/// [`Forest::num_local`] is the service's fallback criterion.
+#[derive(Clone, Debug, Default)]
+pub struct DirtySet<const D: usize> {
+    per_tree: BTreeMap<TreeId, Vec<u128>>,
+    /// The merged parents alone: the only dirty leaves that can need
+    /// *reverse* seeding (see [`Forest::balance_incremental`]).
+    coarsened_per_tree: BTreeMap<TreeId, Vec<u128>>,
+    /// Leaves split by the batch.
+    pub refined: u64,
+    /// Families merged by the batch.
+    pub coarsened: u64,
+    /// Requests skipped (not a local leaf, incomplete family, conflict).
+    pub skipped: u64,
+}
+
+impl<const D: usize> DirtySet<D> {
+    /// Number of dirty leaves.
+    pub fn len(&self) -> usize {
+        self.per_tree.values().map(Vec::len).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.per_tree.is_empty()
+    }
+
+    /// Iterate `(tree, dirty keys)` pairs in tree order.
+    pub fn iter(&self) -> impl Iterator<Item = (TreeId, &[u128])> {
+        self.per_tree.iter().map(|(&t, v)| (t, v.as_slice()))
+    }
+
+    /// Iterate `(tree, merged parent keys)` pairs in tree order.
+    pub fn iter_coarsened(&self) -> impl Iterator<Item = (TreeId, &[u128])> {
+        self.coarsened_per_tree
+            .iter()
+            .map(|(&t, v)| (t, v.as_slice()))
+    }
+}
+
+/// Outcome counters of one [`Forest::balance_incremental`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalReport {
+    /// Communication rounds until global quiescence (≥ 1).
+    pub rounds: u32,
+    /// Leaves split on this rank.
+    pub splits: u64,
+    /// Changed-leaf announcements sent by this rank.
+    pub sent_leaves: u64,
+    /// Changed-leaf announcements received by this rank.
+    pub recv_leaves: u64,
+}
+
+/// Per-tree splice overlay: `base key -> current replacement leaves`.
+/// The base arrays stay untouched until [`merge_overlay`] applies every
+/// accumulated split in one pass per affected tree, so a small dirty
+/// region never forces a full-array rewrite per round.
+type Overlay = BTreeMap<TreeId, BTreeMap<u128, Vec<u128>>>;
+
+impl<const D: usize> Forest<D> {
+    /// Apply a batch of targeted edits in one sorted-merge pass per
+    /// tree and return the dirty set of created leaves.
+    ///
+    /// The edit keys are ordered by the packed radix sort (with its
+    /// presorted early-out); the leaf arrays themselves are only merged
+    /// against the sorted edits, never re-sorted — per-epoch edits on a
+    /// mostly-sorted [`crate::LeafStore`] cost O(N + E), not
+    /// O(N log N). Refines cap at `max_level`; a coarsen applies only
+    /// when the full family is local and none of its members is also
+    /// being refined. Markers stay valid: splitting preserves a leaf's
+    /// position and a merged parent starts where its first child did.
+    pub fn apply_edits(&mut self, batch: &AdaptBatch<D>, max_level: u8) -> DirtySet<D> {
+        assert!(max_level <= MAX_LEVEL);
+        let nc = Octant::<D>::NUM_CHILDREN;
+        let mut dirty = DirtySet::default();
+
+        // Group and radix-sort the edit keys per tree.
+        let mut refines: BTreeMap<TreeId, Vec<u128>> = BTreeMap::new();
+        for &(t, k) in &batch.refine {
+            refines.entry(t).or_default().push(k);
+        }
+        let mut coarsens: BTreeMap<TreeId, Vec<u128>> = BTreeMap::new();
+        for &(t, k) in &batch.coarsen {
+            coarsens.entry(t).or_default().push(k);
+        }
+        for v in refines.values_mut().chain(coarsens.values_mut()) {
+            sort_keys_with::<D>(v, &mut self.sort);
+            let before = v.len();
+            v.dedup();
+            dirty.skipped += (before - v.len()) as u64;
+        }
+
+        let mut trees: Vec<TreeId> = refines.keys().chain(coarsens.keys()).copied().collect();
+        trees.sort_unstable();
+        trees.dedup();
+        for t in trees {
+            let refi = refines.get(&t).map(Vec::as_slice).unwrap_or(&[]);
+            let coar = coarsens.get(&t).map(Vec::as_slice).unwrap_or(&[]);
+            if refi.is_empty() && coar.is_empty() {
+                continue;
+            }
+            let Some(v) = self.local.get_mut(t) else {
+                dirty.skipped += (refi.len() + coar.len()) as u64;
+                continue;
+            };
+            // Parents keyed by their first child: that is the key the
+            // merge cursor actually meets in the leaf array.
+            let coar_c0: Vec<u128> = coar
+                .iter()
+                .map(|&p| PackedOctant::<D>(p).child(0).0)
+                .collect();
+
+            let mut out: Vec<u128> = Vec::with_capacity(v.len() + refi.len() * (nc - 1));
+            let mut tree_dirty: Vec<u128> = Vec::new();
+            let mut tree_coarsened: Vec<u128> = Vec::new();
+            let (mut ri, mut ci) = (0usize, 0usize);
+            let mut i = 0usize;
+            while i < v.len() {
+                let k = v[i];
+                while ri < refi.len() && refi[ri] < k {
+                    ri += 1;
+                    dirty.skipped += 1; // request for a non-leaf
+                }
+                while ci < coar.len() && coar_c0[ci] < k {
+                    ci += 1;
+                    dirty.skipped += 1; // family head not a local leaf
+                }
+                if ci < coar.len() && coar_c0[ci] == k {
+                    let p = PackedOctant::<D>(coar[ci]);
+                    let family_ok = p.level() > 0
+                        && i + nc <= v.len()
+                        && (1..nc).all(|j| v[i + j] == p.child(j).0);
+                    // Refine-vs-coarsen conflict: any refine request
+                    // inside the family's key span wins over the merge.
+                    let conflict = ri < refi.len() && refi[ri] <= p.child(nc - 1).0;
+                    ci += 1;
+                    if family_ok && !conflict {
+                        out.push(p.0);
+                        tree_dirty.push(p.0);
+                        tree_coarsened.push(p.0);
+                        dirty.coarsened += 1;
+                        i += nc;
+                        continue;
+                    }
+                    dirty.skipped += 1;
+                }
+                if ri < refi.len() && refi[ri] == k {
+                    ri += 1;
+                    let o = PackedOctant::<D>(k);
+                    if o.level() < max_level {
+                        for j in 0..nc {
+                            let c = o.child(j).0;
+                            out.push(c);
+                            tree_dirty.push(c);
+                        }
+                        dirty.refined += 1;
+                        i += 1;
+                        continue;
+                    }
+                    dirty.skipped += 1; // at the level cap
+                }
+                out.push(k);
+                i += 1;
+            }
+            dirty.skipped += (refi.len() - ri) as u64 + (coar.len() - ci) as u64;
+            // The merge emits in ascending key order; the radix sort's
+            // presorted early-out is a pure (debug-visible) check here.
+            sort_keys_with::<D>(&mut out, &mut self.sort);
+            debug_assert!(forestbal_octant::is_linear_keys::<D>(&out));
+            *v = out;
+            if !tree_dirty.is_empty() {
+                dirty.per_tree.insert(t, tree_dirty);
+            }
+            if !tree_coarsened.is_empty() {
+                dirty.coarsened_per_tree.insert(t, tree_coarsened);
+            }
+        }
+        debug_assert!(self.local.check_invariants());
+        forestbal_trace::counter_add("incremental.refined", dirty.refined);
+        forestbal_trace::counter_add("incremental.coarsened", dirty.coarsened);
+        forestbal_trace::counter_add("incremental.skipped_edits", dirty.skipped);
+        dirty
+    }
+
+    /// Re-establish the 2:1 condition after [`Forest::apply_edits`],
+    /// touching only the insulation neighborhoods of the dirty set.
+    ///
+    /// `ghosts` must be the layer of the previous balanced state (from
+    /// [`Forest::ghost_layer`] or a previous incremental epoch); it is
+    /// patched as remote adaptations arrive and is again usable for the
+    /// next epoch on return. Partition markers are *not* re-exchanged —
+    /// targeted edits preserve them (see [`Forest::apply_edits`]).
+    ///
+    /// Produces exactly the forest a full [`Forest::balance`] of the
+    /// post-edit state would (see the module docs for why).
+    pub fn balance_incremental(
+        &mut self,
+        ctx: &impl Comm,
+        cond: Condition,
+        dirty: &DirtySet<D>,
+        ghosts: &mut GhostLayer<D>,
+    ) -> IncrementalReport {
+        forestbal_trace::span_begin("incremental", || ctx.now_ns());
+        let me = ctx.rank();
+        let mut report = IncrementalReport::default();
+        let mut overlay: Overlay = BTreeMap::new();
+        // Constraint worklist: home-frame `(tree, key)` octants whose
+        // insulation must be honored by the local leaves.
+        let mut work: VecDeque<(TreeId, u128)> = VecDeque::new();
+        // Changed local leaves not yet announced to remote ranks.
+        let mut pending: Vec<(TreeId, u128)> = Vec::new();
+
+        for (t, keys) in dirty.iter() {
+            for &k in keys {
+                work.push_back((t, k));
+                pending.push((t, k));
+            }
+        }
+        // Reverse direction: pre-existing leaves and ghosts adjacent to
+        // a dirty leaf may force it to split. Only *merged parents* can
+        // need this: in the pre-edit balanced forest every neighbor of a
+        // refined leaf is at most one level finer than it, so no
+        // pre-existing leaf is ≥ 2 levels finer than its new children
+        // (and a neighbor refined by the same batch is itself dirty and
+        // already on the worklist).
+        for (t, keys) in dirty.iter_coarsened() {
+            for &k in keys {
+                self.seed_adjacent(cond, ghosts, &overlay, t, k, &mut work);
+            }
+        }
+
+        loop {
+            report.rounds += 1;
+            forestbal_trace::span_begin("incremental.round", || ctx.now_ns());
+
+            // --- Announce changed leaves (home frame, ghost format) --
+            let mut out: BTreeMap<usize, (Vec<u8>, RunEncoder)> = BTreeMap::new();
+            for &(t, k) in &pending {
+                // A leaf split later in the same round is superseded by
+                // its children, which are themselves pending. Pending
+                // keys were leaves when pushed, so only an overlay
+                // entry for the tree can have invalidated one.
+                if overlay.contains_key(&t) && !is_current_leaf(&self.local, &overlay, t, k) {
+                    continue;
+                }
+                let r = key::unpack::<D>(k);
+                let mut sent_to: Vec<usize> = Vec::new();
+                for dir in directions::<D>() {
+                    let n = r.neighbor(&dir);
+                    let Some((t2, n2)) = self.connectivity().transform(t, &n) else {
+                        continue;
+                    };
+                    for owner in self.owners_of_range(t2, n2.index(), n2.last_index()) {
+                        if owner == me || sent_to.contains(&owner) {
+                            continue;
+                        }
+                        sent_to.push(owner);
+                        let (buf, enc) = out.entry(owner).or_default();
+                        enc.push::<D>(buf, t, k);
+                        report.sent_leaves += 1;
+                    }
+                }
+            }
+            pending.clear();
+
+            let receivers: Vec<usize> = out.keys().copied().collect();
+            let senders = reverse_notify(ctx, &receivers);
+            for (&d, (buf, enc)) in out.iter_mut() {
+                enc.finish(buf);
+                ctx.send(d, INCREMENTAL_TAG, buf.clone());
+            }
+
+            // --- Receive, patch the ghost layer, seed the worklist ---
+            let mut received: Vec<(usize, TreeId, u128)> = Vec::new();
+            for s in senders {
+                let (src, data) = ctx.recv(Some(s), INCREMENTAL_TAG);
+                codec::for_each_run::<D>(&data, |t, keys| {
+                    received.extend(keys.iter().map(|&k| (src, t, k)));
+                });
+            }
+            report.recv_leaves += received.len() as u64;
+            for &(src, t, gk) in &received {
+                // Patch first: a simultaneous coarsen on the far side
+                // must never leave its finer pre-epoch ghosts behind to
+                // force unforced splits here.
+                ghosts.patch(t, src, key::unpack::<D>(gk));
+            }
+            for &(_, t, gk) in &received {
+                work.push_back((t, gk));
+                self.seed_adjacent(cond, ghosts, &overlay, t, gk, &mut work);
+            }
+
+            // --- Local fixed point over the splice overlay -----------
+            let mut changed = false;
+            while let Some((t, gk)) = work.pop_front() {
+                let g = PackedOctant::<D>(gk);
+                let go = g.octant();
+                for dir in directions::<D>() {
+                    if !cond.constrains(codim(&dir)) {
+                        continue;
+                    }
+                    let n = go.neighbor(&dir);
+                    let Some((t2, n2)) = self.connectivity().transform(t, &n) else {
+                        continue;
+                    };
+                    let nk = key::pack(&n2);
+                    while let Some((bk, ck)) = container(&self.local, &overlay, t2, nk) {
+                        let c = PackedOctant::<D>(ck);
+                        if c.level() + 1 >= g.level() {
+                            break;
+                        }
+                        let reps = overlay
+                            .entry(t2)
+                            .or_default()
+                            .entry(bk)
+                            .or_insert_with(|| vec![bk]);
+                        let pos = reps.binary_search(&ck).expect("split target vanished");
+                        reps.remove(pos);
+                        for j in 0..Octant::<D>::NUM_CHILDREN {
+                            let ch = c.child(j).0;
+                            reps.insert(pos + j, ch);
+                            work.push_back((t2, ch));
+                            pending.push((t2, ch));
+                        }
+                        report.splits += 1;
+                        changed = true;
+                    }
+                }
+            }
+
+            let done = !ctx.allreduce_or(changed);
+            forestbal_trace::span_end(|| ctx.now_ns());
+            if done {
+                break;
+            }
+        }
+
+        // --- Merge the overlay into the leaf arrays, one pass each ---
+        for (t, mut reps) in overlay {
+            let v = self
+                .local
+                .get_mut(t)
+                .expect("overlay for a tree without leaves");
+            let mut merged = Vec::with_capacity(v.len() + reps.len() * 8);
+            for &k in v.iter() {
+                match reps.remove(&k) {
+                    Some(r) => merged.extend(r),
+                    None => merged.push(k),
+                }
+            }
+            debug_assert!(reps.is_empty(), "replacement for a vanished leaf");
+            debug_assert!(forestbal_octant::is_linear_keys::<D>(&merged));
+            *v = merged;
+        }
+        debug_assert!(self.local.check_invariants());
+
+        forestbal_trace::counter_add("incremental.rounds", report.rounds as u64);
+        forestbal_trace::counter_add("incremental.splits", report.splits);
+        forestbal_trace::counter_add("incremental.sent_leaves", report.sent_leaves);
+        forestbal_trace::counter_add("incremental.recv_leaves", report.recv_leaves);
+        forestbal_trace::span_end(|| ctx.now_ns());
+        report
+    }
+
+    /// Push the current local leaves and ghost entries adjacent to
+    /// octant `k` of `tree` onto the worklist (the reverse half of the
+    /// round-0 and receive-time seeding).
+    ///
+    /// Only neighbors **at least two levels finer** than `k` are pushed:
+    /// a work item at level `l` splits containers coarser than `l - 1`
+    /// and nothing else, so a neighbor at `level ≤ k.level() + 1` cannot
+    /// force any split that the pre-edit balanced state had not already
+    /// satisfied. (Every other constraint a neighbor could enforce runs
+    /// against pre-existing leaves, which were balanced; changed leaves
+    /// each get their own seeding call.) The pushed item's inner split
+    /// loop then enforces its constraint to completion, so the filter
+    /// never needs to re-fire as `k`'s region refines.
+    fn seed_adjacent(
+        &self,
+        cond: Condition,
+        ghosts: &GhostLayer<D>,
+        overlay: &Overlay,
+        tree: TreeId,
+        k: u128,
+        work: &mut VecDeque<(TreeId, u128)>,
+    ) {
+        let o = key::unpack::<D>(k);
+        let min_level = o.level + 2;
+        if min_level > MAX_LEVEL {
+            return;
+        }
+        for dir in directions::<D>() {
+            if !cond.constrains(codim(&dir)) {
+                continue;
+            }
+            let n = o.neighbor(&dir);
+            let Some((t2, n2)) = self.connectivity().transform(tree, &n) else {
+                continue;
+            };
+            let (nlo, nhi) = (n2.index(), n2.last_index());
+            if let Some(v) = self.local.get(t2) {
+                let ov = overlay.get(&t2);
+                let lo = v.partition_point(|&bk| PackedOctant::<D>(bk).last_index() < nlo);
+                for &bk in v[lo..]
+                    .iter()
+                    .take_while(|&&bk| PackedOctant::<D>(bk).index() <= nhi)
+                {
+                    match ov.and_then(|m| m.get(&bk)) {
+                        Some(reps) => {
+                            for &rk in reps {
+                                let r = PackedOctant::<D>(rk);
+                                if r.level() >= min_level
+                                    && r.last_index() >= nlo
+                                    && r.index() <= nhi
+                                {
+                                    work.push_back((t2, rk));
+                                }
+                            }
+                        }
+                        None => {
+                            if PackedOctant::<D>(bk).level() >= min_level {
+                                work.push_back((t2, bk));
+                            }
+                        }
+                    }
+                }
+            }
+            let gv = ghosts.tree(t2);
+            let lo = gv.partition_point(|&(_, g)| g.last_index() < nlo);
+            for &(_, g) in gv[lo..].iter().take_while(|&&(_, g)| g.index() <= nhi) {
+                if g.level >= min_level {
+                    work.push_back((t2, key::pack(&g)));
+                }
+            }
+        }
+    }
+}
+
+/// The current leaf of `tree` containing octant key `n`, viewed through
+/// the overlay: `(base key, current leaf key)`, or `None` when no
+/// current leaf contains `n`.
+fn container<const D: usize>(
+    local: &crate::store::LeafStore<D>,
+    overlay: &Overlay,
+    tree: TreeId,
+    n: u128,
+) -> Option<(u128, u128)> {
+    let v = local.get(tree)?;
+    let i = v.partition_point(|&k| k <= n);
+    if i == 0 {
+        return None;
+    }
+    let bk = v[i - 1];
+    let ck = match overlay.get(&tree).and_then(|m| m.get(&bk)) {
+        Some(reps) => {
+            let j = reps.partition_point(|&k| k <= n);
+            if j == 0 {
+                return None;
+            }
+            reps[j - 1]
+        }
+        None => bk,
+    };
+    PackedOctant::<D>(ck)
+        .contains(PackedOctant(n))
+        .then_some((bk, ck))
+}
+
+/// Is key `k` still a leaf of `tree` under the overlay?
+fn is_current_leaf<const D: usize>(
+    local: &crate::store::LeafStore<D>,
+    overlay: &Overlay,
+    tree: TreeId,
+    k: u128,
+) -> bool {
+    container::<D>(local, overlay, tree, k).is_some_and(|(_, ck)| ck == k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::{BalanceVariant, ReversalScheme};
+    use crate::connectivity::BrickConnectivity;
+    use crate::serial::is_forest_balanced;
+    use forestbal_comm::Cluster;
+    use std::sync::Arc;
+
+    fn unit2() -> Arc<BrickConnectivity<2>> {
+        Arc::new(BrickConnectivity::<2>::unit())
+    }
+
+    #[test]
+    fn apply_edits_refines_and_coarsens() {
+        let conn = unit2();
+        Cluster::run(1, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 2);
+            let mut batch = AdaptBatch::new();
+            // Split the first leaf, merge the last family.
+            let first = f.trees().next().unwrap().1.first().unwrap();
+            let last = f.trees().next().unwrap().1.last().unwrap();
+            batch.refine(0, &first);
+            batch.coarsen(0, &last.parent());
+            let dirty = f.apply_edits(&batch, 5);
+            assert_eq!(dirty.refined, 1);
+            assert_eq!(dirty.coarsened, 1);
+            assert_eq!(dirty.len(), 4 + 1);
+            assert_eq!(f.num_local(), 16 + 3 - 3);
+            // Dirty keys are all current leaves.
+            for (t, keys) in dirty.iter() {
+                let v = f.local.get(t).unwrap();
+                for k in keys {
+                    assert!(v.binary_search(k).is_ok());
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn apply_edits_skips_stale_and_conflicting_requests() {
+        let conn = unit2();
+        Cluster::run(1, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 2);
+            let first = f.trees().next().unwrap().1.first().unwrap();
+            let mut batch = AdaptBatch::new();
+            batch.refine(0, &Octant::root()); // not a leaf
+            batch.refine(0, &first);
+            batch.refine(0, &first); // duplicate
+            batch.coarsen(0, &first.parent()); // conflicts with the refine
+            batch.coarsen(7, &first.parent()); // no such tree
+            let dirty = f.apply_edits(&batch, 5);
+            assert_eq!(dirty.refined, 1);
+            assert_eq!(dirty.coarsened, 0);
+            assert_eq!(dirty.skipped, 4);
+            assert!(f.local.check_invariants());
+        });
+    }
+
+    #[test]
+    fn apply_edits_respects_level_cap() {
+        let conn = unit2();
+        Cluster::run(1, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 2);
+            let first = f.trees().next().unwrap().1.first().unwrap();
+            let mut batch = AdaptBatch::new();
+            batch.refine(0, &first);
+            let dirty = f.apply_edits(&batch, 2);
+            assert_eq!(dirty.refined, 0);
+            assert_eq!(dirty.skipped, 1);
+            assert_eq!(f.num_local(), 16);
+        });
+    }
+
+    /// Incremental rebalance after targeted edits must match a full
+    /// balance of the same post-edit forest, leaf for leaf.
+    fn assert_incremental_matches_full(p: usize, edits: fn(&Forest<2>) -> AdaptBatch<2>) {
+        let conn = Arc::new(BrickConnectivity::<2>::new([2, 1], [false; 2]));
+        let cond = Condition::full(2);
+        let out = Cluster::run(p, move |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 2);
+            f.refine(true, 4, |t, o| t == 0 && o.coords == [0, 0]);
+            f.balance(ctx, cond, BalanceVariant::New, ReversalScheme::Notify);
+            let mut ghosts = f.ghost_layer(ctx);
+
+            let mut full = f.clone();
+            let batch = edits(&f);
+            let dirty = f.apply_edits(&batch, 6);
+            let rep = f.balance_incremental(ctx, cond, &dirty, &mut ghosts);
+
+            full.apply_edits(&batch, 6);
+            full.balance(ctx, cond, BalanceVariant::New, ReversalScheme::Notify);
+
+            let got = f.gather(ctx);
+            let want = full.gather(ctx);
+            assert!(rep.rounds >= 1);
+            assert_eq!(got, want, "P={p}: incremental differs from full");
+            assert_eq!(f.checksum(ctx), full.checksum(ctx));
+            assert!(is_forest_balanced(f.connectivity(), &got, cond));
+
+            // The patched layer retains every entry of a fresh one.
+            let fresh = f.ghost_layer(ctx);
+            for (t, owner, g) in fresh.iter() {
+                assert!(
+                    ghosts.contains(t, owner, g),
+                    "patched ghost layer lost {t}:{owner}:{g:?}"
+                );
+            }
+        });
+        drop(out);
+    }
+
+    #[test]
+    fn incremental_refine_matches_full_balance() {
+        for p in [1usize, 2, 4] {
+            assert_incremental_matches_full(p, |f| {
+                let mut b = AdaptBatch::new();
+                // Deepest local leaf: refining it violates 2:1 around it.
+                if let Some((t, v)) = f.trees().next() {
+                    let deepest = v.iter().max_by_key(|o| o.level).unwrap();
+                    b.refine(t, &deepest);
+                }
+                b
+            });
+        }
+    }
+
+    #[test]
+    fn incremental_coarsen_matches_full_balance() {
+        for p in [1usize, 2, 3] {
+            assert_incremental_matches_full(p, |f| {
+                let mut b = AdaptBatch::new();
+                // Coarsen every complete level-2 family: the merged
+                // parents sit next to finer leaves and must re-split.
+                for (t, v) in f.trees() {
+                    for o in v.iter() {
+                        if o.level == 2 && o.child_id() == 0 {
+                            b.coarsen(t, &o.parent());
+                        }
+                    }
+                }
+                b
+            });
+        }
+    }
+
+    #[test]
+    fn incremental_empty_batch_is_quiescent() {
+        let conn = unit2();
+        Cluster::run(3, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 3);
+            let mut ghosts = f.ghost_layer(ctx);
+            let before = f.checksum(ctx);
+            let dirty = DirtySet::default();
+            let rep = f.balance_incremental(ctx, Condition::full(2), &dirty, &mut ghosts);
+            assert_eq!(rep.rounds, 1);
+            assert_eq!(rep.splits, 0);
+            assert_eq!(rep.sent_leaves, 0);
+            assert_eq!(f.checksum(ctx), before);
+        });
+    }
+
+    #[test]
+    fn incremental_preserves_markers() {
+        let conn = unit2();
+        Cluster::run(4, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 3);
+            let mut ghosts = f.ghost_layer(ctx);
+            let markers_before = f.markers().to_vec();
+            let mut batch = AdaptBatch::new();
+            if let Some((t, v)) = f.trees().next() {
+                let mid = v.get(v.len() / 2);
+                batch.refine(t, &mid);
+            }
+            let dirty = f.apply_edits(&batch, 6);
+            f.balance_incremental(ctx, Condition::full(2), &dirty, &mut ghosts);
+            assert_eq!(f.markers(), &markers_before[..]);
+            // And they still agree with a re-exchange.
+            f.update_markers(ctx);
+            assert_eq!(f.markers(), &markers_before[..]);
+        });
+    }
+}

@@ -20,6 +20,7 @@ pub mod connectivity;
 pub mod export;
 pub mod forest;
 pub mod ghost;
+pub mod incremental;
 pub mod iterate;
 pub mod neighbors;
 pub mod nodes;
@@ -33,6 +34,7 @@ pub use balance::{BalanceReport, BalanceTimings, BalanceVariant, ReversalScheme}
 pub use connectivity::{BrickConnectivity, TreeId};
 pub use forest::{Forest, GlobalPos};
 pub use ghost::GhostLayer;
+pub use incremental::{AdaptBatch, DirtySet, IncrementalReport};
 pub use iterate::FaceVisit;
 pub use neighbors::FaceNeighbor;
 pub use nodes::Nodes;

@@ -109,6 +109,17 @@ impl<const D: usize> LeafStore<D> {
     pub fn slices(&self) -> impl Iterator<Item = (TreeId, LeafSlice<'_, D>)> {
         self.trees.iter().map(|(t, v)| (*t, LeafSlice::new(v)))
     }
+
+    /// Verify every SoA invariant: trees sorted by id with no empty
+    /// arrays, each key array sorted and linear. Intended for
+    /// `debug_assert!` at mutation sites.
+    pub fn check_invariants(&self) -> bool {
+        self.trees.windows(2).all(|w| w[0].0 < w[1].0)
+            && self
+                .trees
+                .iter()
+                .all(|(_, v)| !v.is_empty() && forestbal_octant::is_linear_keys::<D>(v))
+    }
 }
 
 /// A read view over one tree's sorted packed keys that decodes to the

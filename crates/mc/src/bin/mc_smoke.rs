@@ -1,8 +1,9 @@
 //! CI smoke entry point for the model checker.
 //!
 //! Runs the checker exhaustively on Notify at P = 2, the marker exchange
-//! at P = 3 (bounded depth), the one-pass balance at P = 2, and the
-//! packed-wire ghost exchange at P = 2; then the mutation test (the
+//! at P = 3 (bounded depth), the one-pass balance at P = 2, the
+//! packed-wire ghost exchange at P = 2, and two incremental-rebalance
+//! epochs at P = 2; then the mutation test (the
 //! deliberately broken Notify must be caught, and its minimized
 //! counterexample must replay identically from JSON).
 //!
@@ -88,11 +89,20 @@ fn main() {
         },
     );
     report_line("ghosts-p2", &ghosts);
+    let epochs = scenarios::check_epochs(
+        2,
+        McConfig {
+            max_runs: 20_000,
+            ..McConfig::default()
+        },
+    );
+    report_line("epochs-p2", &epochs);
     for (name, r) in [
         ("notify-p2", &notify),
         ("markers-p3", &markers),
         ("balance-p2", &balance),
         ("ghosts-p2", &ghosts),
+        ("epochs-p2", &epochs),
     ] {
         if let Some(v) = &r.violation {
             eprintln!("mc_smoke: {name} violated {}: {}", v.invariant, v.message);

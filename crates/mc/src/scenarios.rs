@@ -13,7 +13,7 @@ use crate::trace::Trace;
 use forestbal_comm::{reverse_notify, reverse_notify_wildcard_bug, Comm};
 use forestbal_core::Condition;
 use forestbal_forest::serial::is_forest_balanced;
-use forestbal_forest::{serial_forest_balance, BalanceVariant, ReversalScheme};
+use forestbal_forest::{serial_forest_balance, AdaptBatch, BalanceVariant, ReversalScheme};
 use forestbal_mesh::fractal::fractal_forest_2d;
 use forestbal_sim::{SimCtx, SimRunOutput};
 
@@ -191,4 +191,106 @@ pub fn check_balance(size: usize, cfg: McConfig) -> McReport {
         Invariant::all_ranks_equal("balance-agreement"),
     ];
     Checker::new(cfg).check(size, balance_vs_oracle, &invariants)
+}
+
+/// The incremental-epoch closure: a balanced 2D fractal forest with its
+/// ghost layer, then two targeted adaptation epochs committed through
+/// `apply_edits` + `balance_incremental` — the changed-leaf exchange of
+/// [`forestbal_forest::incremental`], with the ghost layer patched in
+/// place across epochs. Per epoch the result is compared against
+/// [`serial_forest_balance`] of the gathered post-edit forest. Returns
+/// `(matches_serial_oracle, balanced, ghosts_superset, checksum)`,
+/// where `ghosts_superset` verifies the patched layer still holds every
+/// entry a fresh exchange would produce.
+fn epochs_digest(ctx: &SimCtx) -> (bool, bool, bool, u64) {
+    let cond = Condition::full(2);
+    let mut f = fractal_forest_2d(ctx, 1, 2);
+    f.balance(ctx, cond, BalanceVariant::New, ReversalScheme::Notify);
+    let mut ghosts = f.ghost_layer(ctx);
+    let mut oracle_ok = true;
+    for epoch in 0..2u32 {
+        let mut batch = AdaptBatch::new();
+        if epoch == 0 {
+            // Refine each rank's deepest leaf: forces splits across the
+            // partition boundary in both directions.
+            let deepest = f
+                .trees()
+                .flat_map(|(t, v)| v.iter().map(move |o| (t, o)))
+                .max_by_key(|(_, o)| o.level);
+            if let Some((t, o)) = deepest {
+                batch.refine(t, &o);
+            }
+        } else {
+            // Coarsen each rank's first family (or refine the first
+            // leaf): simultaneous bilateral edits against patched ghosts.
+            let first = f.trees().next().map(|(t, v)| (t, v.get(0)));
+            if let Some((t, o)) = first {
+                if o.level > 0 && o.child_id() == 0 {
+                    batch.coarsen(t, &o.parent());
+                } else {
+                    batch.refine(t, &o);
+                }
+            }
+        }
+        let dirty = f.apply_edits(&batch, 5);
+        let before = f.gather(ctx);
+        f.balance_incremental(ctx, cond, &dirty, &mut ghosts);
+        let expected = serial_forest_balance(f.connectivity(), &before, cond);
+        oracle_ok &= f.gather(ctx) == expected;
+    }
+    let after = f.gather(ctx);
+    let balanced = is_forest_balanced(f.connectivity(), &after, cond);
+    let fresh = f.ghost_layer(ctx);
+    let superset = fresh.iter().all(|(t, o, g)| ghosts.contains(t, o, g));
+    (oracle_ok, balanced, superset, f.checksum(ctx))
+}
+
+/// Exhaustively check two incremental epochs at P = `size`: in every
+/// delivery interleaving the exchange terminates (the checker's
+/// built-in quiescence), each epoch's result is bit-identical to the
+/// full-balance serial oracle, the final forest is 2:1-balanced, the
+/// patched ghost layer retains every fresh-exchange entry, and all
+/// ranks agree on the checksum.
+pub fn check_epochs(size: usize, cfg: McConfig) -> McReport {
+    let invariants = [
+        Invariant::new(
+            "epochs-serial-oracle",
+            |out: &SimRunOutput<(bool, bool, bool, u64)>| {
+                for (rank, &(matches, _, _, _)) in out.results.iter().enumerate() {
+                    if !matches {
+                        return Err(format!(
+                            "rank {rank}: incremental epoch differs from the serial oracle"
+                        ));
+                    }
+                }
+                Ok(())
+            },
+        ),
+        Invariant::new(
+            "epochs-2to1",
+            |out: &SimRunOutput<(bool, bool, bool, u64)>| {
+                for (rank, &(_, balanced, _, _)) in out.results.iter().enumerate() {
+                    if !balanced {
+                        return Err(format!("rank {rank}: 2:1 condition violated"));
+                    }
+                }
+                Ok(())
+            },
+        ),
+        Invariant::new(
+            "epochs-ghost-superset",
+            |out: &SimRunOutput<(bool, bool, bool, u64)>| {
+                for (rank, &(_, _, superset, _)) in out.results.iter().enumerate() {
+                    if !superset {
+                        return Err(format!(
+                            "rank {rank}: patched ghost layer lost a fresh-exchange entry"
+                        ));
+                    }
+                }
+                Ok(())
+            },
+        ),
+        Invariant::all_ranks_equal("epochs-agreement"),
+    ];
+    Checker::new(cfg).check(size, epochs_digest, &invariants)
 }

@@ -147,3 +147,30 @@ fn replaying_a_counterexample_against_fixed_code_passes() {
     );
     assert!(fixed.is_none(), "{fixed:?}");
 }
+
+#[test]
+fn epochs_p2_every_interleaving_matches_full_balance_oracle() {
+    // Two incremental-rebalance epochs: the changed-leaf exchange must
+    // terminate, match the serial full-balance oracle bit for bit, and
+    // keep the patched ghost layer a superset of a fresh exchange, in
+    // every delivery interleaving.
+    let report = scenarios::check_epochs(2, McConfig::default());
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(!report.truncated);
+    assert!(report.runs >= 2, "reordering must create > 1 execution");
+}
+
+#[test]
+fn epochs_p3_bounded_exploration_finds_no_violation() {
+    // P = 3 is too large to exhaust; a bounded frontier still must not
+    // find any interleaving that breaks the epoch invariants.
+    let report = scenarios::check_epochs(
+        3,
+        McConfig {
+            max_runs: 2_000,
+            ..McConfig::default()
+        },
+    );
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.runs >= 2);
+}

@@ -25,7 +25,7 @@ use crate::octant::Octant;
 /// number of sorts of any dimension; buffers grow to the high-water mark
 /// and are retained across calls. The counters are cumulative and feed the
 /// `forestbal-trace` kernel counters.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct SortScratch {
     k64: Vec<u64>,
     t64: Vec<u64>,

@@ -1,0 +1,206 @@
+//! Simulated-client adaptation workloads: a moving refinement front
+//! (the physics-chasing pattern of AMR time loops) and spatially
+//! clustered batches with exact dirty-fraction control (the benchmark
+//! knob for the full-vs-incremental comparison).
+
+use forestbal_forest::{AdaptBatch, Forest};
+use forestbal_octant::{Octant, ROOT_LEN};
+
+/// A spherical refinement front moving through the brick: leaves whose
+/// center falls inside the front are refined toward `max_level`, and
+/// families that have fallen behind it (outside `2 * radius`) are
+/// coarsened back toward `base_level`. Coordinates are in units of
+/// trees (a brick of `[3, 2, 1]` trees spans `[0,3]×[0,2]×[0,1]`).
+///
+/// Each call to [`MovingFront::batch`] proposes edits against the
+/// current snapshot; `Forest::apply_edits` re-validates them, so a
+/// proposal that raced with the front (incomplete family, level cap)
+/// is skipped, exactly like a stale client request.
+#[derive(Clone, Copy, Debug)]
+pub struct MovingFront<const D: usize> {
+    /// Front center, in tree units.
+    pub center: [f64; D],
+    /// Per-step displacement, in tree units.
+    pub velocity: [f64; D],
+    /// Front radius, in tree units.
+    pub radius: f64,
+    /// Leaves inside the front refine up to this level.
+    pub max_level: u8,
+    /// Leaves behind the front coarsen down to this level.
+    pub base_level: u8,
+}
+
+impl<const D: usize> MovingFront<D> {
+    /// Advance the front one step, bouncing off the brick boundary
+    /// `[0, dims]` so long workloads keep a moving dirty region.
+    #[allow(clippy::needless_range_loop)] // parallel arrays indexed together
+    pub fn step(&mut self, dims: [usize; D]) {
+        for a in 0..D {
+            self.center[a] += self.velocity[a];
+            let hi = dims[a] as f64;
+            if self.center[a] < 0.0 {
+                self.center[a] = -self.center[a];
+                self.velocity[a] = -self.velocity[a];
+            } else if self.center[a] > hi {
+                self.center[a] = 2.0 * hi - self.center[a];
+                self.velocity[a] = -self.velocity[a];
+            }
+        }
+    }
+
+    /// Distance² from the front center to the center of leaf `o` of the
+    /// tree at grid coordinates `tc`, in tree units.
+    #[allow(clippy::needless_range_loop)] // parallel arrays indexed together
+    fn dist2(&self, tc: [usize; D], o: &Octant<D>) -> f64 {
+        let half = (o.len() / 2) as f64;
+        let mut d2 = 0.0;
+        for a in 0..D {
+            let c = tc[a] as f64 + (o.coords[a] as f64 + half) / ROOT_LEN as f64;
+            let d = c - self.center[a];
+            d2 += d * d;
+        }
+        d2
+    }
+
+    /// Propose this step's edits against the snapshot `forest`.
+    pub fn batch(&self, forest: &Forest<D>) -> AdaptBatch<D> {
+        let r2 = self.radius * self.radius;
+        let behind2 = 4.0 * r2;
+        let conn = forest.connectivity().clone();
+        let mut b = AdaptBatch::new();
+        for (t, v) in forest.trees() {
+            let tc = conn.tree_coords(t);
+            for o in v.iter() {
+                let d2 = self.dist2(tc, &o);
+                if d2 <= r2 && o.level < self.max_level {
+                    b.refine(t, &o);
+                } else if d2 > behind2 && o.level > self.base_level && o.child_id() == 0 {
+                    // Propose once per family; apply_edits verifies the
+                    // siblings are present (and not refining).
+                    b.coarsen(t, &o.parent());
+                }
+            }
+        }
+        b
+    }
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// A spatially clustered refine batch of exactly `budget` local leaves
+/// (fewer only when the rank owns fewer eligible leaves): a contiguous
+/// Morton run starting at a seeded pseudo-random local position.
+/// Contiguity in Morton order is spatial clustering, so the dirty
+/// insulation region stays compact — and `budget / num_local` is an
+/// exact dirty-fraction knob for the incremental-vs-full benchmark.
+pub fn clustered_batch<const D: usize>(
+    forest: &Forest<D>,
+    seed: u64,
+    budget: usize,
+    max_level: u8,
+) -> AdaptBatch<D> {
+    let mut b = AdaptBatch::new();
+    let n = forest.num_local();
+    if n == 0 || budget == 0 {
+        return b;
+    }
+    let mut s = seed | 1;
+    let start = (xorshift(&mut s) as usize) % n;
+    let mut taken = 0usize;
+    let mut pos = 0usize;
+    // Two passes over the tree list: [start, n) then wrap to [0, start).
+    for wrap in 0..2 {
+        for (t, v) in forest.trees() {
+            for i in 0..v.len() {
+                let in_window = match wrap {
+                    0 => pos >= start,
+                    _ => pos < start,
+                };
+                if in_window && taken < budget {
+                    let o = v.get(i);
+                    if o.level < max_level {
+                        b.refine(t, &o);
+                        taken += 1;
+                    }
+                }
+                pos += 1;
+            }
+        }
+        pos = 0;
+        if taken >= budget {
+            break;
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forestbal_comm::Cluster;
+    use forestbal_forest::BrickConnectivity;
+    use std::sync::Arc;
+
+    #[test]
+    fn clustered_batch_hits_budget_exactly() {
+        let conn = Arc::new(BrickConnectivity::<2>::unit());
+        Cluster::run(2, |ctx| {
+            let f = Forest::new_uniform(Arc::clone(&conn), ctx, 3);
+            for budget in [1usize, 7, 32] {
+                let b = clustered_batch(&f, 2012, budget, 6);
+                assert_eq!(b.len(), budget.min(f.num_local()));
+            }
+            // Budget larger than the rank's share saturates.
+            let b = clustered_batch(&f, 7, 10_000, 6);
+            assert_eq!(b.len(), f.num_local());
+        });
+    }
+
+    #[test]
+    fn moving_front_refines_then_coarsens() {
+        let conn = Arc::new(BrickConnectivity::<2>::new([2, 1], [false; 2]));
+        Cluster::run(1, |ctx| {
+            let mut f = Forest::new_uniform(Arc::clone(&conn), ctx, 2);
+            let mut front = MovingFront::<2> {
+                center: [0.25, 0.25],
+                velocity: [0.5, 0.0],
+                radius: 0.2,
+                max_level: 4,
+                base_level: 2,
+            };
+            let b = front.batch(&f);
+            assert!(!b.is_empty(), "front must request refinement");
+            let before = f.num_local();
+            f.apply_edits(&b, front.max_level);
+            assert!(f.num_local() > before);
+
+            // March the front away; leaves behind it coarsen again.
+            for _ in 0..6 {
+                front.step(conn.dims());
+                let b = front.batch(&f);
+                f.apply_edits(&b, front.max_level);
+            }
+            assert!(front.center[0] >= 0.0 && front.center[0] <= 2.0);
+        });
+    }
+
+    #[test]
+    fn front_bounces_inside_brick() {
+        let mut front = MovingFront::<2> {
+            center: [0.9, 0.5],
+            velocity: [0.3, 0.0],
+            radius: 0.1,
+            max_level: 3,
+            base_level: 1,
+        };
+        for _ in 0..50 {
+            front.step([1, 1]);
+            assert!(front.center[0] >= 0.0 && front.center[0] <= 1.0);
+        }
+    }
+}

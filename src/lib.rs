@@ -66,6 +66,7 @@
 //! | [`forest`] | `forestbal-forest` | brick connectivity, distributed forest, one-pass parallel balance |
 //! | [`mesh`] | `forestbal-mesh` | fractal (Fig. 14/15) and ice-sheet (Fig. 16/17) workloads |
 //! | [`sim`] | `forestbal-sim` | deterministic discrete-event simulator: same `Comm` API, virtual time, P ≥ 16384 |
+//! | [`service`] | `forestbal-service` | request-driven epoch runtime: snapshot queries, batched edits, incremental rebalance |
 //! | [`trace`] | `forestbal-trace` | per-rank spans/counters/histograms, chrome-trace (Perfetto) export |
 //!
 //! The parallel algorithms are generic over [`comm::Comm`], so the same
@@ -81,6 +82,7 @@ pub use forestbal_core as core;
 pub use forestbal_forest as forest;
 pub use forestbal_mesh as mesh;
 pub use forestbal_octant as octant;
+pub use forestbal_service as service;
 pub use forestbal_sim as sim;
 pub use forestbal_trace as trace;
 
@@ -93,5 +95,6 @@ pub mod prelude {
     };
     pub use forestbal_forest::{BalanceVariant, BrickConnectivity, Forest, ReversalScheme, TreeId};
     pub use forestbal_octant::{Octant, MAX_LEVEL, ROOT_LEN};
+    pub use forestbal_service::{ForestService, Request, Response, ServiceConfig};
     pub use forestbal_sim::{SimCluster, SimConfig};
 }
