@@ -4,7 +4,7 @@
 //! to reproduce our results ... can be invoked by the timings example").
 //!
 //! ```text
-//! timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|local|simscale|all] [--max-ranks N] [--big]
+//! timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|local|simscale|weakscale|all] [--max-ranks N] [--big]
 //!         [--trace-out trace.json]
 //! ```
 //!
@@ -666,6 +666,97 @@ fn run_simscale(big: bool) {
     t.print();
 }
 
+fn run_weakscale(max_ranks: Option<usize>, big: bool) {
+    // Small fiber stacks keep the P = 112k reservation modest; the
+    // builder is the intended construction path for tuned configs.
+    let cfg = SimConfig::builder().stack_size(256 << 10).build();
+    println!("\n#### Paper-scale virtual weak scaling (discrete-event, virtual time)");
+    println!(
+        "one-pass balance (new variant) on the fractal forest; networks: \
+         flat α-β vs fat tree with per-link contention"
+    );
+
+    // The paper's Figure 15 runs on Jaguar at up to 112,128 cores; the
+    // default list stops at 32k so mid-size machines finish in minutes,
+    // and `--big` adds the full-machine point.
+    let ranks: &[usize] = if big {
+        &[1024, 8192, 32768, 112_128]
+    } else {
+        &[1024, 8192, 32768]
+    };
+    let ranks: Vec<usize> = ranks
+        .iter()
+        .copied()
+        .filter(|&p| max_ranks.is_none_or(|m| p <= m))
+        .collect();
+    let rows = weakscale_experiment(&ranks, 2, 4, cfg);
+    let mut t = Table::new(
+        "Weak scaling: one-pass balance per phase (virtual ms)",
+        &[
+            "P",
+            "net",
+            "scheme",
+            "oct/rank",
+            "total",
+            "local",
+            "reversal",
+            "qry/rsp",
+            "rebal",
+            "link waits",
+        ],
+    );
+    for r in &rows {
+        let ms = |d: std::time::Duration| format!("{:.3}", d.as_secs_f64() * 1e3);
+        let per_rank = r.octants_out as f64 / r.ranks as f64;
+        t.row(vec![
+            r.ranks.to_string(),
+            r.network.to_string(),
+            r.scheme.to_string(),
+            format!("{per_rank:.0}"),
+            ms(r.report.timings.total),
+            ms(r.report.timings.local_balance),
+            ms(r.report.timings.reversal),
+            ms(r.report.timings.query_response),
+            ms(r.report.timings.rebalance),
+            r.net.link_waits.to_string(),
+        ]);
+        let ns = |d: std::time::Duration| d.as_nanos() as u64;
+        BenchRecord::new("weakscale")
+            .u("ranks", r.ranks as u64)
+            .u("level", r.level as u64)
+            .s("scheme", r.scheme)
+            .s("network", r.network)
+            .u("octants_in", r.octants_in)
+            .u("octants_out", r.octants_out)
+            .f("octants_per_rank", per_rank)
+            .u("makespan_ns", r.makespan_ns)
+            .u("total_ns", ns(r.report.timings.total))
+            .u("local_balance_ns", ns(r.report.timings.local_balance))
+            .u("reversal_ns", ns(r.report.timings.reversal))
+            .u("query_response_ns", ns(r.report.timings.query_response))
+            .u("rebalance_ns", ns(r.report.timings.rebalance))
+            // Figure 15 normalizes by per-rank mesh size; integer levels
+            // cannot hold octants/rank exactly constant across P.
+            .f(
+                "total_ns_per_octant",
+                ns(r.report.timings.total) as f64 / per_rank,
+            )
+            .u("messages", r.stats.messages_sent)
+            .u("p2p_bytes", r.stats.bytes_sent)
+            .u("collective_bytes", r.stats.collective_bytes)
+            .u("net_p2p_messages", r.net.p2p_messages)
+            .u("net_intra_node", r.net.intra_node_messages)
+            .u("net_inter_node", r.net.inter_node_messages)
+            .u("net_inter_pod", r.net.inter_pod_messages)
+            .u("net_link_waits", r.net.link_waits)
+            .u("net_link_wait_ns", r.net.link_wait_ns)
+            .u("net_max_link_wait_ns", r.net.max_link_wait_ns)
+            .u("net_collectives", r.net.collectives)
+            .emit();
+    }
+    t.print();
+}
+
 /// The Local-rebalance study: full vs incremental commit of the same
 /// clustered batch at dirty fractions of ~0.1%, 1% and 10%, plus
 /// service request latency histograms. Emits one `BENCH {...}` line per
@@ -771,6 +862,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut exp = "all".to_string();
     let mut max_ranks = 8usize;
+    let mut max_ranks_set = false;
     let mut big = false;
     let mut trace_out: Option<String> = None;
     let mut i = 1;
@@ -798,6 +890,7 @@ fn main() {
                         eprintln!("--max-ranks requires an integer");
                         std::process::exit(2);
                     });
+                max_ranks_set = true;
                 i += 2;
             }
             "--big" => {
@@ -807,7 +900,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!(
-                    "usage: timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|local|simscale|all] \
+                    "usage: timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|local|simscale|weakscale|all] \
                      [--max-ranks N] [--big] [--trace-out trace.json]"
                 );
                 std::process::exit(2);
@@ -815,13 +908,23 @@ fn main() {
         }
     }
     let known = [
-        "all", "subtree", "kernel", "wire", "seeds", "notify", "weak", "strong", "ripple", "local",
+        "all",
+        "subtree",
+        "kernel",
+        "wire",
+        "seeds",
+        "notify",
+        "weak",
+        "strong",
+        "ripple",
+        "local",
         "simscale",
+        "weakscale",
     ];
     if !known.contains(&exp.as_str()) {
         eprintln!("unknown experiment {exp}");
         eprintln!(
-            "usage: timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|local|simscale|all] \
+            "usage: timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|local|simscale|weakscale|all] \
              [--max-ranks N] [--big] [--trace-out trace.json]"
         );
         std::process::exit(2);
@@ -866,5 +969,11 @@ fn main() {
     } else if trace_out.is_some() {
         eprintln!("--trace-out only applies to --exp simscale");
         std::process::exit(2);
+    }
+    if exp == "weakscale" {
+        // `--max-ranks` caps the simulated rank list here (CI smoke runs
+        // only the P = 8192 points); unlike the threaded experiments the
+        // default is the full list, not the host's core count.
+        run_weakscale(max_ranks_set.then_some(max_ranks), big);
     }
 }

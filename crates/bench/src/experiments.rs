@@ -20,7 +20,7 @@ use forestbal_octant::{
     complete_subtree, linearize, sort_octants_with, Octant, OctantSet, OctantTable, SortScratch,
 };
 use forestbal_service::{clustered_batch, ForestService, Request, RequestClass, ServiceConfig};
-use forestbal_sim::{SimCluster, SimConfig};
+use forestbal_sim::{FatTreeParams, NetStats, NetworkSpec, SimCluster, SimConfig};
 use forestbal_trace::{bucket_bounds, ClusterTrace, Histogram, RankTrace, Tracer, HIST_BUCKETS};
 use std::time::Instant;
 
@@ -321,6 +321,124 @@ pub fn sim_balance_scaling(
                     report,
                     makespan_ns: out.makespan_ns(),
                     stats: out.total_stats(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One (rank count, scheme, network) point of the paper-scale virtual
+/// weak-scaling study (Figure 15 at the paper's Jaguar rank counts).
+#[derive(Clone, Debug)]
+pub struct WeakScaleRow {
+    /// Simulated rank count.
+    pub ranks: usize,
+    /// Base refinement level from [`weakscale_level`].
+    pub level: u8,
+    /// `"naive"`, `"ranges"`, or `"notify"`.
+    pub scheme: &'static str,
+    /// `"flat"` or `"fattree"` — the network cost model of this row.
+    pub network: &'static str,
+    /// Global octants before balance.
+    pub octants_in: u64,
+    /// Global octants after balance.
+    pub octants_out: u64,
+    /// Cluster-combined per-phase report (virtual-time maxima).
+    pub report: BalanceReport,
+    /// Virtual time when the last rank finished.
+    pub makespan_ns: u64,
+    /// Cluster-total communication counters.
+    pub stats: CommStats,
+    /// The network model's own traffic/contention counters.
+    pub net: NetStats,
+}
+
+/// Base refinement level for a weak-scaling point: the smallest level
+/// whose uniform 6·8^level base mesh averages at least one octant per
+/// rank. The fractal refinement then multiplies local counts by ~18x,
+/// so per-rank leaf counts land around 20-150 — deliberately small,
+/// since the simulator serializes all P ranks' computation onto one
+/// host and the P = 112,128 point must stay tractable. Levels are
+/// integers while P grows freely, so the per-rank count is not constant
+/// across P; reported times should be normalized by octants-per-rank as
+/// in the paper's Figure 15.
+pub fn weakscale_level(p: usize) -> u8 {
+    let mut level = 1u8;
+    while 6u128 << (3 * level as u32) < p as u128 {
+        level += 1;
+    }
+    level
+}
+
+/// The paper-scale virtual weak-scaling study: the fractal forest,
+/// one-pass balance (New variant), every reversal scheme, under both the
+/// flat α-β network and a contended fat tree — at rank counts up to the
+/// paper's full-machine P = 112,128. All rows for a given P must agree
+/// on the balanced mesh size (asserted): the network model prices
+/// communication but must never change results.
+pub fn weakscale_experiment(
+    ranks: &[usize],
+    spread: u8,
+    max_ranges: usize,
+    cfg: SimConfig,
+) -> Vec<WeakScaleRow> {
+    let mut rows = Vec::new();
+    for &p in ranks {
+        let level = weakscale_level(p);
+        let mut sizes: Option<(u64, u64)> = None;
+        for (net_name, network) in [
+            ("flat", NetworkSpec::Flat),
+            ("fattree", NetworkSpec::FatTree(FatTreeParams::default())),
+        ] {
+            let cfg = cfg.with_network(network);
+            for (scheme_name, scheme) in [
+                ("naive", ReversalScheme::Naive),
+                ("ranges", ReversalScheme::Ranges(max_ranges)),
+                ("notify", ReversalScheme::Notify),
+            ] {
+                // Progress on stderr: the `--big` point simulates 112k
+                // ranks per row and runs for minutes.
+                eprintln!("weakscale: P={p} level={level} {net_name}/{scheme_name} ...");
+                let t0 = Instant::now();
+                let out = SimCluster::run(p, cfg, move |ctx| {
+                    let mut f = fractal_forest(ctx, level, spread);
+                    let before = f.num_global(ctx);
+                    ctx.barrier();
+                    let rep =
+                        f.balance_with_report(ctx, Condition::full(3), BalanceVariant::New, scheme);
+                    let after = f.num_global(ctx);
+                    (before, after, rep)
+                });
+                eprintln!(
+                    "weakscale: P={p} {net_name}/{scheme_name} done in {:.1}s (host wall clock)",
+                    t0.elapsed().as_secs_f64()
+                );
+                let (before, after, _) = out.results[0];
+                match sizes {
+                    None => sizes = Some((before, after)),
+                    Some(s) => assert_eq!(
+                        s,
+                        (before, after),
+                        "P={p}: {scheme_name}/{net_name} disagrees on mesh size"
+                    ),
+                }
+                let report = out
+                    .results
+                    .iter()
+                    .map(|r| r.2)
+                    .fold(BalanceReport::default(), |a, b| a.combine(&b));
+                rows.push(WeakScaleRow {
+                    ranks: p,
+                    level,
+                    scheme: scheme_name,
+                    network: net_name,
+                    octants_in: before,
+                    octants_out: after,
+                    report,
+                    makespan_ns: out.makespan_ns(),
+                    stats: out.total_stats(),
+                    net: out.net,
                 });
             }
         }

@@ -210,15 +210,27 @@ pub trait Comm {
     }
 
     /// Allreduce a `u64` with a combining function (sum, max, ...).
+    ///
+    /// `combine` must be the same deterministic function on every rank of
+    /// the collective (true of any correct allreduce). The reduction is a
+    /// pure function of the gathered bytes, so it runs once per gather per
+    /// thread via [`crate::shared_decode`] — under the simulator's fiber
+    /// backend that is once per *cluster*, turning the naive O(P) fold per
+    /// rank (O(P²) aggregate) into O(P) total.
     fn allreduce_u64(&self, v: u64, combine: impl Fn(u64, u64) -> u64) -> u64
     where
         Self: Sized,
     {
         let all = self.allgather(v.to_le_bytes().to_vec());
-        all.iter()
-            .map(|b| u64::from_le_bytes(b.as_slice().try_into().unwrap()))
-            .reduce(&combine)
-            .expect("at least one rank")
+        // One key for every allreduce call site is sound: collectives run
+        // in lockstep, so all ranks fold a given gather buffer with the
+        // same `combine`, and a new epoch's buffer evicts the old entry.
+        *crate::shared_decode(&all, 0x5244_5543 /* "RDUC" */, |all| {
+            all.iter()
+                .map(|b| u64::from_le_bytes(b.as_slice().try_into().unwrap()))
+                .reduce(&combine)
+                .expect("at least one rank")
+        })
     }
 
     /// Allreduce: cluster-wide sum of a `u64`.

@@ -42,6 +42,7 @@
 pub mod cluster;
 pub mod comm;
 pub mod reversal;
+pub mod share;
 
 pub use cluster::{Cluster, RankCtx};
 pub use comm::{
@@ -51,3 +52,4 @@ pub use reversal::{
     is_notify_tag, ranges_expansion, reverse_naive, reverse_notify, reverse_notify_wildcard_bug,
     reverse_ranges,
 };
+pub use share::shared_decode;

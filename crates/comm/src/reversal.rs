@@ -20,10 +20,131 @@
 //!   across peers instead of bottlenecking the highest rank.
 
 use crate::comm::Comm;
+use crate::share::shared_decode;
 use forestbal_trace as trace;
 
 /// Message tag space reserved by the reversal algorithms.
 const NOTIFY_TAG_BASE: u32 = 0xB000_0000;
+
+/// Memo keys for [`shared_decode`] (one per allgather call site).
+const SHARE_KEY_NAIVE: u64 = 0x4e41_4956;
+const SHARE_KEY_RANGES: u64 = 0x524e_4745;
+
+/// The transposed communication pattern in CSR form: senders of rank `r`
+/// are `senders[offsets[r]..offsets[r+1]]`, sorted ascending, deduped.
+/// Decoded **once per gather buffer per thread** via [`shared_decode`]:
+/// the naive and ranges scans used to be O(P·pattern) per rank — O(P²)
+/// and worse in aggregate, ~10¹⁰ list scans at P = 112k — and are O(out)
+/// per rank against this index.
+struct InvertedPattern {
+    offsets: Vec<u32>,
+    senders: Vec<u32>,
+}
+
+impl InvertedPattern {
+    fn senders_of(&self, r: usize) -> &[u32] {
+        &self.senders[self.offsets[r] as usize..self.offsets[r + 1] as usize]
+    }
+}
+
+/// Invert allgathered receiver lists (`all[q]` = rank q's receivers as
+/// LE u32s, possibly with duplicates). Out-of-range receivers are
+/// ignored, matching the scan they replace (no rank matches them).
+fn invert_lists(all: &[Vec<u8>]) -> InvertedPattern {
+    let size = all.len();
+    // Two passes (count, fill); `scratch` dedups each list so a rank
+    // naming the same receiver twice still counts as one sender, exactly
+    // like the `contains` scan did. One reused buffer, no per-list
+    // allocation.
+    let mut counts = vec![0u32; size + 1];
+    let mut scratch: Vec<u32> = Vec::new();
+    let dedup = |data: &[u8], scratch: &mut Vec<u32>| {
+        scratch.clear();
+        scratch.extend(
+            data.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+        scratch.sort_unstable();
+        scratch.dedup();
+    };
+    for data in all {
+        dedup(data, &mut scratch);
+        for &r in scratch.iter().filter(|&&r| (r as usize) < size) {
+            counts[r as usize + 1] += 1;
+        }
+    }
+    let mut offsets = counts;
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor = offsets.clone();
+    let mut senders = vec![0u32; offsets[size] as usize];
+    for (q, data) in all.iter().enumerate() {
+        dedup(data, &mut scratch);
+        for &r in scratch.iter().filter(|&&r| (r as usize) < size) {
+            senders[cursor[r as usize] as usize] = q as u32;
+            cursor[r as usize] += 1;
+        }
+    }
+    // Buckets are sorted by construction: q ascends across the fill.
+    InvertedPattern { offsets, senders }
+}
+
+/// Inverted `Ranges` encoding, or `None` when the expansion is too large
+/// to materialize (heavily merged ranges can cover nearly the whole
+/// cluster per rank, making the inverse O(P²) in space — fall back to
+/// the per-rank scan instead).
+struct InvertedRanges(Option<InvertedPattern>);
+
+/// Iterate a rank's fixed-size range encoding as `(lo, hi)` pairs,
+/// clamped to the cluster and skipping unused (`u32::MAX`) slots.
+fn iter_ranges(data: &[u8], size: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+    data.chunks_exact(8).filter_map(move |c| {
+        let lo = u32::from_le_bytes(c[0..4].try_into().unwrap());
+        let hi = u32::from_le_bytes(c[4..8].try_into().unwrap());
+        (lo != u32::MAX && (lo as usize) < size).then(|| (lo as usize, (hi as usize).min(size - 1)))
+    })
+}
+
+fn invert_ranges(all: &[Vec<u8>]) -> InvertedRanges {
+    let size = all.len();
+    // Expansion budget: the honest (unmerged) case is O(pattern) total;
+    // allow generous slack before declaring the inverse not worth it.
+    let cap = 16 * size as u64 + 1024;
+    let expansion: u64 = all
+        .iter()
+        .flat_map(|d| iter_ranges(d, size))
+        .map(|(lo, hi)| (hi - lo + 1) as u64)
+        .sum();
+    if expansion > cap {
+        return InvertedRanges(None);
+    }
+    // Count via a difference array (ranges within one rank are disjoint
+    // by construction, so no per-rank dedup is needed): cover[r] = how
+    // many ranks' encodings contain r = that bucket's size.
+    let mut diff = vec![0i64; size + 1];
+    for (lo, hi) in all.iter().flat_map(|d| iter_ranges(d, size)) {
+        diff[lo] += 1;
+        diff[hi + 1] -= 1;
+    }
+    let mut offsets = vec![0u32; size + 1];
+    let mut cover = 0i64;
+    for r in 0..size {
+        cover += diff[r];
+        offsets[r + 1] = offsets[r] + cover as u32;
+    }
+    let mut cursor = offsets.clone();
+    let mut senders = vec![0u32; offsets[size] as usize];
+    for (q, data) in all.iter().enumerate() {
+        for (lo, hi) in iter_ranges(data, size) {
+            for r in lo..=hi {
+                senders[cursor[r] as usize] = q as u32;
+                cursor[r] += 1;
+            }
+        }
+    }
+    InvertedRanges(Some(InvertedPattern { offsets, senders }))
+}
 
 /// Does this tag belong to the [`reverse_notify`] tag space? Lets callers
 /// attribute per-tag [`crate::CommStats`] traffic to pattern reversal.
@@ -57,13 +178,14 @@ pub fn reverse_naive(ctx: &impl Comm, receivers: &[usize]) -> Vec<usize> {
     // ...then allgatherv the receiver lists themselves.
     let lists: Vec<u32> = receivers.iter().map(|&r| r as u32).collect();
     let all = ctx.allgather(encode_u32s(&lists));
-    let me = ctx.rank() as u32;
-    let mut senders: Vec<usize> = Vec::new();
-    for (q, data) in all.iter().enumerate() {
-        if decode_u32s(data).contains(&me) {
-            senders.push(q);
-        }
-    }
+    // Invert once per gather (shared across co-threaded ranks) and read
+    // this rank's bucket, instead of scanning all P lists per rank.
+    let inv = shared_decode(&all, SHARE_KEY_NAIVE, invert_lists);
+    let senders: Vec<usize> = inv
+        .senders_of(ctx.rank())
+        .iter()
+        .map(|&q| q as usize)
+        .collect();
     trace::counter_add("reversal.receivers", receivers.len() as u64);
     trace::counter_add("reversal.senders", senders.len() as u64);
     trace::span_end(|| ctx.now_ns());
@@ -88,17 +210,20 @@ pub fn reverse_ranges(ctx: &impl Comm, receivers: &[usize], max_ranges: usize) -
         slots[2 * i + 1] = hi as u32;
     }
     let all = ctx.allgather(encode_u32s(&slots));
-    let me = ctx.rank() as u32;
-    let mut senders = Vec::new();
-    for (q, data) in all.iter().enumerate() {
-        let vals = decode_u32s(data);
-        for pair in vals.chunks_exact(2) {
-            if pair[0] != u32::MAX && pair[0] <= me && me <= pair[1] {
-                senders.push(q);
-                break;
-            }
-        }
-    }
+    let me = ctx.rank();
+    let inv = shared_decode(&all, SHARE_KEY_RANGES, invert_ranges);
+    let senders: Vec<usize> = match &inv.0 {
+        // Inverted once per gather, shared across co-threaded ranks.
+        Some(pat) => pat.senders_of(me).iter().map(|&q| q as usize).collect(),
+        // Expansion too large to materialize: allocation-free scan of
+        // the fixed-size encodings.
+        None => all
+            .iter()
+            .enumerate()
+            .filter(|(_, data)| iter_ranges(data, ctx.size()).any(|(lo, hi)| lo <= me && me <= hi))
+            .map(|(q, _)| q)
+            .collect(),
+    };
     trace::counter_add("reversal.receivers", receivers.len() as u64);
     // Ranges may overshoot: report real receivers and advertised senders
     // so the false-positive rate is visible in merged counters.

@@ -1,0 +1,133 @@
+//! Sharing allgather-derived structures between co-located ranks.
+//!
+//! Every rank that participates in an allgather receives the *same*
+//! `Arc<Vec<Vec<u8>>>` buffer — both runtimes hand one buffer to all
+//! ranks. But each rank then *decodes* that buffer privately (partition
+//! markers, inverted communication patterns, ...), which at paper scale
+//! is catastrophic: P = 112,128 simulated ranks each decoding a
+//! `(P+1)`-entry marker table is ~400 GB of identical copies.
+//!
+//! [`shared_decode`] fixes this with a thread-local memo keyed on the
+//! gather buffer's identity: the first rank on a thread decodes, every
+//! later rank on the same thread gets the same `Arc` back. Under the
+//! simulator's fiber backend all ranks share one thread, so a
+//! rank-count-independent number of copies exists per epoch; under the
+//! threaded runtimes each rank decodes its own copy, exactly as before.
+//!
+//! Correctness notes:
+//!
+//! * The decoded value must be a **pure function of the gather bytes**
+//!   (no dependence on the calling rank), or sharing would be wrong.
+//!   Callers keep per-rank derivation (e.g. "my senders") outside the
+//!   decode closure.
+//! * Entries are keyed on `(T, key, Arc pointer)` and hold a clone of the
+//!   gather `Arc`, so a buffer address can never be recycled by the
+//!   allocator while its memo entry is alive (no ABA confusion).
+//! * One entry per `(T, key)` call site: a new epoch's gather evicts the
+//!   previous epoch's entry, so the memo's footprint is bounded by the
+//!   number of call sites, not by run length.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+struct Entry {
+    type_id: TypeId,
+    key: u64,
+    ptr: *const Vec<Vec<u8>>,
+    /// Pins the gather buffer so `ptr` stays unique while we hold it.
+    _pin: Arc<Vec<Vec<u8>>>,
+    value: Arc<dyn Any + Send + Sync>,
+}
+
+thread_local! {
+    static MEMO: RefCell<Vec<Entry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Decode `gather` through `decode`, memoized per thread on the buffer's
+/// identity: ranks sharing a thread (the simulator's fiber backend) share
+/// one decoded value per `(T, key, buffer)`. `key` distinguishes call
+/// sites that decode the same buffer type differently.
+///
+/// `decode` must depend only on the gather contents — never on the
+/// calling rank — and must be deterministic.
+pub fn shared_decode<T, F>(gather: &Arc<Vec<Vec<u8>>>, key: u64, decode: F) -> Arc<T>
+where
+    T: Any + Send + Sync,
+    F: FnOnce(&[Vec<u8>]) -> T,
+{
+    let ptr: *const Vec<Vec<u8>> = Arc::as_ptr(gather);
+    let type_id = TypeId::of::<T>();
+    MEMO.with(|m| {
+        let mut memo = m.borrow_mut();
+        let slot = memo
+            .iter_mut()
+            .find(|e| e.type_id == type_id && e.key == key);
+        if let Some(e) = &slot {
+            if e.ptr == ptr {
+                return e
+                    .value
+                    .clone()
+                    .downcast::<T>()
+                    .expect("entry type id matched");
+            }
+        }
+        let value = Arc::new(decode(gather));
+        let entry = Entry {
+            type_id,
+            key,
+            ptr,
+            _pin: Arc::clone(gather),
+            value: value.clone(),
+        };
+        match slot {
+            Some(e) => *e = entry,
+            None => memo.push(entry),
+        }
+        value
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn second_caller_shares_first_decode() {
+        let gather = Arc::new(vec![vec![1u8, 2], vec![3u8]]);
+        let decodes = AtomicUsize::new(0);
+        let a = shared_decode(&gather, 0xA, |all| {
+            decodes.fetch_add(1, Ordering::Relaxed);
+            all.iter().map(|v| v.len()).sum::<usize>()
+        });
+        let b = shared_decode(&gather, 0xA, |all| {
+            decodes.fetch_add(1, Ordering::Relaxed);
+            all.iter().map(|v| v.len()).sum::<usize>()
+        });
+        assert_eq!((*a, *b), (3, 3));
+        assert!(Arc::ptr_eq(&a, &b), "same buffer+key must share");
+        assert_eq!(decodes.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn new_epoch_evicts_old_entry() {
+        let g1 = Arc::new(vec![vec![0u8; 4]]);
+        let v1 = shared_decode(&g1, 0xB, |all| all[0].len());
+        let g2 = Arc::new(vec![vec![0u8; 9]]);
+        let v2 = shared_decode(&g2, 0xB, |all| all[0].len());
+        assert_eq!((*v1, *v2), (4, 9));
+        // g1's entry was replaced; re-decoding g1 runs the closure again.
+        let v1b = shared_decode(&g1, 0xB, |all| all[0].len() + 100);
+        assert_eq!(*v1b, 104);
+    }
+
+    #[test]
+    fn keys_and_types_are_distinct_namespaces() {
+        let g = Arc::new(vec![vec![7u8]]);
+        let by_key_1 = shared_decode(&g, 1, |_| 1usize);
+        let by_key_2 = shared_decode(&g, 2, |_| 2usize);
+        let by_type: Arc<u64> = shared_decode(&g, 1, |_| 3u64);
+        assert_eq!((*by_key_1, *by_key_2, *by_type), (1, 2, 3));
+    }
+}

@@ -38,6 +38,30 @@ impl GlobalPos {
     }
 }
 
+/// Decode allgathered first-leaf payloads into the `size + 1` marker
+/// table. A free function of the gather contents alone, which is what
+/// lets [`forestbal_comm::shared_decode`] share the result between
+/// co-threaded ranks.
+fn decode_markers(all: &[Vec<u8>], num_trees: usize) -> Vec<GlobalPos> {
+    let size = all.len();
+    let end = GlobalPos::end(num_trees);
+    let mut markers = vec![end; size + 1];
+    // Fill from the back so empty ranks inherit their successor's
+    // marker (their range is empty).
+    for p in (0..size).rev() {
+        let b = &all[p];
+        markers[p] = if b[0] == 1 {
+            let mut pos = 1usize;
+            let tree = codec::get_u32(b, &mut pos);
+            let index = MortonIndex::from_le_bytes(b[pos..pos + 16].try_into().unwrap());
+            GlobalPos { tree, index }
+        } else {
+            markers[p + 1]
+        };
+    }
+    markers
+}
+
 /// One rank's view of a distributed forest of octrees.
 pub struct Forest<const D: usize> {
     conn: Arc<BrickConnectivity<D>>,
@@ -47,8 +71,11 @@ pub struct Forest<const D: usize> {
     /// (SoA; see [`crate::store`]); trees without local leaves are absent.
     pub(crate) local: LeafStore<D>,
     /// `size + 1` partition markers; rank `p` owns positions in
-    /// `[markers[p], markers[p+1])`.
-    pub(crate) markers: Vec<GlobalPos>,
+    /// `[markers[p], markers[p+1])`. `Arc`-shared: every rank decodes the
+    /// markers from the *same* allgather buffer, so co-threaded ranks
+    /// (the simulator's fiber backend) share one copy — a `(P+1)`-entry
+    /// table per rank is ~400 GB at P = 112k, per *cluster* it is ~4 MB.
+    pub(crate) markers: Arc<Vec<GlobalPos>>,
     /// Radix-sort working memory, retained across mutations so the
     /// post-edit ordering of [`Forest::refine`] / [`Forest::coarsen`] /
     /// [`Forest::apply_edits`] reuses buffers and the presorted
@@ -103,7 +130,7 @@ impl<const D: usize> Forest<D> {
             rank: ctx.rank(),
             size: ctx.size(),
             local,
-            markers: Vec::new(),
+            markers: Arc::new(Vec::new()),
             sort: SortScratch::new(),
         };
         f.update_markers(ctx);
@@ -137,7 +164,7 @@ impl<const D: usize> Forest<D> {
             rank: ctx.rank(),
             size: ctx.size(),
             local,
-            markers: Vec::new(),
+            markers: Arc::new(Vec::new()),
             sort: SortScratch::new(),
         };
         f.update_markers(ctx);
@@ -220,22 +247,16 @@ impl<const D: usize> Forest<D> {
             None => payload.push(0u8),
         }
         let all = ctx.allgather(payload);
-        let end = GlobalPos::end(self.conn.num_trees());
-        let mut markers = vec![end; self.size + 1];
-        // Fill from the back so empty ranks inherit their successor's
-        // marker (their range is empty).
-        for p in (0..self.size).rev() {
-            let b = &all[p];
-            markers[p] = if b[0] == 1 {
-                let mut pos = 1usize;
-                let tree = codec::get_u32(b, &mut pos);
-                let index = MortonIndex::from_le_bytes(b[pos..pos + 16].try_into().unwrap());
-                GlobalPos { tree, index }
-            } else {
-                markers[p + 1]
-            };
-        }
-        self.markers = markers;
+        let num_trees = self.conn.num_trees();
+        // Decoding is a pure function of the gather buffer (plus the
+        // globally agreed tree count), so co-threaded ranks — all of
+        // them, under the simulator's fiber backend — share one decoded
+        // marker table instead of materializing P copies of P+1 entries.
+        self.markers = forestbal_comm::shared_decode(
+            &all,
+            0x4d41_524b ^ (num_trees as u64).rotate_left(32),
+            |all| decode_markers(all, num_trees),
+        );
         forestbal_trace::span_end(|| ctx.now_ns());
     }
 

@@ -1,16 +1,49 @@
 //! Simulator tuning knobs.
 
+use crate::net::NetworkSpec;
+
+/// Which execution backend hosts the per-rank coroutines.
+///
+/// Ranks always run one at a time (baton passing); the backend only
+/// decides what a suspended rank *is*: a parked OS thread or a userspace
+/// fiber. Virtual times, delivery orders and results are identical across
+/// backends — pinned by a differential test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Pick [`Backend::Fiber`] where supported (x86_64 Linux), else
+    /// [`Backend::Threads`]. The default.
+    #[default]
+    Auto,
+    /// One OS thread per rank. Portable, but the kernel's thread and
+    /// memory-map budgets (`kernel.pid_max`, `vm.max_map_count`) cap P
+    /// at a few thousand ranks.
+    Threads,
+    /// Userspace stackful coroutines: all ranks share one OS thread and
+    /// one lazily-faulted stack slab, so P = 112k ranks fit in one
+    /// process with no kernel tunables. Panics at run start on platforms
+    /// without fiber support.
+    Fiber,
+}
+
 /// Cost model and determinism parameters for a [`crate::SimCluster`] run.
 ///
 /// The defaults model a commodity cluster interconnect: 1 µs message
 /// latency and 1 GB/s effective bandwidth (1 ns per byte). They are
 /// deliberately round so virtual-time numbers are easy to read; scaling
 /// *trends* (the paper's subject) are insensitive to the exact constants.
+///
+/// Prefer [`SimConfig::builder`] over struct-literal construction or
+/// direct field assignment: the builder reads as a sentence and keeps
+/// working when fields are added. The public fields remain for backward
+/// compatibility (`SimConfig { latency_ns: 5, ..Default::default() }`
+/// still compiles) but direct field poking is deprecated in spirit —
+/// new code should not rely on the field set being stable.
 #[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
-    /// α: fixed per-message latency in nanoseconds.
+    /// α: fixed per-message latency in nanoseconds (used by the flat
+    /// network model; topology models carry their own latencies).
     pub latency_ns: u64,
-    /// β: transfer time per payload byte in nanoseconds.
+    /// β: transfer time per payload byte in nanoseconds (flat model).
     pub ns_per_byte: f64,
     /// Seed for the fault-injection PRNG (and any future stochastic
     /// model). Two runs with equal seeds are bit-identical.
@@ -38,10 +71,19 @@ pub struct SimConfig {
     /// [`crate::DeliveryStrategy`] the same flag decides whether
     /// same-pair reorderings are offered to the strategy at all.
     pub fifo: bool,
-    /// Stack size for each simulated rank's coroutine thread. Ranks run
-    /// one at a time, but each still needs its own (mostly untouched)
-    /// stack; keep this small so P = 16384 ranks stay cheap.
+    /// Stack size for each simulated rank's coroutine. Ranks run one at
+    /// a time, but each still needs its own (mostly untouched) stack.
+    /// Fiber stacks are reserved lazily — only pages actually written
+    /// cost memory — so the default stays comfortable; shrink it (e.g.
+    /// to 256 KiB) for P ≈ 112k runs to keep the virtual reservation
+    /// within the address-space budget.
     pub stack_size: usize,
+    /// The network cost model ([`NetworkSpec::Flat`] by default, which
+    /// reproduces the historical `α + β·bytes` virtual times
+    /// bit-identically).
+    pub network: NetworkSpec,
+    /// Execution backend for the rank coroutines.
+    pub backend: Backend,
 }
 
 impl Default for SimConfig {
@@ -53,11 +95,21 @@ impl Default for SimConfig {
             jitter_ns: 0,
             fifo: true,
             stack_size: 1 << 20,
+            network: NetworkSpec::Flat,
+            backend: Backend::Auto,
         }
     }
 }
 
 impl SimConfig {
+    /// Start building a config from the defaults:
+    /// `SimConfig::builder().latency_ns(500).network(spec).build()`.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig::default(),
+        }
+    }
+
     /// This config with a different fault-injection seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -70,38 +122,122 @@ impl SimConfig {
         self
     }
 
-    /// Transfer cost of a `bytes`-byte payload, in nanoseconds.
-    pub(crate) fn transfer_ns(&self, bytes: usize) -> u64 {
-        (bytes as f64 * self.ns_per_byte).round() as u64
+    /// This config with a different network model.
+    pub fn with_network(mut self, network: NetworkSpec) -> Self {
+        self.network = network;
+        self
     }
 
-    /// Cost of one point-to-point message.
-    pub(crate) fn message_ns(&self, bytes: usize) -> u64 {
-        self.latency_ns + self.transfer_ns(bytes)
+    /// This config with a specific execution backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// Fluent constructor for [`SimConfig`], obtained from
+/// [`SimConfig::builder`]. Every knob has a method; unset knobs keep
+/// their [`Default`] values.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// α: fixed per-message latency in nanoseconds (flat model).
+    pub fn latency_ns(mut self, v: u64) -> Self {
+        self.cfg.latency_ns = v;
+        self
     }
 
-    /// Cost of an allgather over `size` ranks moving `total_bytes` in
-    /// aggregate: a `⌈log₂ size⌉`-depth tree of latencies plus the full
-    /// payload over the wire once (recursive-doubling model).
-    pub(crate) fn collective_ns(&self, size: usize, total_bytes: usize) -> u64 {
-        let depth = usize::BITS - size.saturating_sub(1).leading_zeros();
-        depth as u64 * self.latency_ns + self.transfer_ns(total_bytes)
+    /// β: transfer time per payload byte in nanoseconds (flat model).
+    pub fn ns_per_byte(mut self, v: f64) -> Self {
+        self.cfg.ns_per_byte = v;
+        self
+    }
+
+    /// Fault-injection PRNG seed.
+    pub fn seed(mut self, v: u64) -> Self {
+        self.cfg.seed = v;
+        self
+    }
+
+    /// Maximum per-message delay jitter in nanoseconds.
+    pub fn jitter_ns(mut self, v: u64) -> Self {
+        self.cfg.jitter_ns = v;
+        self
+    }
+
+    /// Enforce (or relax) MPI non-overtaking delivery.
+    pub fn fifo(mut self, v: bool) -> Self {
+        self.cfg.fifo = v;
+        self
+    }
+
+    /// Per-rank coroutine stack size in bytes.
+    pub fn stack_size(mut self, v: usize) -> Self {
+        self.cfg.stack_size = v;
+        self
+    }
+
+    /// Network cost model.
+    pub fn network(mut self, v: NetworkSpec) -> Self {
+        self.cfg.network = v;
+        self
+    }
+
+    /// Execution backend.
+    pub fn backend(mut self, v: Backend) -> Self {
+        self.cfg.backend = v;
+        self
+    }
+
+    /// Finish: the assembled [`SimConfig`].
+    pub fn build(self) -> SimConfig {
+        self.cfg
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::net::{FatTreeParams, NetworkModel, NetworkSpec};
 
     #[test]
-    fn cost_model_shapes() {
+    fn builder_and_struct_literal_agree() {
+        let b = SimConfig::builder()
+            .latency_ns(500)
+            .ns_per_byte(2.0)
+            .seed(7)
+            .jitter_ns(3)
+            .fifo(false)
+            .stack_size(1 << 16)
+            .network(NetworkSpec::FatTree(FatTreeParams::default()))
+            .backend(Backend::Threads)
+            .build();
+        let s = SimConfig {
+            latency_ns: 500,
+            ns_per_byte: 2.0,
+            seed: 7,
+            jitter_ns: 3,
+            fifo: false,
+            stack_size: 1 << 16,
+            network: NetworkSpec::FatTree(FatTreeParams::default()),
+            backend: Backend::Threads,
+        };
+        assert_eq!(format!("{b:?}"), format!("{s:?}"));
+    }
+
+    #[test]
+    fn default_network_matches_historical_cost_shapes() {
         let c = SimConfig::default();
-        assert_eq!(c.message_ns(0), 1_000);
-        assert_eq!(c.message_ns(500), 1_500);
+        let mut m = c.network.build(c.latency_ns, c.ns_per_byte);
+        assert_eq!(m.message_arrival_ns(0, 1, 0, 0), 1_000);
+        assert_eq!(m.message_arrival_ns(0, 1, 500, 0), 1_500);
         // Barrier over one rank is free of tree depth.
-        assert_eq!(c.collective_ns(1, 0), 0);
-        assert_eq!(c.collective_ns(2, 0), 1_000);
-        assert_eq!(c.collective_ns(1024, 0), 10_000);
-        assert_eq!(c.collective_ns(1025, 0), 11_000);
+        assert_eq!(m.collective_done_ns(1, 0, 0), 0);
+        assert_eq!(m.collective_done_ns(2, 0, 0), 1_000);
+        assert_eq!(m.collective_done_ns(1024, 0, 0), 10_000);
+        assert_eq!(m.collective_done_ns(1025, 0, 0), 11_000);
     }
 }

@@ -7,17 +7,24 @@
 //! but ranks execute one at a time under a discrete-event scheduler and
 //! all communication advances a *virtual* clock:
 //!
-//! - every point-to-point message costs `α + β·bytes` (configurable
-//!   latency and inverse bandwidth, [`SimConfig`]),
-//! - collectives cost `⌈log₂P⌉·α + β·(total payload)`, the classic
-//!   tree/recursive-doubling model,
+//! - every point-to-point message and collective is priced by a
+//!   pluggable [`NetworkModel`]: the default [`NetworkSpec::Flat`]
+//!   charges `α + β·bytes` per message and `⌈log₂P⌉·α + β·(total
+//!   payload)` per collective (the classic tree/recursive-doubling
+//!   model); [`NetworkSpec::Hierarchical`] distinguishes node-local from
+//!   remote traffic, and [`NetworkSpec::FatTree`] adds per-link
+//!   shared-bandwidth contention,
 //! - ties are resolved deterministically by `(virtual time, rank id,
 //!   sequence number)`, so a seeded run is bit-identical every time,
 //! - seeded per-message delay jitter ([`SimConfig::jitter_ns`]) injects
 //!   message reordering faults without giving up reproducibility,
 //! - a [`DeliveryStrategy`] hook replaces time-ordered delivery with an
 //!   externally chosen order — the executor interface behind the
-//!   `forestbal-mc` exhaustive model checker.
+//!   `forestbal-mc` exhaustive model checker,
+//! - rank coroutines are hosted by a pluggable [`Backend`]: OS threads
+//!   (portable) or userspace fibers (x86_64 Linux, the default there),
+//!   which make paper-scale virtual runs at P = 112,128 ranks feasible
+//!   in one process.
 //!
 //! Because the paper's algorithms are written against the `Comm` trait,
 //! they run unmodified here at P = 4096–65536 on one machine — which is
@@ -46,9 +53,15 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fiber;
+pub mod net;
 mod runtime;
 pub mod strategy;
 
-pub use config::SimConfig;
+pub use config::{Backend, SimConfig, SimConfigBuilder};
+pub use net::{
+    FatTree, FatTreeParams, FlatAlphaBeta, Hierarchical, HierarchicalParams, NetModel, NetStats,
+    NetworkModel, NetworkSpec,
+};
 pub use runtime::{SimCluster, SimCtx, SimRunOutput};
 pub use strategy::{Candidate, Choice, Delivered, DeliveryStrategy, MsgMeta, Op};

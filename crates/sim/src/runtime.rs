@@ -2,13 +2,26 @@
 //!
 //! # How ranks execute
 //!
-//! Each simulated rank runs the user closure on its own (small-stack) OS
-//! thread, but the scheduler enforces that **exactly one rank executes at
-//! a time**: a rank only runs between a `Resume` message from the
-//! scheduler and its next blocking communication call, at which point it
-//! hands control back (with its outbox of sends) and parks. The threads
-//! are coroutines by baton-passing — there is no parallelism, no shared
-//! mutable state between ranks, and therefore no nondeterminism.
+//! Each simulated rank runs the user closure as a coroutine, and the
+//! scheduler enforces that **exactly one rank executes at a time**: a
+//! rank only runs between a `Resume` message from the scheduler and its
+//! next blocking communication call, at which point it hands control back
+//! (with its outbox of sends) and parks. There is no parallelism, no
+//! shared mutable state between ranks, and therefore no nondeterminism.
+//!
+//! Two interchangeable backends host the coroutines
+//! ([`crate::Backend`]):
+//!
+//! - **Threads** — one parked OS thread per rank, baton-passed through
+//!   channels. Portable, but kernel task/map limits cap P at a few
+//!   thousand.
+//! - **Fiber** — userspace stackful coroutines sharing one OS thread and
+//!   one lazily-faulted stack slab (see [`crate::fiber`]), which is what
+//!   makes P = 112,128 virtual ranks fit in one process. Default where
+//!   supported (x86_64 Linux).
+//!
+//! Backends affect wall-clock cost only; virtual times, delivery orders,
+//! stats and results are bit-identical (pinned by a differential test).
 //!
 //! # How time advances
 //!
@@ -20,18 +33,23 @@
 //! A rank's clock advances only when a blocking call completes:
 //!
 //! - `send` is asynchronous and free for the sender; the message's
-//!   *arrival* event is scheduled `α + β·bytes (+ jitter)` after the
-//!   send time,
+//!   *arrival* time comes from the configured [`NetworkModel`]
+//!   (`α + β·bytes` under the default flat model, plus topology and
+//!   link-contention effects under the hierarchical/fat-tree models),
+//!   then jitter and the FIFO floor apply,
 //! - `recv` completes at `max(arrival time, receiver's clock)`,
-//! - `allgather` completes for every participant at
-//!   `max(entry times) + ⌈log₂P⌉·α + β·total_bytes`.
+//! - `allgather` completes for every participant at the model's
+//!   collective completion time (`max(entry times) + ⌈log₂P⌉·α +
+//!   β·total_bytes` under the flat model).
 
-use crate::config::SimConfig;
+use crate::config::{Backend, SimConfig};
+use crate::fiber;
+use crate::net::{NetStats, NetworkModel};
 use crate::strategy::{hash_bytes, Candidate, Delivered, DeliveryStrategy, MsgMeta, Op};
 use forestbal_comm::{install_quiet_panic_hook, Comm, CommStats, ShutdownSignal};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap};
 use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -62,6 +80,10 @@ enum RankYield {
         stats: Box<CommStats>,
     },
     Panicked(Box<dyn Any + Send>),
+    /// Fiber backend only: the rank unwound in response to `Shutdown`.
+    /// (A shut-down thread just exits; a fiber must report back so the
+    /// scheduler knows its stack is dead.)
+    ShutdownDone,
 }
 
 /// Scheduler → rank.
@@ -122,10 +144,12 @@ enum Parked {
 }
 
 struct RankState {
-    resume_tx: Sender<Resume>,
     clock: u64,
-    /// Arrived-but-unmatched messages, per tag, in arrival order.
-    pending: BTreeMap<u32, VecDeque<(usize, Vec<u8>)>>,
+    /// Arrived-but-unmatched messages as `(tag, src, data)` in arrival
+    /// order — a flat vector, not a per-tag map: unmatched backlogs are
+    /// tiny, and at P = 112k a `BTreeMap` + `VecDeque` per rank wastes
+    /// hundreds of bytes each before holding anything.
+    pending: Vec<(u32, usize, Vec<u8>)>,
     parked: Parked,
     alive: bool,
     stats: CommStats,
@@ -153,14 +177,65 @@ enum EventQueue {
     Pool(Vec<Event>),
 }
 
-struct Scheduler<'s> {
+/// Mailboxes of one fiber-backed rank. Replaces the two mpsc channels of
+/// the thread backend with two refcells: the scheduler and the fiber are
+/// never runnable at once, so a slot each way is enough (and ~200 bytes
+/// per rank cheaper, which matters ×112k).
+#[derive(Default)]
+struct FiberBox {
+    resume: RefCell<Option<Resume>>,
+    yielded: RefCell<Option<RankYield>>,
+    /// The rank's parked tracer state while it is switched out (the trace
+    /// recorder is thread-local and all fibers share one thread).
+    trace: RefCell<forestbal_trace::SavedTrace>,
+}
+
+/// How the scheduler reaches the rank coroutines.
+enum RankIo<'s> {
+    Threads {
+        resume_txs: Vec<Sender<Resume>>,
+        yield_rx: Receiver<(usize, RankYield)>,
+    },
+    Fibers {
+        pool: &'s fiber::FiberPool,
+        boxes: &'s [FiberBox],
+    },
+}
+
+/// Hand `resume` to fiber `r`, run it until it parks again, and return
+/// its yield. Swaps the thread-local tracer state both ways so per-rank
+/// `Tracer`s behave as if each rank had its own thread.
+fn fiber_roundtrip(
+    pool: &fiber::FiberPool,
+    boxes: &[FiberBox],
+    r: usize,
+    resume: Resume,
+) -> RankYield {
+    *boxes[r].resume.borrow_mut() = Some(resume);
+    let sched_trace = forestbal_trace::swap_active(boxes[r].trace.take());
+    pool.switch_into(r);
+    *boxes[r].trace.borrow_mut() = forestbal_trace::swap_active(sched_trace);
+    boxes[r]
+        .yielded
+        .borrow_mut()
+        .take()
+        .expect("fiber must yield before returning control")
+}
+
+// Two lifetimes on purpose: `'io` is the (function-local) borrow of the
+// fiber pool and mailboxes, `'x` the caller-supplied trait objects'.
+// Folding them into one would — via `&mut` invariance — force the pool
+// borrow to outlive the function and block dropping the pool.
+struct Scheduler<'io, 'x> {
     cfg: SimConfig,
     size: usize,
     ranks: Vec<RankState>,
-    yield_rx: Receiver<(usize, RankYield)>,
+    io: RankIo<'io>,
+    /// Prices every message and collective; see [`crate::net`].
+    net: &'io mut (dyn NetworkModel + 'x),
     queue: EventQueue,
     /// Delivery-order policy in [`EventQueue::Pool`] mode.
-    strategy: Option<&'s mut dyn DeliveryStrategy>,
+    strategy: Option<&'io mut (dyn DeliveryStrategy + 'x)>,
     gather: GatherRound,
     gather_result: Option<GatherResult>,
     /// Latest arrival time per (src, dst), for FIFO (non-overtaking)
@@ -169,7 +244,7 @@ struct Scheduler<'s> {
     event_seq: u64,
     msg_seq: u64,
     live: usize,
-    /// First rank panic, re-raised after the threads are torn down.
+    /// First rank panic, re-raised after the coroutines are torn down.
     panic_payload: Option<Box<dyn Any + Send>>,
     /// Scheduler-detected failure (deadlock, send to finished rank).
     fatal: Option<String>,
@@ -197,7 +272,7 @@ fn msg_meta(ev: &Event) -> MsgMeta {
     }
 }
 
-impl<'s> Scheduler<'s> {
+impl<'io, 'x> Scheduler<'io, 'x> {
     fn push(&mut self, time: u64, rank: usize, kind: EventKind) {
         let seq = self.event_seq;
         self.event_seq += 1;
@@ -217,6 +292,12 @@ impl<'s> Scheduler<'s> {
     /// strategy mode, eager `Start`s first, then whatever the strategy
     /// picks from the deliverable set (handling `Drop`/`Duplicate` faults
     /// internally).
+    ///
+    /// Note the strategy-mode candidate set depends only on *which*
+    /// messages are in flight and their send sequence numbers — never on
+    /// their model-priced arrival times. Swapping in a contended network
+    /// model therefore cannot change what the model checker explores;
+    /// only the (ignored) timestamps differ.
     fn next_event(&mut self) -> Option<Event> {
         let pool = match &mut self.queue {
             EventQueue::Heap(h) => return h.pop(),
@@ -323,7 +404,9 @@ impl<'s> Scheduler<'s> {
     }
 
     /// Schedule arrivals for everything the rank sent since it last
-    /// yielded, stamped at its current clock.
+    /// yielded, stamped at its current clock. The network model prices
+    /// the raw arrival; jitter (drawn per message) and the FIFO floor are
+    /// layered on top and do not feed back into link-contention state.
     fn flush_outbox(&mut self, src: usize, outbox: Vec<OutMsg>) {
         let now = self.ranks[src].clock;
         for m in outbox {
@@ -335,7 +418,9 @@ impl<'s> Scheduler<'s> {
                 splitmix64(self.cfg.seed ^ seq.wrapping_mul(0xA24B_AED4_963E_E407))
                     % (self.cfg.jitter_ns + 1)
             };
-            let mut t = now + self.cfg.message_ns(m.data.len()) + jitter;
+            let arrival = self.net.message_arrival_ns(src, m.dst, m.data.len(), now);
+            debug_assert!(arrival >= now, "network model moved time backwards");
+            let mut t = arrival + jitter;
             if self.cfg.fifo {
                 let floor = self.fifo_floor.entry((src, m.dst)).or_insert(0);
                 t = t.max(*floor);
@@ -353,7 +438,7 @@ impl<'s> Scheduler<'s> {
         }
     }
 
-    /// Pop a pending message matching `(src, tag)`, oldest first.
+    /// Pop the oldest pending message matching `(src, tag)`.
     fn match_pending(
         &mut self,
         rank: usize,
@@ -361,16 +446,11 @@ impl<'s> Scheduler<'s> {
         tag: u32,
     ) -> Option<(usize, Vec<u8>)> {
         let pending = &mut self.ranks[rank].pending;
-        let q = pending.get_mut(&tag)?;
-        let i = match src {
-            None => 0,
-            Some(s) => q.iter().position(|(qs, _)| *qs == s)?,
-        };
-        let hit = q.remove(i)?;
-        if q.is_empty() {
-            pending.remove(&tag);
-        }
-        Some(hit)
+        let i = pending
+            .iter()
+            .position(|(t, s, _)| *t == tag && src.is_none_or(|want| want == *s))?;
+        let (_, s, data) = pending.remove(i);
+        Some((s, data))
     }
 
     fn gather_enter(&mut self, rank: usize, data: Vec<u8>) {
@@ -384,7 +464,10 @@ impl<'s> Scheduler<'s> {
         if g.arrived == self.size {
             let entries: Vec<Vec<u8>> = g.entries.iter_mut().map(|e| e.take().unwrap()).collect();
             let total: usize = entries.iter().map(Vec::len).sum();
-            let done = g.latest_entry + self.cfg.collective_ns(self.size, total);
+            let start = g.latest_entry;
+            let done = self.net.collective_done_ns(self.size, total, start);
+            debug_assert!(done >= start, "network model moved time backwards");
+            let g = &mut self.gather;
             let gen = g.gen;
             g.gen += 1;
             g.arrived = 0;
@@ -400,18 +483,24 @@ impl<'s> Scheduler<'s> {
     /// Resume rank `r` and keep it running until it parks, finishes, or
     /// panics. Instant recv hits (matched from pending) loop without
     /// advancing time.
-    fn run_rank(&mut self, r: usize, mut resume: Resume) {
+    fn run_rank(&mut self, r: usize, resume: Resume) {
+        let mut resume = resume;
         loop {
             self.ranks[r].parked = Parked::No;
-            self.ranks[r]
-                .resume_tx
-                .send(resume)
-                .expect("parked rank thread is alive");
-            let (yr, y) = self
-                .yield_rx
-                .recv()
-                .expect("the running rank always yields");
-            debug_assert_eq!(yr, r, "only the resumed rank can yield");
+            let y = match &self.io {
+                RankIo::Threads {
+                    resume_txs,
+                    yield_rx,
+                } => {
+                    resume_txs[r]
+                        .send(resume)
+                        .expect("parked rank thread is alive");
+                    let (yr, y) = yield_rx.recv().expect("the running rank always yields");
+                    debug_assert_eq!(yr, r, "only the resumed rank can yield");
+                    y
+                }
+                RankIo::Fibers { pool, boxes } => fiber_roundtrip(pool, boxes, r, resume),
+            };
             match y {
                 RankYield::Block { kind, outbox } => {
                     self.flush_outbox(r, outbox);
@@ -452,18 +541,38 @@ impl<'s> Scheduler<'s> {
                     self.shutdown_survivors();
                     return;
                 }
+                RankYield::ShutdownDone => {
+                    unreachable!("shutdown yield outside shutdown_survivors")
+                }
             }
         }
     }
 
     /// Unwind every still-parked rank (they panic with [`ShutdownSignal`]
-    /// and exit silently).
+    /// and exit silently). Threads just exit; started fibers are switched
+    /// in once more so their stacks unwind and run destructors.
     fn shutdown_survivors(&mut self) {
-        for st in &mut self.ranks {
-            if st.alive {
-                st.alive = false;
-                self.live -= 1;
-                let _ = st.resume_tx.send(Resume::Shutdown);
+        for r in 0..self.ranks.len() {
+            if !self.ranks[r].alive {
+                continue;
+            }
+            self.ranks[r].alive = false;
+            self.live -= 1;
+            match &self.io {
+                RankIo::Threads { resume_txs, .. } => {
+                    let _ = resume_txs[r].send(Resume::Shutdown);
+                }
+                RankIo::Fibers { pool, boxes } => {
+                    if pool.is_started(r) && !pool.is_finished(r) {
+                        let y = fiber_roundtrip(pool, boxes, r, Resume::Shutdown);
+                        debug_assert!(
+                            matches!(y, RankYield::ShutdownDone),
+                            "shut-down fiber yielded something else"
+                        );
+                    }
+                    // Never-started fibers have nothing on their stacks;
+                    // their un-run bodies drop with the pool.
+                }
             }
         }
     }
@@ -503,11 +612,7 @@ impl<'s> Scheduler<'s> {
                         let now = st.clock;
                         self.run_rank(dst, Resume::Deliver { src, data, now });
                     } else {
-                        self.ranks[dst]
-                            .pending
-                            .entry(tag)
-                            .or_default()
-                            .push_back((src, data));
+                        self.ranks[dst].pending.push((tag, src, data));
                     }
                 }
                 EventKind::GatherDone { gen } => {
@@ -562,10 +667,8 @@ impl<'s> Scheduler<'s> {
             .iter()
             .enumerate()
             .flat_map(|(dst, st)| {
-                st.pending.iter().flat_map(move |(&tag, q)| {
-                    q.iter().map(move |(src, data)| {
-                        format!("(src={src}, dst={dst}, tag={tag:#x}, {} bytes)", data.len())
-                    })
+                st.pending.iter().map(move |(tag, src, data)| {
+                    format!("(src={src}, dst={dst}, tag={tag:#x}, {} bytes)", data.len())
                 })
             })
             .collect();
@@ -580,14 +683,29 @@ impl<'s> Scheduler<'s> {
     }
 }
 
+/// How a [`SimCtx`] reaches the scheduler — the rank-side mirror of
+/// [`RankIo`].
+enum CtxIo {
+    Thread {
+        yield_tx: Sender<(usize, RankYield)>,
+        resume_rx: Receiver<Resume>,
+    },
+    /// Raw pointers because the fiber body cannot name the lifetimes of
+    /// the pool/mailboxes it runs under; both live on the `run_inner`
+    /// frame that hosts every fiber, so they strictly outlive it.
+    Fiber {
+        pool: *const fiber::FiberPool,
+        bx: *const FiberBox,
+    },
+}
+
 /// Handle through which a simulated rank communicates. Rank code is
 /// generic over [`Comm`] and cannot tell this apart from the threaded
 /// `RankCtx` — except that [`Comm::now_ns`] reports virtual time.
 pub struct SimCtx {
     rank: usize,
     size: usize,
-    yield_tx: Sender<(usize, RankYield)>,
-    resume_rx: Receiver<Resume>,
+    io: CtxIo,
     outbox: RefCell<Vec<OutMsg>>,
     stats: RefCell<CommStats>,
     now: Cell<u64>,
@@ -597,16 +715,29 @@ impl SimCtx {
     /// Park until the scheduler hands back a resume, yielding the outbox.
     fn block(&self, kind: BlockKind) -> Resume {
         let outbox = self.outbox.take();
-        if self
-            .yield_tx
-            .send((self.rank, RankYield::Block { kind, outbox }))
-            .is_err()
-        {
-            panic_any(ShutdownSignal);
-        }
-        match self.resume_rx.recv() {
-            Ok(Resume::Shutdown) | Err(_) => panic_any(ShutdownSignal),
-            Ok(r) => r,
+        let y = RankYield::Block { kind, outbox };
+        match &self.io {
+            CtxIo::Thread {
+                yield_tx,
+                resume_rx,
+            } => {
+                if yield_tx.send((self.rank, y)).is_err() {
+                    panic_any(ShutdownSignal);
+                }
+                match resume_rx.recv() {
+                    Ok(Resume::Shutdown) | Err(_) => panic_any(ShutdownSignal),
+                    Ok(r) => r,
+                }
+            }
+            CtxIo::Fiber { pool, bx } => {
+                let bx = unsafe { &**bx };
+                *bx.yielded.borrow_mut() = Some(y);
+                unsafe { (**pool).yield_out(self.rank) };
+                match bx.resume.borrow_mut().take() {
+                    Some(Resume::Shutdown) | None => panic_any(ShutdownSignal),
+                    Some(r) => r,
+                }
+            }
         }
     }
 }
@@ -667,6 +798,9 @@ pub struct SimRunOutput<T> {
     pub stats: Vec<CommStats>,
     /// Virtual time at which each rank's closure returned.
     pub finish_ns: Vec<u64>,
+    /// Traffic-class and link-contention counters from the network model
+    /// (all p2p under `intra_node` for the flat model).
+    pub net: NetStats,
 }
 
 impl<T> SimRunOutput<T> {
@@ -684,11 +818,12 @@ impl<T> SimRunOutput<T> {
     }
 }
 
-/// Preflight for large `size`: every simulated rank parks on one OS
-/// thread, and each thread costs ~4 kernel memory maps (stack, guard
-/// page, alternate signal stack). Exhausting `vm.max_map_count`
-/// mid-spawn aborts the whole process from inside the std runtime —
-/// uncatchable — so predict the shortfall and panic cleanly instead.
+/// Preflight for large `size` on the thread backend: every simulated rank
+/// parks on one OS thread, and each thread costs ~4 kernel memory maps
+/// (stack, guard page, alternate signal stack). Exhausting
+/// `vm.max_map_count` mid-spawn aborts the whole process from inside the
+/// std runtime — uncatchable — so predict the shortfall and panic cleanly
+/// instead. (The fiber backend needs one map total and skips this.)
 #[cfg(target_os = "linux")]
 fn map_count_shortfall(size: usize) -> Option<String> {
     const MAPS_PER_THREAD: u64 = 4;
@@ -706,9 +841,8 @@ fn map_count_shortfall(size: usize) -> Option<String> {
     (needed > max).then(|| {
         format!(
             "{size} simulated ranks need ~{needed} kernel memory maps but \
-             vm.max_map_count is {max}; raise it (e.g. `sysctl -w \
-             vm.max_map_count={}`) or lower P",
-            needed.next_multiple_of(65536)
+             vm.max_map_count is {max}; use Backend::Auto (fibers), raise the \
+             sysctl, or lower P"
         )
     })
 }
@@ -737,7 +871,7 @@ impl SimCluster {
         T: Send,
         F: Fn(&SimCtx) -> T + Send + Sync,
     {
-        Self::run_inner(size, config, None, f)
+        Self::run_inner(size, config, None, None, f)
     }
 
     /// Like [`SimCluster::run`], but event delivery order is picked by
@@ -754,13 +888,34 @@ impl SimCluster {
         T: Send,
         F: Fn(&SimCtx) -> T + Send + Sync,
     {
-        Self::run_inner(size, config, Some(strategy), f)
+        Self::run_inner(size, config, Some(strategy), None, f)
     }
 
-    fn run_inner<T, F>(
+    /// Like [`SimCluster::run`], but every message and collective is
+    /// priced by the caller's `model` instead of one built from
+    /// [`SimConfig::network`] — the hook for custom [`NetworkModel`]
+    /// implementations. The model is used in a deterministic call order,
+    /// and its accumulated state (e.g. link occupancy) can be inspected
+    /// by the caller afterwards; [`SimRunOutput::net`] carries its final
+    /// [`NetStats`] either way.
+    pub fn run_with_model<T, F>(
         size: usize,
         config: SimConfig,
-        strategy: Option<&mut dyn DeliveryStrategy>,
+        model: &mut dyn NetworkModel,
+        f: F,
+    ) -> SimRunOutput<T>
+    where
+        T: Send,
+        F: Fn(&SimCtx) -> T + Send + Sync,
+    {
+        Self::run_inner(size, config, None, Some(model), f)
+    }
+
+    fn run_inner<'a, T, F>(
+        size: usize,
+        config: SimConfig,
+        strategy: Option<&'a mut dyn DeliveryStrategy>,
+        model: Option<&'a mut dyn NetworkModel>,
         f: F,
     ) -> SimRunOutput<T>
     where
@@ -768,29 +923,139 @@ impl SimCluster {
         F: Fn(&SimCtx) -> T + Send + Sync,
     {
         assert!(size >= 1, "a cluster needs at least one rank");
-        if let Some(msg) = map_count_shortfall(size) {
-            panic!("{msg}");
+        let backend = match config.backend {
+            Backend::Auto => {
+                if fiber::supported() {
+                    Backend::Fiber
+                } else {
+                    Backend::Threads
+                }
+            }
+            Backend::Fiber => {
+                assert!(
+                    fiber::supported(),
+                    "Backend::Fiber is only available on x86_64 Linux; \
+                     use Backend::Auto (falls back to threads) or Backend::Threads"
+                );
+                Backend::Fiber
+            }
+            Backend::Threads => Backend::Threads,
+        };
+        if backend == Backend::Threads {
+            if let Some(msg) = map_count_shortfall(size) {
+                panic!("{msg}");
+            }
         }
         install_quiet_panic_hook();
-        let (yield_tx, yield_rx) = channel::<(usize, RankYield)>();
-        let (resume_txs, resume_rxs): (Vec<_>, Vec<_>) =
-            (0..size).map(|_| channel::<Resume>()).unzip();
+
+        let mut owned_model;
+        let net: &mut dyn NetworkModel = match model {
+            Some(m) => m,
+            None => {
+                owned_model = config.network.build(config.latency_ns, config.ns_per_byte);
+                &mut owned_model
+            }
+        };
+
+        let f = &f;
+        // Fiber-backend state. Declaration order is load-bearing: the
+        // scheduler (declared last) borrows the pool and boxes, and the
+        // pool's un-run bodies borrow `fiber_results` and `f`, so drops
+        // must run scheduler → pool → results — which is exactly the
+        // reverse of this declaration order.
+        let fiber_results: RefCell<Vec<Option<T>>> = RefCell::new(Vec::new());
+        let fiber_boxes: Vec<FiberBox> = match backend {
+            Backend::Fiber => (0..size).map(|_| FiberBox::default()).collect(),
+            _ => Vec::new(),
+        };
+        let fiber_pool: Option<fiber::FiberPool> = match backend {
+            Backend::Fiber => Some(fiber::FiberPool::new(size, config.stack_size)),
+            _ => None,
+        };
+
+        let mut thread_yield_tx = None;
+        let mut thread_resume_rxs = Vec::new();
+
+        let io = match backend {
+            Backend::Fiber => {
+                fiber_results.borrow_mut().extend((0..size).map(|_| None));
+                let pool = fiber_pool.as_ref().expect("just constructed");
+                let pool_ptr: *const fiber::FiberPool = pool;
+                for (rank, fiber_box) in fiber_boxes.iter().enumerate() {
+                    let bx: *const FiberBox = fiber_box;
+                    let results = &fiber_results;
+                    let body = move || {
+                        let bx_ref = unsafe { &*bx };
+                        match bx_ref.resume.borrow_mut().take() {
+                            Some(Resume::Start) => {}
+                            // Shut down before starting: nothing ran,
+                            // nothing to report.
+                            _ => return,
+                        }
+                        let ctx = SimCtx {
+                            rank,
+                            size,
+                            io: CtxIo::Fiber { pool: pool_ptr, bx },
+                            outbox: RefCell::new(Vec::new()),
+                            stats: RefCell::new(CommStats::default()),
+                            now: Cell::new(0),
+                        };
+                        let y = match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                            Ok(v) => {
+                                results.borrow_mut()[rank] = Some(v);
+                                RankYield::Finished {
+                                    outbox: ctx.outbox.take(),
+                                    stats: Box::new(ctx.stats()),
+                                }
+                            }
+                            Err(p) => {
+                                if p.downcast_ref::<ShutdownSignal>().is_some() {
+                                    RankYield::ShutdownDone
+                                } else {
+                                    RankYield::Panicked(p)
+                                }
+                            }
+                        };
+                        *bx_ref.yielded.borrow_mut() = Some(y);
+                    };
+                    // Safety: the pool is dropped (consuming or dropping
+                    // every body) before `f`, `fiber_results` and the
+                    // boxes go away — see the declaration-order note.
+                    unsafe { pool.spawn_unchecked(rank, Box::new(body)) };
+                }
+                RankIo::Fibers {
+                    pool,
+                    boxes: &fiber_boxes,
+                }
+            }
+            _ => {
+                let (yield_tx, yield_rx) = channel::<(usize, RankYield)>();
+                let (resume_txs, resume_rxs): (Vec<_>, Vec<_>) =
+                    (0..size).map(|_| channel::<Resume>()).unzip();
+                thread_yield_tx = Some(yield_tx);
+                thread_resume_rxs = resume_rxs;
+                RankIo::Threads {
+                    resume_txs,
+                    yield_rx,
+                }
+            }
+        };
+
         let mut sched = Scheduler {
             cfg: config,
             size,
-            ranks: resume_txs
-                .into_iter()
-                .map(|resume_tx| RankState {
-                    resume_tx,
+            ranks: (0..size)
+                .map(|_| RankState {
                     clock: 0,
-                    pending: BTreeMap::new(),
+                    pending: Vec::new(),
                     parked: Parked::No,
                     alive: true,
                     stats: CommStats::default(),
                     finish_ns: 0,
                 })
                 .collect(),
-            yield_rx,
+            io,
+            net,
             queue: if strategy.is_some() {
                 EventQueue::Pool(Vec::new())
             } else {
@@ -815,90 +1080,116 @@ impl SimCluster {
             sched.push(0, r, EventKind::Start);
         }
 
-        let f = &f;
-        let mut results: Vec<Option<T>> = Vec::new();
-        std::thread::scope(|scope| {
-            // Spawn failures (e.g. hitting the OS thread limit at large P)
-            // must not leave already-parked ranks blocked in `recv` — shut
-            // the cluster down and report, instead of deadlocking the join.
-            let mut spawn_error = None;
-            let mut handles = Vec::with_capacity(size);
-            for (rank, resume_rx) in resume_rxs.into_iter().enumerate() {
-                let yield_tx = yield_tx.clone();
-                let spawned = std::thread::Builder::new()
-                    .name(format!("simrank-{rank}"))
-                    .stack_size(config.stack_size)
-                    .spawn_scoped(scope, move || -> Option<T> {
-                        let ctx = SimCtx {
-                            rank,
-                            size,
-                            yield_tx,
-                            resume_rx,
-                            outbox: RefCell::new(Vec::new()),
-                            stats: RefCell::new(CommStats::default()),
-                            now: Cell::new(0),
-                        };
-                        match ctx.resume_rx.recv() {
-                            Ok(Resume::Start) => {}
-                            _ => return None,
-                        }
-                        match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
-                            Ok(v) => {
-                                let _ = ctx.yield_tx.send((
+        let mut thread_results: Vec<Option<T>> = Vec::new();
+        match backend {
+            Backend::Fiber => sched.run(),
+            _ => {
+                let yield_tx = thread_yield_tx.take().expect("thread backend has a sender");
+                std::thread::scope(|scope| {
+                    // Spawn failures (e.g. hitting the OS thread limit at
+                    // large P) must not leave already-parked ranks blocked
+                    // in `recv` — shut the cluster down and report, instead
+                    // of deadlocking the join.
+                    let mut spawn_error = None;
+                    let mut handles = Vec::with_capacity(size);
+                    for (rank, resume_rx) in thread_resume_rxs.drain(..).enumerate() {
+                        let yield_tx = yield_tx.clone();
+                        let spawned = std::thread::Builder::new()
+                            .name(format!("simrank-{rank}"))
+                            .stack_size(config.stack_size)
+                            .spawn_scoped(scope, move || -> Option<T> {
+                                let ctx = SimCtx {
                                     rank,
-                                    RankYield::Finished {
-                                        outbox: ctx.outbox.take(),
-                                        stats: Box::new(ctx.stats()),
+                                    size,
+                                    io: CtxIo::Thread {
+                                        yield_tx,
+                                        resume_rx,
                                     },
-                                ));
-                                Some(v)
-                            }
-                            Err(payload) => {
-                                if payload.downcast_ref::<ShutdownSignal>().is_none() {
-                                    let _ = ctx.yield_tx.send((rank, RankYield::Panicked(payload)));
+                                    outbox: RefCell::new(Vec::new()),
+                                    stats: RefCell::new(CommStats::default()),
+                                    now: Cell::new(0),
+                                };
+                                let (yield_tx, resume_rx) = match &ctx.io {
+                                    CtxIo::Thread {
+                                        yield_tx,
+                                        resume_rx,
+                                    } => (yield_tx, resume_rx),
+                                    _ => unreachable!(),
+                                };
+                                match resume_rx.recv() {
+                                    Ok(Resume::Start) => {}
+                                    _ => return None,
                                 }
-                                None
+                                match catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+                                    Ok(v) => {
+                                        let _ = yield_tx.send((
+                                            rank,
+                                            RankYield::Finished {
+                                                outbox: ctx.outbox.take(),
+                                                stats: Box::new(ctx.stats()),
+                                            },
+                                        ));
+                                        Some(v)
+                                    }
+                                    Err(payload) => {
+                                        if payload.downcast_ref::<ShutdownSignal>().is_none() {
+                                            let _ =
+                                                yield_tx.send((rank, RankYield::Panicked(payload)));
+                                        }
+                                        None
+                                    }
+                                }
+                            });
+                        match spawned {
+                            Ok(h) => handles.push(h),
+                            Err(e) => {
+                                spawn_error = Some((rank, e));
+                                break;
                             }
                         }
-                    });
-                match spawned {
-                    Ok(h) => handles.push(h),
-                    Err(e) => {
-                        spawn_error = Some((rank, e));
-                        break;
                     }
-                }
+                    drop(yield_tx);
+                    match spawn_error {
+                        None => sched.run(),
+                        Some((rank, e)) => sched.fail(format!(
+                            "failed to spawn simulated rank {rank} of {size}: {e}; each \
+                             simulated rank needs one OS thread under Backend::Threads, \
+                             so raise the process limit (`ulimit -u`) — or use \
+                             Backend::Auto, whose fiber backend needs no threads"
+                        )),
+                    }
+                    thread_results = handles
+                        .into_iter()
+                        .map(|h| h.join().expect("rank thread cannot panic past its catch"))
+                        .collect();
+                });
             }
-            drop(yield_tx);
-            match spawn_error {
-                None => sched.run(),
-                Some((rank, e)) => sched.fail(format!(
-                    "failed to spawn simulated rank {rank} of {size}: {e}; each \
-                     simulated rank needs one OS thread (and a few memory maps), \
-                     so raise the process limit (`ulimit -u`) and, beyond ~16k \
-                     ranks, `vm.max_map_count` — or lower P"
-                )),
-            }
-            results = handles
-                .into_iter()
-                .map(|h| h.join().expect("rank thread cannot panic past its catch"))
-                .collect();
-        });
+        }
 
+        let net_stats = sched.net.net_stats();
         if let Some(payload) = sched.panic_payload.take() {
             resume_unwind(payload);
         }
         if let Some(msg) = sched.fatal.take() {
             panic!("{msg}");
         }
-        let results = results
+        let stats = sched.ranks.iter().map(|st| st.stats).collect();
+        let finish_ns = sched.ranks.iter().map(|st| st.finish_ns).collect();
+        drop(sched);
+        drop(fiber_pool);
+        let raw = match backend {
+            Backend::Fiber => fiber_results.into_inner(),
+            _ => thread_results,
+        };
+        let results = raw
             .into_iter()
             .map(|r| r.expect("rank produced no result yet did not panic"))
             .collect();
         SimRunOutput {
             results,
-            stats: sched.ranks.iter().map(|st| st.stats).collect(),
-            finish_ns: sched.ranks.iter().map(|st| st.finish_ns).collect(),
+            stats,
+            finish_ns,
+            net: net_stats,
         }
     }
 }
@@ -906,6 +1197,7 @@ impl SimCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::net::{FatTreeParams, HierarchicalParams, NetworkSpec};
     use crate::strategy::Choice;
 
     fn cfg() -> SimConfig {
@@ -940,6 +1232,7 @@ mod tests {
         }
         assert_eq!(out.total_stats().messages_sent, 5);
         assert_eq!(out.makespan_ns(), 1_001);
+        assert_eq!(out.net.p2p_messages, 5);
     }
 
     #[test]
@@ -1024,6 +1317,57 @@ mod tests {
         assert_eq!(a.results, b.results);
         assert_eq!(a.finish_ns, b.finish_ns);
         assert_eq!(a.stats, b.stats);
+        assert_eq!(a.net, b.net);
+    }
+
+    /// The two backends must be observationally identical: same results,
+    /// same virtual times, same stats, for p2p, collectives and jitter.
+    #[test]
+    fn fiber_and_thread_backends_agree() {
+        if !fiber::supported() {
+            return;
+        }
+        let work = |ctx: &SimCtx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            ctx.send(next, 1, vec![ctx.rank() as u8; 1 + ctx.rank() % 7]);
+            let (src, d) = ctx.recv(None, 1);
+            let total = ctx.allreduce_sum(d.len() as u64);
+            ctx.barrier();
+            (src, total, ctx.now_ns())
+        };
+        for jitter in [0, 700] {
+            let base = cfg().with_seed(11).with_jitter(jitter);
+            let t = SimCluster::run(37, base.with_backend(Backend::Threads), work);
+            let f = SimCluster::run(37, base.with_backend(Backend::Fiber), work);
+            assert_eq!(t.results, f.results);
+            assert_eq!(t.finish_ns, f.finish_ns);
+            assert_eq!(t.stats, f.stats);
+            assert_eq!(t.net, f.net);
+        }
+    }
+
+    #[test]
+    fn fiber_backend_handles_deep_recursion_within_stack() {
+        if !fiber::supported() {
+            return;
+        }
+        // Consume a good chunk of fiber stack to prove real frames live
+        // there (and, in guarded pools, that the guard is not hit by
+        // legitimate depth).
+        fn burn(n: usize) -> u64 {
+            let pad = [n as u64; 16];
+            if n == 0 {
+                pad.iter().sum()
+            } else {
+                burn(n - 1) + pad[0]
+            }
+        }
+        let out = SimCluster::run(4, cfg().with_backend(Backend::Fiber), |ctx| {
+            let x = burn(500);
+            ctx.barrier();
+            x
+        });
+        assert!(out.results.iter().all(|&x| x == burn(500)));
     }
 
     #[test]
@@ -1064,22 +1408,27 @@ mod tests {
 
     #[test]
     fn rank_panic_propagates_original_message() {
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            SimCluster::run(8, cfg(), |ctx| {
-                if ctx.rank() == 3 {
-                    panic!("sim rank 3 exploded");
-                }
-                ctx.barrier();
-            });
-        }));
-        let payload = result.expect_err("run must propagate the panic");
-        let msg = payload
-            .downcast_ref::<&str>()
-            .copied()
-            .map(str::to_string)
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_default();
-        assert!(msg.contains("sim rank 3 exploded"), "got: {msg}");
+        for backend in [Backend::Threads, Backend::Fiber] {
+            if backend == Backend::Fiber && !fiber::supported() {
+                continue;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                SimCluster::run(8, cfg().with_backend(backend), |ctx| {
+                    if ctx.rank() == 3 {
+                        panic!("sim rank 3 exploded");
+                    }
+                    ctx.barrier();
+                });
+            }));
+            let payload = result.expect_err("run must propagate the panic");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            assert!(msg.contains("sim rank 3 exploded"), "got: {msg}");
+        }
     }
 
     #[test]
@@ -1147,6 +1496,67 @@ mod tests {
         assert_eq!(base.stats, strat.stats);
     }
 
+    /// Recording strategy: the sequence of delivered events, stripped of
+    /// anything time-derived. Used to prove network models cannot change
+    /// what a strategy explores.
+    struct RecordChoices {
+        picks: Vec<usize>,
+        log: Vec<String>,
+        step: usize,
+    }
+    impl DeliveryStrategy for RecordChoices {
+        fn choose(&mut self, candidates: &[Candidate]) -> Choice {
+            let index = self.picks[self.step % self.picks.len()] % candidates.len();
+            self.step += 1;
+            Choice {
+                index,
+                op: Op::Deliver,
+            }
+        }
+        fn delivered(&mut self, d: &Delivered) {
+            self.log.push(match d {
+                Delivered::Start { rank } => format!("start {rank}"),
+                Delivered::Message(m) => {
+                    format!("msg {}->{} tag {} seq {}", m.src, m.dst, m.tag, m.send_seq)
+                }
+                Delivered::Collective { dst, gen } => format!("coll {dst} gen {gen}"),
+                Delivered::Dropped(m) => format!("drop {}->{}", m.src, m.dst),
+                Delivered::Duplicated(m) => format!("dup {}->{}", m.src, m.dst),
+            });
+        }
+    }
+
+    /// Strategy-pool soundness under model-dependent delivery times: the
+    /// candidate sets (and hence the whole exploration) are identical
+    /// under flat and contended fat-tree pricing, because candidates are
+    /// ordered by send sequence, never by arrival time.
+    #[test]
+    fn strategy_exploration_is_network_model_independent() {
+        let work = |ctx: &SimCtx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(next, 1, vec![ctx.rank() as u8; 64]);
+            ctx.send(prev, 2, vec![ctx.rank() as u8; 512]);
+            let (_, a) = ctx.recv(None, 1);
+            let (_, b) = ctx.recv(None, 2);
+            ctx.allreduce_sum((a[0] + b[0]) as u64)
+        };
+        let run = |network| {
+            let mut strat = RecordChoices {
+                picks: vec![2, 0, 3, 1, 5],
+                log: Vec::new(),
+                step: 0,
+            };
+            let out =
+                SimCluster::run_with_strategy(6, cfg().with_network(network), &mut strat, work);
+            (out.results, strat.log)
+        };
+        let (flat_results, flat_log) = run(NetworkSpec::Flat);
+        let (fat_results, fat_log) = run(NetworkSpec::FatTree(FatTreeParams::default()));
+        assert_eq!(flat_results, fat_results);
+        assert_eq!(flat_log, fat_log, "exploration diverged across models");
+    }
+
     #[test]
     fn orphan_message_violates_quiescence() {
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -1179,5 +1589,75 @@ mod tests {
             ctx.allreduce_sum(d[0] as u64)
         });
         assert!(out.results.iter().all(|&s| s == 7 * 1024));
+    }
+
+    #[test]
+    fn fat_tree_contention_slows_hot_links() {
+        // 48 ranks all sending to rank 0: under the fat tree, rank 0's
+        // node downlink serializes the transfers, so the makespan beats
+        // flat-model α+β but the model must report queueing.
+        let work = |ctx: &SimCtx| {
+            if ctx.rank() == 0 {
+                let mut total = 0usize;
+                for _ in 1..ctx.size() {
+                    let (_, d) = ctx.recv(None, 4);
+                    total += d.len();
+                }
+                total
+            } else {
+                ctx.send(0, 4, vec![0; 4096]);
+                0
+            }
+        };
+        let flat = SimCluster::run(48, cfg(), work);
+        let fat = SimCluster::run(
+            48,
+            cfg().with_network(NetworkSpec::FatTree(FatTreeParams::default())),
+            work,
+        );
+        assert_eq!(flat.results, fat.results);
+        assert_eq!(flat.net.link_waits, 0);
+        assert!(fat.net.link_waits > 0, "incast must queue on links");
+        assert!(fat.net.link_wait_ns > 0);
+        assert!(
+            fat.makespan_ns() > flat.makespan_ns(),
+            "contended incast must be slower than flat ({} <= {})",
+            fat.makespan_ns(),
+            flat.makespan_ns()
+        );
+    }
+
+    #[test]
+    fn hierarchical_model_prices_node_boundaries() {
+        let params = HierarchicalParams {
+            ranks_per_node: 4,
+            intra_latency_ns: 100,
+            intra_ns_per_byte: 0.0,
+            inter_latency_ns: 10_000,
+            inter_ns_per_byte: 0.0,
+        };
+        let out = SimCluster::run(
+            8,
+            cfg().with_network(NetworkSpec::Hierarchical(params)),
+            |ctx| {
+                // Rank 0 pings its node-mate (1) and a remote rank (4).
+                match ctx.rank() {
+                    0 => {
+                        ctx.send(1, 1, vec![0]);
+                        ctx.send(4, 1, vec![0]);
+                        0
+                    }
+                    1 | 4 => {
+                        ctx.recv(Some(0), 1);
+                        ctx.now_ns()
+                    }
+                    _ => 0,
+                }
+            },
+        );
+        assert_eq!(out.results[1], 100, "intra-node latency");
+        assert_eq!(out.results[4], 10_000, "inter-node latency");
+        assert_eq!(out.net.intra_node_messages, 1);
+        assert_eq!(out.net.inter_node_messages, 1);
     }
 }

@@ -1,0 +1,180 @@
+//! Network-model differential tests.
+//!
+//! The refactor that introduced [`NetworkModel`] must be invisible under
+//! the default configuration: `NetworkSpec::Flat` has to reproduce the
+//! previously hard-coded cost arithmetic *bit-identically* — virtual
+//! times, communication counters and balanced-forest checksums alike.
+//! The pin is differential: `Historical` below re-implements the exact
+//! pre-refactor formulas (per-call `f64` rounding and all) as a custom
+//! model plugged in through `run_with_model`, and whole runs are compared
+//! against the built-in default.
+//!
+//! Also pinned here: the hierarchical model with equal intra/inter
+//! parameters degenerates to the flat model bit-identically (proptest).
+
+use forestbal_comm::{reverse_naive, reverse_notify, reverse_ranges, Comm};
+use forestbal_core::Condition;
+use forestbal_forest::{BalanceVariant, ReversalScheme};
+use forestbal_mesh::fractal_forest;
+use forestbal_sim::{
+    HierarchicalParams, NetStats, NetworkModel, NetworkSpec, SimCluster, SimConfig, SimRunOutput,
+};
+use proptest::prelude::*;
+
+/// The simulator's cost arithmetic exactly as hard-coded before the
+/// [`NetworkModel`] refactor: flat `α + round(β·bytes)` per message and
+/// `⌈log₂P⌉·α + round(β·total)` per collective, rounding independently
+/// per call.
+struct Historical {
+    latency_ns: u64,
+    ns_per_byte: f64,
+    stats: NetStats,
+}
+
+impl Historical {
+    fn from(cfg: &SimConfig) -> Historical {
+        Historical {
+            latency_ns: cfg.latency_ns,
+            ns_per_byte: cfg.ns_per_byte,
+            stats: NetStats::default(),
+        }
+    }
+
+    fn transfer_ns(&self, bytes: usize) -> u64 {
+        (bytes as f64 * self.ns_per_byte).round() as u64
+    }
+}
+
+impl NetworkModel for Historical {
+    fn message_arrival_ns(&mut self, _src: usize, _dst: usize, bytes: usize, send_ns: u64) -> u64 {
+        self.stats.p2p_messages += 1;
+        self.stats.intra_node_messages += 1;
+        send_ns + self.latency_ns + self.transfer_ns(bytes)
+    }
+
+    fn collective_done_ns(&mut self, size: usize, total_bytes: usize, start_ns: u64) -> u64 {
+        self.stats.collectives += 1;
+        let depth = usize::BITS - size.saturating_sub(1).leading_zeros();
+        start_ns + depth as u64 * self.latency_ns + self.transfer_ns(total_bytes)
+    }
+
+    fn net_stats(&self) -> NetStats {
+        self.stats
+    }
+}
+
+/// Bit-identity of two runs: results, per-rank counters, per-rank virtual
+/// finish times, and the models' own traffic counters.
+fn assert_identical<T: PartialEq + std::fmt::Debug>(a: &SimRunOutput<T>, b: &SimRunOutput<T>) {
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.finish_ns, b.finish_ns);
+    assert_eq!(a.net, b.net);
+}
+
+/// Mixed reversal workload touching p2p, wildcard recv and collectives,
+/// returning per-rank virtual timestamps so any cost divergence surfaces.
+fn reversal_workload<C: Comm>(ctx: &C) -> (Vec<usize>, Vec<usize>, Vec<usize>, u64) {
+    let p = ctx.size();
+    let rs = vec![(ctx.rank() + 1) % p, (ctx.rank() + 7) % p];
+    let a = reverse_naive(ctx, &rs);
+    let b = reverse_ranges(ctx, &rs, 4);
+    let c = reverse_notify(ctx, &rs);
+    (a, b, c, ctx.now_ns())
+}
+
+#[test]
+fn default_model_is_bitwise_historical_at_p1024() {
+    let p = 1024;
+    let cfg = SimConfig::default().with_seed(9).with_jitter(400);
+    let mut hist = Historical::from(&cfg);
+    let new = SimCluster::run(p, cfg, reversal_workload);
+    let old = SimCluster::run_with_model(p, cfg, &mut hist, reversal_workload);
+    assert_identical(&new, &old);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "P = 1024 balance is a release-mode test")]
+fn default_model_is_bitwise_historical_for_balance_at_p1024() {
+    let p = 1024;
+    let cfg = SimConfig::default().with_seed(2012);
+    let balance = |ctx: &forestbal_sim::SimCtx| {
+        let mut f = fractal_forest(ctx, 2, 3);
+        let before = f.num_global(ctx);
+        f.balance(
+            ctx,
+            Condition::full(3),
+            BalanceVariant::New,
+            ReversalScheme::Notify,
+        );
+        (before, f.checksum(ctx), ctx.now_ns())
+    };
+    let mut hist = Historical::from(&cfg);
+    let new = SimCluster::run(p, cfg, balance);
+    let old = SimCluster::run_with_model(p, cfg, &mut hist, balance);
+    assert_identical(&new, &old);
+}
+
+/// Debug-mode stand-in for the release-gated P = 1024 balance pin: same
+/// workload and checks at a size plain `cargo test` can afford.
+#[test]
+fn default_model_is_bitwise_historical_for_balance_small() {
+    let p = 24;
+    let cfg = SimConfig::default().with_seed(5).with_jitter(900);
+    let balance = |ctx: &forestbal_sim::SimCtx| {
+        let mut f = fractal_forest(ctx, 2, 3);
+        f.balance(
+            ctx,
+            Condition::full(3),
+            BalanceVariant::New,
+            ReversalScheme::Ranges(4),
+        );
+        (f.checksum(ctx), ctx.now_ns())
+    };
+    let mut hist = Historical::from(&cfg);
+    let new = SimCluster::run(p, cfg, balance);
+    let old = SimCluster::run_with_model(p, cfg, &mut hist, balance);
+    assert_identical(&new, &old);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Hierarchical with intra == inter parameters is indistinguishable
+    /// from flat: same virtual times, same results, for arbitrary
+    /// latency/bandwidth and rank grouping. (Traffic-class counters
+    /// differ by design — the hierarchical model still classifies.)
+    fn hierarchical_degenerates_to_flat(
+        p in 1usize..24,
+        k in 1usize..16,
+        latency in 0u64..5_000,
+        // Integral and fractional rates; both classes share one carry
+        // accumulator so the split cannot drift.
+        rate_milli in 0u64..4_000,
+        seed in any::<u64>(),
+    ) {
+        let ns_per_byte = rate_milli as f64 / 1000.0;
+        let flat_cfg = SimConfig::builder()
+            .latency_ns(latency)
+            .ns_per_byte(ns_per_byte)
+            .seed(seed)
+            .jitter_ns(300)
+            .build();
+        let hier_cfg = flat_cfg.with_network(NetworkSpec::Hierarchical(HierarchicalParams {
+            ranks_per_node: k,
+            intra_latency_ns: latency,
+            intra_ns_per_byte: ns_per_byte,
+            inter_latency_ns: latency,
+            inter_ns_per_byte: ns_per_byte,
+        }));
+        let flat = SimCluster::run(p, flat_cfg, reversal_workload);
+        let hier = SimCluster::run(p, hier_cfg, reversal_workload);
+        prop_assert_eq!(&flat.results, &hier.results);
+        prop_assert_eq!(&flat.stats, &hier.stats);
+        prop_assert_eq!(&flat.finish_ns, &hier.finish_ns);
+        prop_assert_eq!(
+            flat.net.p2p_messages + flat.net.collectives,
+            hier.net.p2p_messages + hier.net.collectives
+        );
+    }
+}

@@ -44,5 +44,6 @@ mod tracer;
 pub use export::{json_escape, validate_json, ClusterTrace, PhaseAggregate};
 pub use tracer::{
     bucket_bounds, bucket_of, counter_add, enabled, hist, instant, span, span_begin, span_end,
-    Histogram, RankTrace, Span, TraceEvent, TraceStructure, Tracer, HIST_BUCKETS,
+    swap_active, Histogram, RankTrace, SavedTrace, Span, TraceEvent, TraceStructure, Tracer,
+    HIST_BUCKETS,
 };

@@ -382,6 +382,43 @@ pub fn counter_add(name: &'static str, v: u64) {
     let _ = (name, v);
 }
 
+/// A suspended recording, detached from its thread — the hand-off token
+/// stackful-coroutine runtimes use to keep per-rank recording working
+/// when many ranks share one OS thread.
+///
+/// The recorder state is thread-local, which identifies "thread" with
+/// "rank" on both the threaded cluster and the thread-per-rank simulator
+/// backend. The simulator's fiber backend breaks that identification:
+/// every rank runs on the scheduler's thread. At each fiber switch the
+/// scheduler calls [`swap_active`] to park the outgoing rank's recording
+/// in a `SavedTrace` and install the incoming rank's, so `Tracer::begin`
+/// / `finish` and all the free functions behave exactly as if each rank
+/// had its own thread.
+///
+/// Opaque and `Default` (an empty slot); zero-sized when the `record`
+/// feature is off.
+#[derive(Default)]
+#[doc(hidden)]
+pub struct SavedTrace {
+    #[cfg(feature = "record")]
+    inner: Option<RankTrace>,
+}
+
+/// Exchange the current thread's recording state with `saved`: installs
+/// `saved` (possibly empty) and returns what was active. A no-op pair of
+/// moves when the `record` feature is off.
+#[doc(hidden)]
+#[inline]
+pub fn swap_active(saved: SavedTrace) -> SavedTrace {
+    #[cfg(feature = "record")]
+    {
+        let prev = ACTIVE.with(|a| std::mem::replace(&mut *a.borrow_mut(), saved.inner));
+        SavedTrace { inner: prev }
+    }
+    #[cfg(not(feature = "record"))]
+    saved
+}
+
 /// Record a sample into the named log2-bucket histogram.
 #[inline]
 pub fn hist(name: &'static str, v: u64) {

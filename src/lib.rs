@@ -65,15 +65,19 @@
 //! | [`comm`] | `forestbal-comm` | threaded MPI-style runtime, `Comm` trait, §V Naive/Ranges/Notify reversal |
 //! | [`forest`] | `forestbal-forest` | brick connectivity, distributed forest, one-pass parallel balance |
 //! | [`mesh`] | `forestbal-mesh` | fractal (Fig. 14/15) and ice-sheet (Fig. 16/17) workloads |
-//! | [`sim`] | `forestbal-sim` | deterministic discrete-event simulator: same `Comm` API, virtual time, P ≥ 16384 |
+//! | [`sim`] | `forestbal-sim` | deterministic discrete-event simulator: same `Comm` API, virtual time, pluggable `NetworkModel`, P up to 112,128 |
 //! | [`service`] | `forestbal-service` | request-driven epoch runtime: snapshot queries, batched edits, incremental rebalance |
 //! | [`trace`] | `forestbal-trace` | per-rank spans/counters/histograms, chrome-trace (Perfetto) export |
 //!
 //! The parallel algorithms are generic over [`comm::Comm`], so the same
 //! closure runs on the threaded [`comm::Cluster`] (real parallelism,
 //! wall-clock time, up to a few hundred ranks) or on [`sim::SimCluster`]
-//! (single-threaded discrete-event execution, virtual time, tens of
-//! thousands of ranks, bit-identical across runs).
+//! (single-threaded discrete-event execution, virtual time, up to the
+//! paper's full-machine P = 112,128 ranks, bit-identical across runs).
+//! The simulator prices communication through a pluggable
+//! [`sim::NetworkModel`] — flat α-β by default, or node-hierarchy and
+//! contended fat-tree topologies (see `DESIGN.md` §12 for the trait
+//! contract).
 
 #![warn(missing_docs)]
 
@@ -96,5 +100,8 @@ pub mod prelude {
     pub use forestbal_forest::{BalanceVariant, BrickConnectivity, Forest, ReversalScheme, TreeId};
     pub use forestbal_octant::{Octant, MAX_LEVEL, ROOT_LEN};
     pub use forestbal_service::{ForestService, Request, Response, ServiceConfig};
-    pub use forestbal_sim::{SimCluster, SimConfig};
+    pub use forestbal_sim::{
+        Backend, FatTree, FatTreeParams, FlatAlphaBeta, Hierarchical, HierarchicalParams, NetStats,
+        NetworkModel, NetworkSpec, SimCluster, SimConfig, SimConfigBuilder,
+    };
 }
