@@ -5,8 +5,14 @@
 //!
 //! ```text
 //! timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|local|simscale|weakscale|all] [--max-ranks N] [--big]
-//!         [--trace-out trace.json]
+//!         [--threads N] [--trace-out trace.json]
 //! ```
+//!
+//! `--threads N` fixes the intra-rank fork-join pool width
+//! (`forestbal-par`) for every experiment in the run; the default is
+//! `FORESTBAL_THREADS`, else the host's core count. Results are
+//! bit-identical at every width by the pool's determinism contract —
+//! `--exp kernel` measures and asserts exactly that.
 //!
 //! Each experiment prints a table whose rows mirror a figure of the
 //! paper; see EXPERIMENTS.md for the mapping and for paper-vs-measured
@@ -345,8 +351,10 @@ fn run_kernel(big: bool) {
     }
     t.print();
 
+    let threads = forestbal_par::current().threads() as u64;
     for r in &rows {
         BenchRecord::new("kernel")
+            .u("threads", threads)
             .u("input_len", r.input_len as u64)
             .f("sort_struct_s", r.sort_struct_seconds)
             .f("sort_radix_s", r.sort_radix_seconds)
@@ -376,7 +384,65 @@ fn run_kernel(big: bool) {
             .emit();
     }
 
+    run_par(big);
     run_wire();
+}
+
+/// The intra-rank parallelism study: serial vs pooled hot kernels on one
+/// rank, with bit-identity asserted inside the run. The speedup columns
+/// only mean something on a multi-core host (`timings` reports the pool
+/// width it actually used); the checksum column is meaningful anywhere
+/// and is what the CI `par-matrix` job compares across thread counts.
+fn run_par(big: bool) {
+    let keys = 250_000;
+    let (level, spread) = if big { (3, 4) } else { (2, 4) };
+    println!("\n#### Intra-rank parallelism: pooled kernels vs one thread");
+    let r = par_kernel_experiment(keys, level, spread);
+    println!(
+        "pool width: {} thread(s) (set with --threads N or FORESTBAL_THREADS)",
+        r.threads
+    );
+    let ms = |s: f64| format!("{:.3}", s * 1e3);
+    let mut t = Table::new(
+        "Deterministic pooled kernels (ms, best of reps; identical output checked)",
+        &["kernel", "input", "serial", "pooled", "speedup", "checksum"],
+    );
+    t.row(vec![
+        "radix key sort".into(),
+        r.keys.to_string(),
+        ms(r.sort_serial_seconds),
+        ms(r.sort_par_seconds),
+        ratio(r.sort_serial_seconds, r.sort_par_seconds),
+        "= serial".into(),
+    ]);
+    t.row(vec![
+        "one-pass balance".into(),
+        r.octants_out.to_string(),
+        ms(r.balance_serial_seconds),
+        ms(r.balance_par_seconds),
+        ratio(r.balance_serial_seconds, r.balance_par_seconds),
+        format!("{:016x}", r.forest_checksum),
+    ]);
+    t.print();
+
+    BenchRecord::new("kernel_par")
+        .u("threads", r.threads as u64)
+        .u("keys", r.keys as u64)
+        .f("sort_serial_s", r.sort_serial_seconds)
+        .f("sort_par_s", r.sort_par_seconds)
+        .f(
+            "par_radix_speedup",
+            r.sort_serial_seconds / r.sort_par_seconds.max(1e-12),
+        )
+        .f("balance_serial_s", r.balance_serial_seconds)
+        .f("balance_par_s", r.balance_par_seconds)
+        .f(
+            "par_balance_speedup",
+            r.balance_serial_seconds / r.balance_par_seconds.max(1e-12),
+        )
+        .u("octants_out", r.octants_out)
+        .u("forest_checksum", r.forest_checksum)
+        .emit();
 }
 
 /// The wire-format study alone: cheap enough for the CI feature matrix,
@@ -419,8 +485,10 @@ fn run_wire() {
     }
     t.print();
 
+    let threads = forestbal_par::current().threads() as u64;
     for r in &wire {
         BenchRecord::new("kernel_wire")
+            .u("threads", threads)
             .u("dim", r.dim as u64)
             .u("key_bytes", r.key_bytes as u64)
             .u("octants", r.octants as u64)
@@ -882,6 +950,21 @@ fn main() {
                 }));
                 i += 2;
             }
+            "--threads" => {
+                let n: usize = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads requires an integer >= 1");
+                        std::process::exit(2);
+                    });
+                if !forestbal_par::set_global_threads(n) {
+                    eprintln!("--threads: pool already initialized");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
             "--max-ranks" => {
                 max_ranks = args
                     .get(i + 1)
@@ -901,7 +984,7 @@ fn main() {
                 eprintln!("unknown argument {other}");
                 eprintln!(
                     "usage: timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|local|simscale|weakscale|all] \
-                     [--max-ranks N] [--big] [--trace-out trace.json]"
+                     [--max-ranks N] [--threads N] [--big] [--trace-out trace.json]"
                 );
                 std::process::exit(2);
             }
@@ -925,7 +1008,7 @@ fn main() {
         eprintln!("unknown experiment {exp}");
         eprintln!(
             "usage: timings [--exp weak|strong|notify|subtree|kernel|wire|seeds|ripple|local|simscale|weakscale|all] \
-             [--max-ranks N] [--big] [--trace-out trace.json]"
+             [--max-ranks N] [--threads N] [--big] [--trace-out trace.json]"
         );
         std::process::exit(2);
     }

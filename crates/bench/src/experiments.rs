@@ -17,7 +17,8 @@ use forestbal_core::{
 use forestbal_forest::{BalanceReport, BalanceVariant, Forest, ReversalScheme};
 use forestbal_mesh::{fractal_forest, ice_sheet_forest, IceSheetParams};
 use forestbal_octant::{
-    complete_subtree, linearize, sort_octants_with, Octant, OctantSet, OctantTable, SortScratch,
+    complete_subtree, linearize, sort_keys_with, sort_octants_with, Octant, OctantSet, OctantTable,
+    SortScratch,
 };
 use forestbal_service::{clustered_batch, ForestService, Request, RequestClass, ServiceConfig};
 use forestbal_sim::{FatTreeParams, NetStats, NetworkSpec, SimCluster, SimConfig};
@@ -944,6 +945,122 @@ pub fn kernel_experiment(targets: &[usize]) -> Vec<KernelRow> {
         .collect()
 }
 
+/// The intra-rank parallelism study: the deterministic hot kernels at
+/// one pool width vs the session's configured width, on the same input.
+/// Bit-identity across widths is asserted inside the run (sorted output
+/// equality, forest checksum equality), so the row is also a witness of
+/// the `forestbal-par` determinism contract.
+#[derive(Clone, Debug)]
+pub struct ParKernelRow {
+    /// Pool width of the parallel columns (1 = everything serial).
+    pub threads: usize,
+    /// Packed 3D keys in the sort input.
+    pub keys: usize,
+    /// Packed radix key sort, forced one thread (best of reps).
+    pub sort_serial_seconds: f64,
+    /// The same sort through the configured pool.
+    pub sort_par_seconds: f64,
+    /// Fractal-forest one-pass balance (new variant), forced one thread.
+    pub balance_serial_seconds: f64,
+    /// The same balance through the configured pool.
+    pub balance_par_seconds: f64,
+    /// Global octants after balance (identical across widths).
+    pub octants_out: u64,
+    /// Forest checksum after balance (identical across widths).
+    pub forest_checksum: u64,
+}
+
+/// Measure [`ParKernelRow`]: a shuffled key sort of at least
+/// `keys_target` packed keys and a single-rank multi-tree balance, each
+/// serial vs the current global pool. On a single-core host the parallel
+/// columns report overhead, not speedup — the row still proves the
+/// determinism contract, which is what CI gates on unconditionally.
+pub fn par_kernel_experiment(keys_target: usize, level: u8, spread: u8) -> ParKernelRow {
+    use forestbal_octant::key;
+    use forestbal_par::Pool;
+    use std::hint::black_box;
+    use std::sync::Arc;
+
+    let pool = forestbal_par::current();
+    let threads = pool.threads();
+    let serial = Arc::new(Pool::new(1));
+
+    // --- parallel radix key sort vs one thread ---
+    // Adapted subtrees under distinct seeds, concatenated until the key
+    // count clears the target (one subtree tops out well below it), then
+    // shuffled. A sort input need not be a linear octree.
+    let mut keys: Vec<u128> = Vec::new();
+    let mut seed = 0u64;
+    while keys.len() < keys_target {
+        let part = adapted_subtree_input(keys_target.min(100_000), 0xfee1 ^ seed);
+        keys.extend(part.iter().map(key::pack));
+        seed += 1;
+    }
+    keys.truncate(keys_target);
+    shuffle(&mut keys, 0x5eed ^ keys_target as u64);
+
+    let reps = 5;
+    let mut sort = SortScratch::new();
+    let mut buf = keys.clone();
+    let sort_serial_seconds = timed_min(reps, || {
+        buf.copy_from_slice(&keys);
+        serial.install(|| sort_keys_with::<3>(black_box(&mut buf), &mut sort));
+    });
+    let serial_sorted = buf.clone();
+    let sort_par_seconds = timed_min(reps, || {
+        buf.copy_from_slice(&keys);
+        pool.install(|| sort_keys_with::<3>(black_box(&mut buf), &mut sort));
+    });
+    assert_eq!(buf, serial_sorted, "parallel radix diverged from serial");
+
+    // --- end-to-end balance, one rank, many trees ---
+    // Phase 1 and phase 4 parallelize per tree / per query, so the
+    // fractal forest (multiple root bricks) is the representative mesh.
+    let run = |width_pool: &Arc<Pool>| -> (f64, u64, u64) {
+        let p = width_pool.clone();
+        let out = Cluster::run(1, move |ctx| {
+            p.install(|| {
+                let mut best = f64::INFINITY;
+                let mut after = 0u64;
+                let mut sum = 0u64;
+                for _ in 0..3 {
+                    let mut f = fractal_forest(ctx, level, spread);
+                    let t0 = Instant::now();
+                    f.balance(
+                        ctx,
+                        Condition::full(3),
+                        BalanceVariant::New,
+                        ReversalScheme::Notify,
+                    );
+                    best = best.min(t0.elapsed().as_secs_f64());
+                    after = f.num_global(ctx);
+                    sum = f.checksum(ctx);
+                }
+                (best, after, sum)
+            })
+        });
+        out.results[0]
+    };
+    let (balance_serial_seconds, out_serial, sum_serial) = run(&serial);
+    let (balance_par_seconds, out_par, sum_par) = run(&pool);
+    assert_eq!(out_serial, out_par, "pool width changed the balanced mesh");
+    assert_eq!(
+        sum_serial, sum_par,
+        "pool width changed the forest checksum"
+    );
+
+    ParKernelRow {
+        threads,
+        keys: keys.len(),
+        sort_serial_seconds,
+        sort_par_seconds,
+        balance_serial_seconds,
+        balance_par_seconds,
+        octants_out: out_par,
+        forest_checksum: sum_par,
+    }
+}
+
 /// One row of the wire-format study: bytes per octant, tree-run framing
 /// overhead, and memcpy encode/decode throughput for the packed-key codec
 /// (`forestbal_forest::codec`), on a deterministic balanced forest.
@@ -1428,9 +1545,11 @@ mod tests {
     fn kernel_rows_are_self_checking() {
         // The driver asserts radix == sort_unstable, table == set, and
         // scratch == fresh internally; here we check the counters land.
-        let rows = kernel_experiment(&[300]);
+        // The target sits above `RADIX_MIN_LEN` so the shuffled sort
+        // takes the radix path, not the small-input comparison fallback.
+        let rows = kernel_experiment(&[2000]);
         let r = &rows[0];
-        assert!(r.input_len > 100);
+        assert!(r.input_len > forestbal_octant::RADIX_MIN_LEN);
         assert!(r.radix_passes >= 1, "shuffled input must need radix work");
         assert_eq!(r.table_grows, 0, "pre-sized table must not regrow");
         assert!(r.table_probes_per_op >= 1.0);

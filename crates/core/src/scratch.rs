@@ -34,6 +34,14 @@ pub struct BalanceScratch<const D: usize> {
     /// Secondary buffer (the new kernel's interior filter).
     pub(crate) aux: Vec<Octant<D>>,
     uses: u64,
+    /// Per-worker child arenas for parallel phases (see
+    /// [`BalanceScratch::take_workers`]); persist across calls so the
+    /// steady state stays allocation-free at any thread count.
+    workers: Vec<BalanceScratch<D>>,
+    /// Counter deltas merged back from worker arenas, included in
+    /// [`BalanceScratch::stats`] so a parallel phase reports the same
+    /// totals through the same snapshot API as a serial one.
+    absorbed: ScratchStats,
 }
 
 /// Cumulative instrumentation harvested from a [`BalanceScratch`]; the
@@ -58,6 +66,34 @@ pub struct ScratchStats {
     pub reuses: u64,
 }
 
+impl ScratchStats {
+    /// Fieldwise difference since an earlier snapshot of the same scratch.
+    pub fn delta_since(&self, base: &ScratchStats) -> ScratchStats {
+        ScratchStats {
+            radix_passes: self.radix_passes - base.radix_passes,
+            presorted_hits: self.presorted_hits - base.presorted_hits,
+            radix_sorts: self.radix_sorts - base.radix_sorts,
+            comparison_fallbacks: self.comparison_fallbacks - base.comparison_fallbacks,
+            table_probes: self.table_probes - base.table_probes,
+            table_lookups: self.table_lookups - base.table_lookups,
+            table_grows: self.table_grows - base.table_grows,
+            reuses: self.reuses - base.reuses,
+        }
+    }
+
+    /// Fieldwise accumulate.
+    pub fn accumulate(&mut self, d: &ScratchStats) {
+        self.radix_passes += d.radix_passes;
+        self.presorted_hits += d.presorted_hits;
+        self.radix_sorts += d.radix_sorts;
+        self.comparison_fallbacks += d.comparison_fallbacks;
+        self.table_probes += d.table_probes;
+        self.table_lookups += d.table_lookups;
+        self.table_grows += d.table_grows;
+        self.reuses += d.reuses;
+    }
+}
+
 impl<const D: usize> BalanceScratch<D> {
     /// New scratch with empty buffers.
     pub fn new() -> Self {
@@ -69,7 +105,30 @@ impl<const D: usize> BalanceScratch<D> {
             buf: Vec::new(),
             aux: Vec::new(),
             uses: 0,
+            workers: Vec::new(),
+            absorbed: ScratchStats::default(),
         }
+    }
+
+    /// Take exactly `n` per-worker child arenas for a parallel phase,
+    /// growing (fresh arenas) or shrinking the persistent stash as the
+    /// pool width dictates. Pair with [`BalanceScratch::restore_workers`].
+    pub fn take_workers(&mut self, n: usize) -> Vec<BalanceScratch<D>> {
+        let mut w = std::mem::take(&mut self.workers);
+        w.truncate(n);
+        w.resize_with(n, BalanceScratch::new);
+        w
+    }
+
+    /// Return worker arenas after a parallel phase, folding each worker's
+    /// counter growth since its `bases` snapshot into this scratch's
+    /// totals — in worker-index order, per the determinism contract of
+    /// `forestbal-par` (the totals are sums, hence schedule-invariant).
+    pub fn restore_workers(&mut self, workers: Vec<BalanceScratch<D>>, bases: &[ScratchStats]) {
+        for (w, base) in workers.iter().zip(bases) {
+            self.absorbed.accumulate(&w.stats().delta_since(base));
+        }
+        self.workers = workers;
     }
 
     /// Mark the start of one kernel invocation (reuse accounting).
@@ -87,9 +146,10 @@ impl<const D: usize> BalanceScratch<D> {
         linearize_with(v, &mut self.sort);
     }
 
-    /// Snapshot the cumulative instrumentation counters.
+    /// Snapshot the cumulative instrumentation counters, including deltas
+    /// absorbed from worker arenas of parallel phases.
     pub fn stats(&self) -> ScratchStats {
-        ScratchStats {
+        let mut s = ScratchStats {
             radix_passes: self.sort.radix_passes,
             presorted_hits: self.sort.presorted_hits,
             radix_sorts: self.sort.radix_sorts,
@@ -98,7 +158,9 @@ impl<const D: usize> BalanceScratch<D> {
             table_lookups: self.table_a.lookup_count() + self.table_b.lookup_count(),
             table_grows: self.table_a.grow_count() + self.table_b.grow_count(),
             reuses: self.uses.saturating_sub(1),
-        }
+        };
+        s.accumulate(&self.absorbed);
+        s
     }
 }
 

@@ -34,7 +34,7 @@ use crate::forest::Forest;
 use forestbal_comm::{ranges_expansion, reverse_naive, reverse_notify, reverse_ranges, Comm};
 use forestbal_core::{
     balance_subtree_new_with_stats_scratch, balance_subtree_old_ext_scratch, find_seeds,
-    reconstruct_from_seeds_scratch, BalanceScratch, Condition,
+    reconstruct_from_seeds_scratch, BalanceScratch, BalanceStats, Condition,
 };
 use forestbal_octant::{
     directions, is_linear, is_linear_keys, key, linearize, pack_batch, sort_octants, unpack_batch,
@@ -146,6 +146,43 @@ struct QueryEntry<const D: usize> {
     off: [Coord; D],
 }
 
+/// Phase-4 work item: a qid's merged seed set paired with its
+/// reconstruction result (tree, packed query key, packed replacements).
+type ReconTask<const D: usize> = (Vec<Octant<D>>, Option<(TreeId, u128, Vec<u128>)>);
+
+/// Phase-1 body for one tree: decode, subtree-balance, clip, re-encode in
+/// place. Each tree is independent (constraints never cross tree
+/// boundaries in phase 1 — that is exactly what phases 2–4 exist for), so
+/// the parallel path runs this per tree with per-worker scratch and the
+/// result is bit-identical to the serial loop.
+fn phase1_tree<const D: usize>(
+    v: &mut Vec<u128>,
+    decoded: &mut Vec<Octant<D>>,
+    cond: Condition,
+    variant: BalanceVariant,
+    scratch: &mut BalanceScratch<D>,
+) -> BalanceStats {
+    let (lo, hi) = (
+        PackedOctant::<D>(v[0]).index(),
+        PackedOctant::<D>(v[v.len() - 1]).last_index(),
+    );
+    decoded.clear();
+    unpack_batch(v, decoded);
+    let sub = decoded[0].nearest_common_ancestor(&decoded[decoded.len() - 1]);
+    let (balanced, bs) = match variant {
+        BalanceVariant::Old => balance_subtree_old_ext_scratch(&sub, decoded, &[], cond, scratch),
+        BalanceVariant::New => balance_subtree_new_with_stats_scratch(&sub, decoded, cond, scratch),
+    };
+    let clipped: Vec<Octant<D>> = balanced
+        .into_iter()
+        .filter(|o| o.index() >= lo && o.last_index() <= hi)
+        .collect();
+    v.clear();
+    pack_batch(&clipped, v);
+    debug_assert!(is_linear_keys::<D>(v));
+    bs
+}
+
 impl<const D: usize> Forest<D> {
     /// Enforce the 2:1 balance condition `cond` across the whole forest.
     /// Returns per-phase timings for this rank.
@@ -197,39 +234,43 @@ impl<const D: usize> Forest<D> {
         // One arena of kernel working memory serves every subtree of this
         // rank's phase-1 loop and is threaded on through phase 4.
         let ks_base = scratch.stats();
-        let mut local_stats = forestbal_core::BalanceStats::default();
-        let mut decoded: Vec<Octant<D>> = Vec::new();
-        for (_, v) in self.local.iter_mut() {
-            if v.is_empty() {
-                continue;
+        let mut local_stats = BalanceStats::default();
+        let pool = forestbal_par::current();
+        let mut tree_tasks: Vec<(&mut Vec<u128>, BalanceStats)> = self
+            .local
+            .iter_mut()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(_, v)| (v, BalanceStats::default()))
+            .collect();
+        if pool.threads() > 1 && tree_tasks.len() > 1 {
+            // Independent subtree kernels across the work queue, one task
+            // per tree, per-worker scratch arenas; stats fold in task order
+            // below, so nothing about the schedule reaches the output.
+            let workers = scratch.take_workers(pool.threads());
+            let bases: Vec<_> = workers.iter().map(|w| w.stats()).collect();
+            let mut stash = workers.into_iter();
+            let arena = forestbal_par::PerWorker::new(&pool, |_| {
+                (stash.next().expect("one arena per worker"), Vec::new())
+            });
+            pool.for_each_mut(&mut tree_tasks, |_, (v, stats), w| {
+                arena.with(w, |(ws, decoded)| {
+                    *stats = phase1_tree(v, decoded, cond, variant, ws);
+                });
+            });
+            scratch.restore_workers(arena.drain().map(|(ws, _)| ws).collect(), &bases);
+        } else {
+            let mut decoded: Vec<Octant<D>> = Vec::new();
+            for (v, stats) in tree_tasks.iter_mut() {
+                *stats = phase1_tree(v, &mut decoded, cond, variant, scratch);
             }
-            let (lo, hi) = (
-                PackedOctant::<D>(v[0]).index(),
-                PackedOctant::<D>(v[v.len() - 1]).last_index(),
-            );
-            decoded.clear();
-            unpack_batch(v, &mut decoded);
-            let sub = decoded[0].nearest_common_ancestor(&decoded[decoded.len() - 1]);
-            let (balanced, bs) = match variant {
-                BalanceVariant::Old => {
-                    balance_subtree_old_ext_scratch(&sub, &decoded, &[], cond, scratch)
-                }
-                BalanceVariant::New => {
-                    balance_subtree_new_with_stats_scratch(&sub, &decoded, cond, scratch)
-                }
-            };
+        }
+        for (_, bs) in &tree_tasks {
             local_stats.hash_queries += bs.hash_queries;
             local_stats.binary_searches += bs.binary_searches;
             local_stats.sorted_len += bs.sorted_len;
             local_stats.output_len += bs.output_len;
-            let clipped: Vec<Octant<D>> = balanced
-                .into_iter()
-                .filter(|o| o.index() >= lo && o.last_index() <= hi)
-                .collect();
-            v.clear();
-            pack_batch(&clipped, v);
-            debug_assert!(is_linear_keys::<D>(v));
         }
+        drop(tree_tasks);
         let t1 = ctx.now_ns();
         trace::span_end(|| t1);
         trace::counter_add("balance.local.hash_queries", local_stats.hash_queries);
@@ -558,20 +599,61 @@ impl<const D: usize> Forest<D> {
         cond: Condition,
         scratch: &mut BalanceScratch<D>,
     ) {
+        // Per-qid reconstructions are fully independent (each queried
+        // octant owns its seed set), so they form the phase-4 work queue.
+        // Replacements are collected per qid and merged below in qid order
+        // — the same insertion order as the serial loop, so the splice map
+        // is bit-identical for any thread count.
+        let pool = forestbal_par::current();
+        let reconstructed: Vec<Option<(TreeId, u128, Vec<u128>)>> =
+            if pool.threads() > 1 && per_qid.len() > 1 {
+                let workers = scratch.take_workers(pool.threads());
+                let bases: Vec<_> = workers.iter().map(|w| w.stats()).collect();
+                let mut stash = workers.into_iter();
+                let arena = forestbal_par::PerWorker::new(&pool, |_| {
+                    stash.next().expect("one arena per worker")
+                });
+                let mut tasks: Vec<ReconTask<D>> = per_qid.into_iter().map(|s| (s, None)).collect();
+                pool.for_each_mut(&mut tasks, |qid, (seeds, out), w| {
+                    if seeds.is_empty() {
+                        return;
+                    }
+                    let (t, r) = queries[qid];
+                    arena.with(w, |ws| {
+                        ws.linearize(seeds);
+                        let s = reconstruct_from_seeds_scratch(&r, seeds, cond, ws);
+                        if s.len() > 1 {
+                            let mut packed = Vec::with_capacity(s.len());
+                            pack_batch(&s, &mut packed);
+                            *out = Some((t, key::pack(&r), packed));
+                        }
+                    });
+                });
+                scratch.restore_workers(arena.drain().collect(), &bases);
+                tasks.into_iter().map(|(_, out)| out).collect()
+            } else {
+                per_qid
+                    .into_iter()
+                    .enumerate()
+                    .map(|(qid, mut seeds)| {
+                        if seeds.is_empty() {
+                            return None;
+                        }
+                        let (t, r) = queries[qid];
+                        scratch.linearize(&mut seeds);
+                        let s = reconstruct_from_seeds_scratch(&r, &seeds, cond, scratch);
+                        (s.len() > 1).then(|| {
+                            let mut packed = Vec::with_capacity(s.len());
+                            pack_batch(&s, &mut packed);
+                            (t, key::pack(&r), packed)
+                        })
+                    })
+                    .collect()
+            };
         // tree -> (query key -> packed replacement leaves)
         let mut splices: BTreeMap<TreeId, BTreeMap<u128, Vec<u128>>> = BTreeMap::new();
-        for (qid, mut seeds) in per_qid.into_iter().enumerate() {
-            if seeds.is_empty() {
-                continue;
-            }
-            let (t, r) = queries[qid];
-            scratch.linearize(&mut seeds);
-            let s = reconstruct_from_seeds_scratch(&r, &seeds, cond, scratch);
-            if s.len() > 1 {
-                let mut packed = Vec::with_capacity(s.len());
-                pack_batch(&s, &mut packed);
-                splices.entry(t).or_default().insert(key::pack(&r), packed);
-            }
+        for (t, rkey, packed) in reconstructed.into_iter().flatten() {
+            splices.entry(t).or_default().insert(rkey, packed);
         }
         for (t, mut reps) in splices {
             let v = self

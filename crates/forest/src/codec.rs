@@ -56,26 +56,93 @@ pub fn get_key<const D: usize>(buf: &[u8], pos: &mut usize) -> u128 {
     k
 }
 
-/// Append a batch of packed keys — the memcpy half of the wire format.
-pub fn put_keys<const D: usize>(buf: &mut Vec<u8>, keys: &[u128]) {
-    buf.reserve(keys.len() * key_size::<D>());
-    if D <= 2 {
-        for &k in keys {
-            buf.extend_from_slice(&(k as u64).to_le_bytes());
-        }
-    } else {
-        for &k in keys {
-            buf.extend_from_slice(&k.to_le_bytes());
+/// Batches at and above this many keys en/decode across the
+/// `forestbal-par` pool; byte `i*key_size..` is a pure function of key `i`,
+/// so chunked copies reproduce the serial bytes exactly.
+const PAR_KEYS_MIN: usize = 1 << 15;
+
+/// Minimum keys per parallel codec chunk.
+const PAR_KEYS_CHUNK: usize = 1 << 14;
+
+/// Slice core of [`put_keys`]: encode `keys[i]` at `dst[i*key_size..]`.
+#[inline]
+fn write_keys<const D: usize>(keys: &[u128], dst: &mut [u8]) {
+    let ks = key_size::<D>();
+    debug_assert_eq!(dst.len(), keys.len() * ks);
+    for (rec, &k) in dst.chunks_exact_mut(ks).zip(keys) {
+        if D <= 2 {
+            rec.copy_from_slice(&(k as u64).to_le_bytes());
+        } else {
+            rec.copy_from_slice(&k.to_le_bytes());
         }
     }
 }
 
-/// Read `count` packed keys at `pos` into `out`, advancing `pos`.
-pub fn get_keys<const D: usize>(buf: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u128>) {
-    out.reserve(count);
-    for _ in 0..count {
-        out.push(get_key::<D>(buf, pos));
+/// Slice core of [`get_keys`]: decode `src[i*key_size..]` into `dst[i]`.
+#[inline]
+fn read_keys<const D: usize>(src: &[u8], dst: &mut [u128]) {
+    let ks = key_size::<D>();
+    debug_assert_eq!(src.len(), dst.len() * ks);
+    for (rec, slot) in src.chunks_exact(ks).zip(dst) {
+        *slot = if D <= 2 {
+            u64::from_le_bytes(rec.try_into().unwrap()) as u128
+        } else {
+            u128::from_le_bytes(rec.try_into().unwrap())
+        };
     }
+}
+
+/// Append a batch of packed keys — the memcpy half of the wire format.
+/// Chunks across the `forestbal-par` pool at `PAR_KEYS_MIN` keys.
+pub fn put_keys<const D: usize>(buf: &mut Vec<u8>, keys: &[u128]) {
+    let ks = key_size::<D>();
+    let base = buf.len();
+    if keys.len() >= PAR_KEYS_MIN {
+        let pool = forestbal_par::current();
+        if pool.threads() > 1 {
+            buf.resize(base + keys.len() * ks, 0);
+            let out = forestbal_par::DisjointSlice::new(&mut buf[base..]);
+            let ranges = pool.chunk_ranges(keys.len(), PAR_KEYS_CHUNK);
+            pool.run(ranges.len(), |c, _| {
+                let r = ranges[c].clone();
+                // SAFETY: byte ranges of non-overlapping key ranges are
+                // non-overlapping; each task index runs exactly once.
+                let dst = unsafe { out.range_mut(r.start * ks..r.end * ks) };
+                write_keys::<D>(&keys[r], dst);
+            });
+            return;
+        }
+    }
+    buf.resize(base + keys.len() * ks, 0);
+    write_keys::<D>(keys, &mut buf[base..]);
+}
+
+/// Read `count` packed keys at `pos` into `out`, advancing `pos`. The
+/// decode half of the memcpy wire format, with the same pool dispatch as
+/// [`put_keys`].
+pub fn get_keys<const D: usize>(buf: &[u8], pos: &mut usize, count: usize, out: &mut Vec<u128>) {
+    let ks = key_size::<D>();
+    let src = &buf[*pos..*pos + count * ks];
+    let base = out.len();
+    out.resize(base + count, 0);
+    let dst = &mut out[base..];
+    *pos += count * ks;
+    if count >= PAR_KEYS_MIN {
+        let pool = forestbal_par::current();
+        if pool.threads() > 1 {
+            let shared = forestbal_par::DisjointSlice::new(dst);
+            let ranges = pool.chunk_ranges(count, PAR_KEYS_CHUNK);
+            pool.run(ranges.len(), |c, _| {
+                let r = ranges[c].clone();
+                // SAFETY: non-overlapping key ranges; one task per index.
+                read_keys::<D>(&src[r.start * ks..r.end * ks], unsafe {
+                    shared.range_mut(r)
+                });
+            });
+            return;
+        }
+    }
+    read_keys::<D>(src, dst);
 }
 
 /// Append a `u32`.
@@ -229,6 +296,49 @@ mod tests {
             let global = Forest::<2>::deserialize_leaves(&concat);
             assert_eq!(global, f.gather(ctx));
         });
+    }
+
+    #[test]
+    fn bulk_key_codec_bit_identical_across_thread_counts() {
+        // Above `PAR_KEYS_MIN` the bulk codec chunks across the pool;
+        // the wire bytes and the decoded keys must not depend on the
+        // pool width (including reused output buffers in steady state).
+        use forestbal_par::Pool;
+        use std::sync::Arc;
+        let n = PAR_KEYS_MIN + 1234;
+        let r = Octant::<3>::root();
+        let keys: Vec<u128> = (0..n)
+            .map(|i| key::pack(&r.child(i % 8).child((i / 8) % 8)))
+            .collect();
+
+        let serial = Arc::new(Pool::new(1));
+        let (base_buf, base_out) = serial.install(|| {
+            let mut buf = Vec::new();
+            put_keys::<3>(&mut buf, &keys);
+            let mut out = Vec::new();
+            let mut pos = 0;
+            get_keys::<3>(&buf, &mut pos, n, &mut out);
+            assert_eq!(pos, buf.len());
+            (buf, out)
+        });
+        assert_eq!(base_out, keys);
+
+        for threads in [2, 3, 8] {
+            let pool = Arc::new(Pool::new(threads));
+            pool.install(|| {
+                let mut buf = Vec::new();
+                let mut out = Vec::new();
+                for _ in 0..2 {
+                    buf.clear();
+                    put_keys::<3>(&mut buf, &keys);
+                    assert_eq!(buf, base_buf, "{threads} threads: bytes diverged");
+                    out.clear();
+                    let mut pos = 0;
+                    get_keys::<3>(&buf, &mut pos, n, &mut out);
+                    assert_eq!(out, base_out, "{threads} threads: keys diverged");
+                }
+            });
+        }
     }
 
     #[test]

@@ -17,6 +17,10 @@ use std::collections::BTreeMap;
 
 const GHOST_TAG: u32 = 0xBA1A_0020;
 
+/// Minimum leaves per chunk when the candidate scan runs on the pool;
+/// below this the per-chunk overhead beats the win.
+const GHOST_PAR_CHUNK: usize = 1 << 10;
+
 /// The remote leaves adjacent to this rank's partition, each with its
 /// owner rank, stored under their *home* tree in in-root coordinates and
 /// sorted in Morton order per tree.
@@ -83,27 +87,58 @@ impl<const D: usize> Forest<D> {
         // insulation layer; what I receive is exactly my ghost layer. The
         // leaf ships as its packed key straight out of the SoA storage,
         // framed into tree runs (wire format v2).
-        let mut out: BTreeMap<usize, (Vec<u8>, RunEncoder)> = BTreeMap::new();
-        let mut sent_octants = 0u64;
-        for (t, keys) in self.local.iter() {
+        //
+        // Candidate generation (the per-leaf direction/ownership scan) is
+        // chunked across the pool: each chunk emits its `(owner, key)`
+        // pairs in leaf-scan order, and the encoder replays them in chunk
+        // order below — byte-identical buffers for any thread count.
+        let this: &Forest<D> = self;
+        let pool = forestbal_par::current();
+        let mut chunks: Vec<(TreeId, &[u128])> = Vec::new();
+        for (t, keys) in this.local.iter() {
+            if pool.threads() > 1 {
+                for r in pool.chunk_ranges(keys.len(), GHOST_PAR_CHUNK) {
+                    if !r.is_empty() {
+                        chunks.push((t, &keys[r]));
+                    }
+                }
+            } else {
+                chunks.push((t, keys));
+            }
+        }
+        let scan_chunk = |&(t, keys): &(TreeId, &[u128])| -> Vec<(usize, u128)> {
+            let mut cand = Vec::new();
             for &k in keys {
                 let r = key::unpack::<D>(k);
                 let mut sent_to: Vec<usize> = Vec::new();
                 for dir in directions::<D>() {
                     let n = r.neighbor(&dir);
-                    let Some((t2, n2)) = self.connectivity().transform(t, &n) else {
+                    let Some((t2, n2)) = this.connectivity().transform(t, &n) else {
                         continue;
                     };
-                    for owner in self.owners_of_range(t2, n2.index(), n2.last_index()) {
+                    for owner in this.owners_of_range(t2, n2.index(), n2.last_index()) {
                         if owner == me || sent_to.contains(&owner) {
                             continue;
                         }
                         sent_to.push(owner);
-                        let (buf, enc) = out.entry(owner).or_default();
-                        enc.push::<D>(buf, t, k);
-                        sent_octants += 1;
+                        cand.push((owner, k));
                     }
                 }
+            }
+            cand
+        };
+        let candidates: Vec<Vec<(usize, u128)>> = if pool.threads() > 1 && chunks.len() > 1 {
+            pool.map(chunks.len(), |c, _| scan_chunk(&chunks[c]))
+        } else {
+            chunks.iter().map(scan_chunk).collect()
+        };
+        let mut out: BTreeMap<usize, (Vec<u8>, RunEncoder)> = BTreeMap::new();
+        let mut sent_octants = 0u64;
+        for ((t, _), cand) in chunks.iter().zip(&candidates) {
+            for &(owner, k) in cand {
+                let (buf, enc) = out.entry(owner).or_default();
+                enc.push::<D>(buf, *t, k);
+                sent_octants += 1;
             }
         }
 

@@ -48,7 +48,9 @@ use crate::forest::Forest;
 use crate::ghost::GhostLayer;
 use forestbal_comm::{reverse_notify, Comm};
 use forestbal_core::Condition;
-use forestbal_octant::{codim, directions, key, sort_keys_with, Octant, PackedOctant, MAX_LEVEL};
+use forestbal_octant::{
+    codim, directions, key, sort_keys_with, Octant, PackedOctant, SortScratch, MAX_LEVEL,
+};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Tag of the changed-leaf announcements (per-tag [`CommStats`] slot).
@@ -195,7 +197,6 @@ impl<const D: usize> Forest<D> {
     /// position and a merged parent starts where its first child did.
     pub fn apply_edits(&mut self, batch: &AdaptBatch<D>, max_level: u8) -> DirtySet<D> {
         assert!(max_level <= MAX_LEVEL);
-        let nc = Octant::<D>::NUM_CHILDREN;
         let mut dirty = DirtySet::default();
 
         // Group and radix-sort the edit keys per tree.
@@ -217,86 +218,54 @@ impl<const D: usize> Forest<D> {
         let mut trees: Vec<TreeId> = refines.keys().chain(coarsens.keys()).copied().collect();
         trees.sort_unstable();
         trees.dedup();
-        for t in trees {
-            let refi = refines.get(&t).map(Vec::as_slice).unwrap_or(&[]);
-            let coar = coarsens.get(&t).map(Vec::as_slice).unwrap_or(&[]);
-            if refi.is_empty() && coar.is_empty() {
-                continue;
+        // Edits addressed to trees with no local leaves are all stale.
+        for &t in &trees {
+            if self.local.get(t).is_none() {
+                dirty.skipped += (refines.get(&t).map_or(0, Vec::len)
+                    + coarsens.get(&t).map_or(0, Vec::len)) as u64;
             }
-            let Some(v) = self.local.get_mut(t) else {
-                dirty.skipped += (refi.len() + coar.len()) as u64;
-                continue;
-            };
-            // Parents keyed by their first child: that is the key the
-            // merge cursor actually meets in the leaf array.
-            let coar_c0: Vec<u128> = coar
-                .iter()
-                .map(|&p| PackedOctant::<D>(p).child(0).0)
-                .collect();
+        }
 
-            let mut out: Vec<u128> = Vec::with_capacity(v.len() + refi.len() * (nc - 1));
-            let mut tree_dirty: Vec<u128> = Vec::new();
-            let mut tree_coarsened: Vec<u128> = Vec::new();
-            let (mut ri, mut ci) = (0usize, 0usize);
-            let mut i = 0usize;
-            while i < v.len() {
-                let k = v[i];
-                while ri < refi.len() && refi[ri] < k {
-                    ri += 1;
-                    dirty.skipped += 1; // request for a non-leaf
-                }
-                while ci < coar.len() && coar_c0[ci] < k {
-                    ci += 1;
-                    dirty.skipped += 1; // family head not a local leaf
-                }
-                if ci < coar.len() && coar_c0[ci] == k {
-                    let p = PackedOctant::<D>(coar[ci]);
-                    let family_ok = p.level() > 0
-                        && i + nc <= v.len()
-                        && (1..nc).all(|j| v[i + j] == p.child(j).0);
-                    // Refine-vs-coarsen conflict: any refine request
-                    // inside the family's key span wins over the merge.
-                    let conflict = ri < refi.len() && refi[ri] <= p.child(nc - 1).0;
-                    ci += 1;
-                    if family_ok && !conflict {
-                        out.push(p.0);
-                        tree_dirty.push(p.0);
-                        tree_coarsened.push(p.0);
-                        dirty.coarsened += 1;
-                        i += nc;
-                        continue;
-                    }
-                    dirty.skipped += 1;
-                }
-                if ri < refi.len() && refi[ri] == k {
-                    ri += 1;
-                    let o = PackedOctant::<D>(k);
-                    if o.level() < max_level {
-                        for j in 0..nc {
-                            let c = o.child(j).0;
-                            out.push(c);
-                            tree_dirty.push(c);
-                        }
-                        dirty.refined += 1;
-                        i += 1;
-                        continue;
-                    }
-                    dirty.skipped += 1; // at the level cap
-                }
-                out.push(k);
-                i += 1;
+        // The per-tree validation/merge scans are independent: each reads
+        // only its own leaf array and its own slice of the sorted edits.
+        // With more than one dirty tree and a multi-thread pool they run
+        // as one task per tree with per-worker sort scratch; the outcomes
+        // fold below in tree order, so the dirty set (and the counters,
+        // which are sums) is identical at every thread count.
+        let refines = &refines;
+        let coarsens = &coarsens;
+        let mut tasks: Vec<(TreeId, &mut Vec<u128>, TreeEdits)> = self
+            .local
+            .iter_mut()
+            .filter(|(t, _)| trees.binary_search(t).is_ok())
+            .map(|(t, v)| (t, v, TreeEdits::default()))
+            .collect();
+        let pool = forestbal_par::current();
+        if pool.threads() > 1 && tasks.len() > 1 {
+            let arena = forestbal_par::PerWorker::new(&pool, |_| SortScratch::new());
+            pool.for_each_mut(&mut tasks, |_, (t, v, res), w| {
+                let refi = refines.get(t).map(Vec::as_slice).unwrap_or(&[]);
+                let coar = coarsens.get(t).map(Vec::as_slice).unwrap_or(&[]);
+                arena.with(w, |sort| {
+                    *res = merge_tree_edits::<D>(v, refi, coar, max_level, sort);
+                });
+            });
+        } else {
+            for (t, v, res) in tasks.iter_mut() {
+                let refi = refines.get(t).map(Vec::as_slice).unwrap_or(&[]);
+                let coar = coarsens.get(t).map(Vec::as_slice).unwrap_or(&[]);
+                *res = merge_tree_edits::<D>(v, refi, coar, max_level, &mut self.sort);
             }
-            dirty.skipped += (refi.len() - ri) as u64 + (coar.len() - ci) as u64;
-            // The merge emits in ascending key order; the radix sort's
-            // presorted early-out is a pure (debug-visible) check here.
-            sort_keys_with::<D>(&mut out, &mut self.sort);
-            debug_assert!(forestbal_octant::is_linear_keys::<D>(&out));
-            *v = out;
-            if !tree_dirty.is_empty() {
-                dirty.per_tree.insert(t, tree_dirty);
+        }
+        for (t, _, res) in tasks {
+            dirty.refined += res.refined;
+            dirty.coarsened += res.coarsened;
+            dirty.skipped += res.skipped;
+            if !res.dirty.is_empty() {
+                dirty.per_tree.insert(t, res.dirty);
             }
-            if !tree_coarsened.is_empty() {
-                dirty.coarsened_per_tree.insert(t, tree_coarsened);
+            if !res.coarsened_keys.is_empty() {
+                dirty.coarsened_per_tree.insert(t, res.coarsened_keys);
             }
         }
         debug_assert!(self.local.check_invariants());
@@ -563,6 +532,96 @@ impl<const D: usize> Forest<D> {
 /// The current leaf of `tree` containing octant key `n`, viewed through
 /// the overlay: `(base key, current leaf key)`, or `None` when no
 /// current leaf contains `n`.
+/// Outcome of one tree's edit-merge scan ([`merge_tree_edits`]).
+#[derive(Default)]
+struct TreeEdits {
+    /// Created leaves (children of refines, merged coarsen parents).
+    dirty: Vec<u128>,
+    /// Merged coarsen parents only.
+    coarsened_keys: Vec<u128>,
+    refined: u64,
+    coarsened: u64,
+    skipped: u64,
+}
+
+/// Validate and apply one tree's sorted refine/coarsen requests against
+/// its leaf array in a single merge pass. Pure per-tree kernel: reads
+/// nothing but its arguments, so [`Forest::apply_edits`] may run one
+/// invocation per tree concurrently.
+fn merge_tree_edits<const D: usize>(
+    v: &mut Vec<u128>,
+    refi: &[u128],
+    coar: &[u128],
+    max_level: u8,
+    sort: &mut SortScratch,
+) -> TreeEdits {
+    let nc = Octant::<D>::NUM_CHILDREN;
+    let mut res = TreeEdits::default();
+    // Parents keyed by their first child: that is the key the merge
+    // cursor actually meets in the leaf array.
+    let coar_c0: Vec<u128> = coar
+        .iter()
+        .map(|&p| PackedOctant::<D>(p).child(0).0)
+        .collect();
+
+    let mut out: Vec<u128> = Vec::with_capacity(v.len() + refi.len() * (nc - 1));
+    let (mut ri, mut ci) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < v.len() {
+        let k = v[i];
+        while ri < refi.len() && refi[ri] < k {
+            ri += 1;
+            res.skipped += 1; // request for a non-leaf
+        }
+        while ci < coar.len() && coar_c0[ci] < k {
+            ci += 1;
+            res.skipped += 1; // family head not a local leaf
+        }
+        if ci < coar.len() && coar_c0[ci] == k {
+            let p = PackedOctant::<D>(coar[ci]);
+            let family_ok =
+                p.level() > 0 && i + nc <= v.len() && (1..nc).all(|j| v[i + j] == p.child(j).0);
+            // Refine-vs-coarsen conflict: any refine request inside the
+            // family's key span wins over the merge.
+            let conflict = ri < refi.len() && refi[ri] <= p.child(nc - 1).0;
+            ci += 1;
+            if family_ok && !conflict {
+                out.push(p.0);
+                res.dirty.push(p.0);
+                res.coarsened_keys.push(p.0);
+                res.coarsened += 1;
+                i += nc;
+                continue;
+            }
+            res.skipped += 1;
+        }
+        if ri < refi.len() && refi[ri] == k {
+            ri += 1;
+            let o = PackedOctant::<D>(k);
+            if o.level() < max_level {
+                for j in 0..nc {
+                    let c = o.child(j).0;
+                    out.push(c);
+                    res.dirty.push(c);
+                }
+                res.refined += 1;
+                i += 1;
+                continue;
+            }
+            res.skipped += 1; // at the level cap
+        }
+        out.push(k);
+        i += 1;
+    }
+    res.skipped += (refi.len() - ri) as u64 + (coar.len() - ci) as u64;
+    // The merge emits in ascending key order; the radix sort's presorted
+    // early-out is a pure (debug-visible) check here.
+    sort_keys_with::<D>(&mut out, sort);
+    debug_assert!(forestbal_octant::is_linear_keys::<D>(&out));
+    *v = out;
+    res
+}
+
 fn container<const D: usize>(
     local: &crate::store::LeafStore<D>,
     overlay: &Overlay,

@@ -73,5 +73,7 @@ pub use linear::{
 pub use morton::MortonIndex;
 pub use octant::{OctBuf, Octant};
 pub use packed::{pack_batch, simd_active, unpack_batch, PackedOctant};
-pub use sort::{sort_keys_with, sort_octants, sort_octants_with, SortScratch};
+pub use sort::{
+    sort_keys_with, sort_octants, sort_octants_with, SortScratch, PAR_MIN_LEN, RADIX_MIN_LEN,
+};
 pub use table::OctantTable;

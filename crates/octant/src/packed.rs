@@ -275,29 +275,99 @@ impl<const D: usize> PackedOctant<D> {
     }
 }
 
-/// Pack a batch of octants into keys, appending to `dst`. Dispatches to the
-/// BMI2 `pdep` kernel when the `simd` feature is enabled and the CPU
-/// supports it; the scalar path is bit-identical.
-pub fn pack_batch<const D: usize>(src: &[Octant<D>], dst: &mut Vec<u128>) {
+/// Batches at and above this many octants chunk across the
+/// `forestbal-par` pool. Position `i` of the output is a pure function of
+/// position `i` of the input, so any contiguous partition reproduces the
+/// serial result exactly — the cheapest possible determinism argument.
+const PAR_BATCH_MIN: usize = 1 << 15;
+
+/// Minimum octants per parallel codec chunk.
+const PAR_BATCH_CHUNK: usize = 1 << 13;
+
+/// Slice core of [`pack_batch`]: encode `src[i]` into `dst[i]`, dispatching
+/// to the BMI2 `pdep` kernel when available. Bit-identical either way.
+#[inline]
+fn pack_into<const D: usize>(src: &[Octant<D>], dst: &mut [u128]) {
+    debug_assert_eq!(src.len(), dst.len());
     #[cfg(all(feature = "simd", target_arch = "x86_64"))]
     if crate::simd::bmi2_available() && (D == 2 || D == 3) {
         // SAFETY: bmi2 support was just detected at runtime.
-        unsafe { crate::simd::pack_batch_bmi2(src, dst) };
+        unsafe { crate::simd::pack_slice_bmi2(src, dst) };
         return;
     }
-    dst.extend(src.iter().map(key::pack));
+    for (slot, o) in dst.iter_mut().zip(src) {
+        *slot = key::pack(o);
+    }
+}
+
+/// Slice core of [`unpack_batch`], with the same BMI2 (`pext`) dispatch.
+#[inline]
+fn unpack_into<const D: usize>(src: &[u128], dst: &mut [Octant<D>]) {
+    debug_assert_eq!(src.len(), dst.len());
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if crate::simd::bmi2_available() && (D == 2 || D == 3) {
+        // SAFETY: bmi2 support was just detected at runtime.
+        unsafe { crate::simd::unpack_slice_bmi2(src, dst) };
+        return;
+    }
+    for (slot, &k) in dst.iter_mut().zip(src) {
+        *slot = key::unpack(k);
+    }
+}
+
+/// Pack a batch of octants into keys, appending to `dst`. Dispatches to the
+/// BMI2 `pdep` kernel when the `simd` feature is enabled and the CPU
+/// supports it, and chunks across the `forestbal-par` pool at
+/// `PAR_BATCH_MIN` octants — the two compose, and every path is
+/// bit-identical.
+pub fn pack_batch<const D: usize>(src: &[Octant<D>], dst: &mut Vec<u128>) {
+    let base = dst.len();
+    dst.resize(base + src.len(), 0);
+    let out = &mut dst[base..];
+    if src.len() >= PAR_BATCH_MIN {
+        let pool = forestbal_par::current();
+        if pool.threads() > 1 {
+            let ranges = pool.chunk_ranges(src.len(), PAR_BATCH_CHUNK);
+            let shared = forestbal_par::DisjointSlice::new(out);
+            pool.run(ranges.len(), |c, _| {
+                let r = ranges[c].clone();
+                // SAFETY: `chunk_ranges` yields non-overlapping ranges and
+                // each task index runs exactly once.
+                pack_into(&src[r.clone()], unsafe { shared.range_mut(r) });
+            });
+            return;
+        }
+    }
+    pack_into(src, out);
 }
 
 /// Decode a batch of keys into octants, appending to `dst`. The inverse of
-/// [`pack_batch`], with the same BMI2 (`pext`) dispatch.
+/// [`pack_batch`], with the same BMI2 + pool dispatch.
 pub fn unpack_batch<const D: usize>(src: &[u128], dst: &mut Vec<Octant<D>>) {
-    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-    if crate::simd::bmi2_available() && (D == 2 || D == 3) {
-        // SAFETY: bmi2 support was just detected at runtime.
-        unsafe { crate::simd::unpack_batch_bmi2(src, dst) };
-        return;
+    let base = dst.len();
+    dst.resize(
+        base + src.len(),
+        Octant {
+            coords: [0; D],
+            level: 0,
+        },
+    );
+    let out = &mut dst[base..];
+    if src.len() >= PAR_BATCH_MIN {
+        let pool = forestbal_par::current();
+        if pool.threads() > 1 {
+            let ranges = pool.chunk_ranges(src.len(), PAR_BATCH_CHUNK);
+            let shared = forestbal_par::DisjointSlice::new(out);
+            pool.run(ranges.len(), |c, _| {
+                let r = ranges[c].clone();
+                // SAFETY: `chunk_ranges` yields non-overlapping ranges and
+                // each task index runs exactly once.
+                unpack_into(&src[r.clone()], unsafe { shared.range_mut(r) });
+            });
+            return;
+        }
     }
-    dst.extend(src.iter().map(|&k| key::unpack(k)));
+    unpack_into(src, out);
 }
 
 /// Which accelerated kernels are active at runtime, for BENCH reporting:
@@ -362,6 +432,51 @@ mod tests {
     fn root_constant_matches_pack() {
         assert_eq!(P2::root(), P2::new(&Octant::root()));
         assert_eq!(P3::root(), P3::new(&Octant::root()));
+    }
+
+    fn batch_codec_thread_invariant<const D: usize>() {
+        // Above `PAR_BATCH_MIN` the batch codecs chunk across the pool;
+        // packed keys and decoded octants must not depend on the width,
+        // appending after existing content and reusing buffers included.
+        use forestbal_par::Pool;
+        use std::sync::Arc;
+        let n = PAR_BATCH_MIN + 321;
+        let src: Vec<Octant<D>> = (0..n)
+            .map(|i| Octant::<D>::root().child(i % 4).child((i / 4) % 4))
+            .collect();
+
+        let serial = Arc::new(Pool::new(1));
+        let (base_keys, base_back) = serial.install(|| {
+            let mut keys = vec![7u128]; // pre-existing content survives
+            pack_batch(&src, &mut keys);
+            let mut back = Vec::new();
+            unpack_batch(&keys[1..], &mut back);
+            (keys, back)
+        });
+        assert_eq!(base_back, src);
+
+        for threads in [2, 3, 8] {
+            let pool = Arc::new(Pool::new(threads));
+            pool.install(|| {
+                let mut keys = Vec::new();
+                let mut back = Vec::new();
+                for _ in 0..2 {
+                    keys.clear();
+                    keys.push(7u128);
+                    pack_batch(&src, &mut keys);
+                    assert_eq!(keys, base_keys, "{threads} threads: pack diverged");
+                    back.clear();
+                    unpack_batch(&keys[1..], &mut back);
+                    assert_eq!(back, base_back, "{threads} threads: unpack diverged");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn batch_codec_bit_identical_across_thread_counts() {
+        batch_codec_thread_invariant::<2>();
+        batch_codec_thread_invariant::<3>();
     }
 
     #[test]

@@ -53,15 +53,17 @@ const M3_LO: u64 = 0x1249_2492_4924_9249;
 /// Stride-3 bit plane of axis 0 (coordinate bits 21..27, after `>> 63`).
 const M3_HI: u64 = 0x9249;
 
-/// Batch [`crate::key::pack`] using `pdep` for the bit spread.
+/// Slice core of [`pack_batch_bmi2`]: encode `src[i]` into `dst[i]`.
+/// This form chunks cleanly across the `forestbal-par` pool — each task
+/// packs into its own disjoint destination range.
 ///
 /// # Safety
 /// The caller must have verified BMI2 support ([`bmi2_available`]).
 #[target_feature(enable = "bmi2")]
-pub unsafe fn pack_batch_bmi2<const D: usize>(src: &[Octant<D>], dst: &mut Vec<u128>) {
+pub unsafe fn pack_slice_bmi2<const D: usize>(src: &[Octant<D>], dst: &mut [u128]) {
     debug_assert!(D == 2 || D == 3);
-    dst.reserve(src.len());
-    for o in src {
+    debug_assert_eq!(src.len(), dst.len());
+    for (slot, o) in dst.iter_mut().zip(src) {
         debug_assert!(crate::key::packable(o), "unpackable octant {o:?}");
         let key = match D {
             2 => {
@@ -81,19 +83,31 @@ pub unsafe fn pack_batch_bmi2<const D: usize>(src: &[Octant<D>], dst: &mut Vec<u
                 idx << KEY_LEVEL_BITS | o.level as u128
             }
         };
-        dst.push(key);
+        *slot = key;
     }
 }
 
-/// Batch [`crate::key::unpack`] using `pext` for the bit compact.
+/// Batch [`crate::key::pack`] using `pdep` for the bit spread.
 ///
 /// # Safety
 /// The caller must have verified BMI2 support ([`bmi2_available`]).
 #[target_feature(enable = "bmi2")]
-pub unsafe fn unpack_batch_bmi2<const D: usize>(src: &[u128], dst: &mut Vec<Octant<D>>) {
+pub unsafe fn pack_batch_bmi2<const D: usize>(src: &[Octant<D>], dst: &mut Vec<u128>) {
+    let base = dst.len();
+    dst.resize(base + src.len(), 0);
+    // SAFETY: caller verified BMI2.
+    unsafe { pack_slice_bmi2(src, &mut dst[base..]) };
+}
+
+/// Slice core of [`unpack_batch_bmi2`]: decode `src[i]` into `dst[i]`.
+///
+/// # Safety
+/// The caller must have verified BMI2 support ([`bmi2_available`]).
+#[target_feature(enable = "bmi2")]
+pub unsafe fn unpack_slice_bmi2<const D: usize>(src: &[u128], dst: &mut [Octant<D>]) {
     debug_assert!(D == 2 || D == 3);
-    dst.reserve(src.len());
-    for &key in src {
+    debug_assert_eq!(src.len(), dst.len());
+    for (slot, &key) in dst.iter_mut().zip(src) {
         let level = (key & ((1 << KEY_LEVEL_BITS) - 1)) as u8;
         let idx = key >> KEY_LEVEL_BITS;
         let coords = std::array::from_fn(|j| {
@@ -107,8 +121,26 @@ pub unsafe fn unpack_batch_bmi2<const D: usize>(src: &[u128], dst: &mut Vec<Octa
             };
             b as crate::coords::Coord - crate::key::KEY_BIAS
         });
-        dst.push(Octant { coords, level });
+        *slot = Octant { coords, level };
     }
+}
+
+/// Batch [`crate::key::unpack`] using `pext` for the bit compact.
+///
+/// # Safety
+/// The caller must have verified BMI2 support ([`bmi2_available`]).
+#[target_feature(enable = "bmi2")]
+pub unsafe fn unpack_batch_bmi2<const D: usize>(src: &[u128], dst: &mut Vec<Octant<D>>) {
+    let base = dst.len();
+    dst.resize(
+        base + src.len(),
+        Octant {
+            coords: [0; D],
+            level: 0,
+        },
+    );
+    // SAFETY: caller verified BMI2.
+    unsafe { unpack_slice_bmi2(src, &mut dst[base..]) };
 }
 
 /// AVX2 check that every coordinate of every octant lies in the packable

@@ -17,9 +17,29 @@
 //! back to `sort_unstable`; the balance algorithms never produce such
 //! octants (see [`crate::key::packable`]), but the fallback keeps the
 //! routine total.
+//!
+//! # Parallel path
+//!
+//! At [`PAR_MIN_LEN`] keys and above, the scatter passes run across the
+//! [`forestbal_par`] pool under its determinism contract: the key array is
+//! split into contiguous chunks (pure arithmetic, load-independent), each
+//! worker histograms and scatters its own chunk, and every chunk's scatter
+//! destination is *precomputed* as
+//!
+//! ```text
+//! offset(chunk c, digit d) = Σ_{d' < d} total[d']  +  Σ_{c' < c} count[c'][d]
+//! ```
+//!
+//! — exactly the position serial stable LSD would assign, for any chunk
+//! count. Chunks write disjoint ranges, no ordering between workers can
+//! leak into the output, and the trivial-pass decision uses the summed
+//! totals (permutation-invariant), so the executed pass set matches serial
+//! too. Output and `SortScratch` counters are therefore bit-identical for
+//! every thread count, including 1.
 
 use crate::key::{self, key_bits};
 use crate::octant::Octant;
+use forestbal_par::Pool;
 
 /// Reusable buffers for [`sort_octants_with`]. One scratch serves any
 /// number of sorts of any dimension; buffers grow to the high-water mark
@@ -49,7 +69,22 @@ impl SortScratch {
 }
 
 /// Below this length a comparison sort beats packing + histogramming.
-const RADIX_MIN_LEN: usize = 64;
+///
+/// The kernel bench (`timings --exp kernel`) showed the previous cutoff of
+/// 64 was too eager: at n≈330 the radix path ran at 0.90× of
+/// `sort_unstable` — the fixed cost of gathering 8–11 byte histograms
+/// dominates until the O(n log n) comparisons have a few thousand elements
+/// to lose on. The crossover is pinned by the
+/// `small_input_crossover_pins_cutoff` test.
+pub const RADIX_MIN_LEN: usize = 512;
+
+/// At and above this many keys the scatter passes run on the
+/// [`forestbal_par`] pool (when it has more than one thread). Below it the
+/// per-pass fork-join overhead outweighs the memory-bandwidth win.
+pub const PAR_MIN_LEN: usize = 1 << 15;
+
+/// Minimum keys per parallel chunk; bounds scheduling overhead per task.
+const PAR_MIN_CHUNK: usize = 1 << 13;
 
 /// Sort octants into Morton order (ancestors first), equivalent to
 /// `a.sort_unstable()`. Allocates its own scratch; prefer
@@ -133,7 +168,7 @@ fn unpack_keys<const D: usize, K: Copy>(
 }
 
 /// An unsigned integer usable as a radix-sort key.
-trait RadixKey: Copy + Default {
+trait RadixKey: Copy + Default + Send + Sync {
     fn byte(self, i: u32) -> usize;
 }
 
@@ -152,10 +187,23 @@ impl RadixKey for u128 {
 }
 
 /// LSD radix sort of `keys` using `tmp` as the ping-pong buffer, visiting
-/// only the low `bits` bits. Histograms for every digit position are
-/// gathered in one pass, and positions where all keys share one byte value
-/// are skipped. Returns the number of scatter passes executed.
+/// only the low `bits` bits. Dispatches to the parallel scatter at
+/// [`PAR_MIN_LEN`]; both paths produce bit-identical output and pass
+/// counts. Returns the number of scatter passes executed.
 fn radix_lsd<K: RadixKey>(keys: &mut Vec<K>, tmp: &mut Vec<K>, bits: u32) -> u64 {
+    if keys.len() >= PAR_MIN_LEN {
+        let pool = forestbal_par::current();
+        if pool.threads() > 1 {
+            return radix_lsd_par(keys, tmp, bits, &pool);
+        }
+    }
+    radix_lsd_serial(keys, tmp, bits)
+}
+
+/// Serial LSD radix sort — the specification the parallel path must match
+/// bit-for-bit. Histograms for every digit position are gathered in one
+/// pass, and positions where all keys share one byte value are skipped.
+fn radix_lsd_serial<K: RadixKey>(keys: &mut Vec<K>, tmp: &mut Vec<K>, bits: u32) -> u64 {
     let n = keys.len();
     debug_assert!(n < u32::MAX as usize);
     let num_digits = bits.div_ceil(8) as usize;
@@ -186,6 +234,114 @@ fn radix_lsd<K: RadixKey>(keys: &mut Vec<K>, tmp: &mut Vec<K>, bits: u32) -> u64
             let d = k.byte(b as u32);
             tmp[h[d] as usize] = k;
             h[d] += 1;
+        }
+        std::mem::swap(keys, tmp);
+        passes += 1;
+    }
+    passes
+}
+
+/// Raw destination slice for the parallel scatter. Chunks write disjoint
+/// index ranges (see the module docs for the offset construction), so
+/// concurrent writes never alias.
+struct ScatterDst<K>(*mut K);
+// SAFETY: access is partitioned by precomputed disjoint offset ranges.
+unsafe impl<K: Send> Sync for ScatterDst<K> {}
+impl<K> ScatterDst<K> {
+    #[inline]
+    fn write(&self, i: usize, v: K) {
+        // SAFETY: `i` lies in this chunk's precomputed disjoint range, which
+        // is in bounds of the `tmp` allocation (resized to n before use).
+        unsafe { self.0.add(i).write(v) }
+    }
+}
+
+/// Parallel LSD radix sort: per-chunk histograms, precomputed stable
+/// scatter offsets, disjoint chunk writes. Bit-identical to
+/// [`radix_lsd_serial`] for any chunk count — the differential proptests
+/// pin this across thread counts {1, 2, 3, 8}.
+fn radix_lsd_par<K: RadixKey>(keys: &mut Vec<K>, tmp: &mut Vec<K>, bits: u32, pool: &Pool) -> u64 {
+    let n = keys.len();
+    debug_assert!(n < u32::MAX as usize);
+    let num_digits = bits.div_ceil(8) as usize;
+    debug_assert!(num_digits <= 16);
+    let ranges = pool.chunk_ranges(n, PAR_MIN_CHUNK);
+    let chunks = ranges.len();
+    if chunks < 2 {
+        return radix_lsd_serial(keys, tmp, bits);
+    }
+    // One parallel scan gathers every digit position's histogram per chunk,
+    // mirroring the serial one-scan gather.
+    let first_hists: Vec<Box<[[u32; 256]]>> = {
+        let src: &[K] = keys;
+        let ranges = &ranges;
+        pool.map(chunks, |c, _| {
+            let mut h = vec![[0u32; 256]; num_digits].into_boxed_slice();
+            for &k in &src[ranges[c].clone()] {
+                for (b, hb) in h.iter_mut().enumerate() {
+                    hb[k.byte(b as u32)] += 1;
+                }
+            }
+            h
+        })
+    };
+    // Per-digit totals are permutation-invariant, so the trivial-pass
+    // decisions below match the serial path exactly.
+    let mut totals = vec![[0u32; 256]; num_digits];
+    for h in &first_hists {
+        for (t, hb) in totals.iter_mut().zip(h.iter()) {
+            for (td, &hd) in t.iter_mut().zip(hb.iter()) {
+                *td += hd;
+            }
+        }
+    }
+    tmp.clear();
+    tmp.resize(n, K::default());
+    let mut passes = 0u64;
+    for b in 0..num_digits {
+        if totals[b].iter().any(|&c| c as usize == n) {
+            continue;
+        }
+        // Per-chunk digit counts for the *current* arrangement: the
+        // first executed pass can reuse the initial scan; later passes see
+        // reshuffled chunks and must recount this digit.
+        let counts: Vec<[u32; 256]> = if passes == 0 {
+            first_hists.iter().map(|h| h[b]).collect()
+        } else {
+            let src: &[K] = keys;
+            let ranges = &ranges;
+            pool.map(chunks, |c, _| {
+                let mut h = [0u32; 256];
+                for &k in &src[ranges[c].clone()] {
+                    h[k.byte(b as u32)] += 1;
+                }
+                h
+            })
+        };
+        // starts[c][d] = (exclusive prefix of totals over digits) +
+        // (exclusive prefix of counts over earlier chunks) — the exact
+        // position serial stable scatter would use.
+        let mut starts = vec![[0u32; 256]; chunks];
+        let mut digit_base = 0u32;
+        for d in 0..256 {
+            let mut run = digit_base;
+            for c in 0..chunks {
+                starts[c][d] = run;
+                run += counts[c][d];
+            }
+            digit_base += totals[b][d];
+        }
+        {
+            let src: &[K] = keys;
+            let ranges = &ranges;
+            let dst = ScatterDst(tmp.as_mut_ptr());
+            pool.for_each_mut(&mut starts, |c, row, _| {
+                for &k in &src[ranges[c].clone()] {
+                    let d = k.byte(b as u32);
+                    dst.write(row[d] as usize, k);
+                    row[d] += 1;
+                }
+            });
         }
         std::mem::swap(keys, tmp);
         passes += 1;
@@ -293,8 +449,8 @@ mod tests {
     #[test]
     fn scratch_reuse_across_dimensions() {
         let mut s = SortScratch::new();
-        let mut a2 = soup::<2>(300, 9, 9);
-        let mut a3 = soup::<3>(300, 9, 9);
+        let mut a2 = soup::<2>(2000, 9, 9);
+        let mut a3 = soup::<3>(2000, 9, 9);
         let (mut b2, mut b3) = (a2.clone(), a3.clone());
         sort_octants_with(&mut a2, &mut s);
         sort_octants_with(&mut a3, &mut s);
@@ -304,5 +460,102 @@ mod tests {
         b3.sort_unstable();
         assert_eq!(a2, b2);
         assert_eq!(a3, b3);
+    }
+
+    #[test]
+    fn small_input_crossover_pins_cutoff() {
+        // One octant below the cutoff: the comparison fallback must run
+        // (no histogram cost on tiny inputs — the n≈330 regression fix).
+        let mut below = soup::<3>(RADIX_MIN_LEN - 1, 21, 9);
+        let mut s = SortScratch::new();
+        sort_octants_with(&mut below, &mut s);
+        assert_eq!((s.comparison_fallbacks, s.radix_sorts), (1, 0));
+        assert!(below.windows(2).all(|w| w[0] <= w[1]));
+        // At the cutoff: the radix path must take over.
+        let mut at = soup::<3>(RADIX_MIN_LEN, 21, 9);
+        let mut s = SortScratch::new();
+        sort_octants_with(&mut at, &mut s);
+        assert_eq!((s.comparison_fallbacks, s.radix_sorts), (0, 1));
+        assert!(at.windows(2).all(|w| w[0] <= w[1]));
+        // Same crossover on the native packed-key path.
+        let mut keys: Vec<u128> = soup::<2>(RADIX_MIN_LEN, 33, 12)
+            .iter()
+            .map(key::pack::<2>)
+            .collect();
+        let mut s = SortScratch::new();
+        sort_keys_with::<2>(&mut keys, &mut s);
+        assert_eq!((s.comparison_fallbacks, s.radix_sorts), (0, 1));
+        keys.truncate(RADIX_MIN_LEN - 1);
+        keys.reverse(); // definitely unsorted
+        let mut s = SortScratch::new();
+        sort_keys_with::<2>(&mut keys, &mut s);
+        assert_eq!((s.comparison_fallbacks, s.radix_sorts), (1, 0));
+    }
+
+    /// The parallel radix must be bit-identical to serial (threads = 1) for
+    /// every thread count, both key widths, including reused-scratch steady
+    /// state. This is the kernel-level half of the determinism contract;
+    /// the forest-level half lives in `crates/forest/tests/par_differential`.
+    #[test]
+    fn parallel_radix_bit_identical_across_thread_counts() {
+        use std::sync::Arc;
+        let n = PAR_MIN_LEN + 4321; // above the parallel threshold
+        for seed in [3u64, 17] {
+            let base2 = soup::<2>(n, seed, 13);
+            let base3 = soup::<3>(n, seed, 13);
+            let serial_pool = Arc::new(Pool::new(1));
+            let (expected2, expected3, expected_counters) = serial_pool.install(|| {
+                let mut s = SortScratch::new();
+                let (mut a2, mut a3) = (base2.clone(), base3.clone());
+                sort_octants_with(&mut a2, &mut s);
+                sort_octants_with(&mut a3, &mut s);
+                // Steady state: sort again pre-sorted, then a reshuffled copy.
+                sort_octants_with(&mut a2, &mut s);
+                let mut again = base3.clone();
+                sort_octants_with(&mut again, &mut s);
+                assert_eq!(again, a3);
+                (a2, a3, (s.radix_passes, s.presorted_hits, s.radix_sorts))
+            });
+            for threads in [2usize, 3, 8] {
+                let pool = Arc::new(Pool::new(threads));
+                pool.install(|| {
+                    let mut s = SortScratch::new();
+                    let (mut a2, mut a3) = (base2.clone(), base3.clone());
+                    sort_octants_with(&mut a2, &mut s);
+                    sort_octants_with(&mut a3, &mut s);
+                    sort_octants_with(&mut a2, &mut s);
+                    let mut again = base3.clone();
+                    sort_octants_with(&mut again, &mut s);
+                    assert_eq!(a2, expected2, "threads={threads} seed={seed} 2D");
+                    assert_eq!(a3, expected3, "threads={threads} seed={seed} 3D");
+                    assert_eq!(again, expected3);
+                    assert_eq!(
+                        (s.radix_passes, s.presorted_hits, s.radix_sorts),
+                        expected_counters,
+                        "threads={threads}: counters must be schedule-invariant"
+                    );
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_key_sort_matches_serial() {
+        use std::sync::Arc;
+        let n = PAR_MIN_LEN * 2 + 77;
+        let octs = soup::<3>(n, 41, 14);
+        let base: Vec<u128> = octs.iter().map(key::pack::<3>).collect();
+        let mut expected = base.clone();
+        expected.sort_unstable();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = Arc::new(Pool::new(threads));
+            pool.install(|| {
+                let mut s = SortScratch::new();
+                let mut keys = base.clone();
+                sort_keys_with::<3>(&mut keys, &mut s);
+                assert_eq!(keys, expected, "threads={threads}");
+                assert!(s.radix_passes > 0);
+            });
+        }
     }
 }

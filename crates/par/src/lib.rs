@@ -1,0 +1,743 @@
+//! `forestbal-par` — a zero-dependency, std-only fork-join thread pool with a
+//! hard determinism contract.
+//!
+//! # Why a first-party pool
+//!
+//! The workspace builds offline with std only (no rayon, no crossbeam), and the
+//! distributed runtimes already own threads: the threaded `Cluster` runs every
+//! rank as an OS thread, and tests routinely oversubscribe ranks × workers on
+//! small machines. The pool therefore has to be small enough to reason about
+//! exhaustively, safe to share between rank threads, and impossible to
+//! deadlock under oversubscription. It is ~400 lines of `Mutex`/`Condvar` code
+//! with three invariants:
+//!
+//! 1. **One batch at a time.** A dispatch takes the job slot, publishes its
+//!    tasks, participates as worker 0, and releases the slot only after every
+//!    task has finished. Concurrent dispatchers (e.g. several `Cluster` ranks
+//!    sharing one pool) queue on the slot; each batch still makes progress
+//!    because its dispatcher always executes tasks itself.
+//! 2. **The dispatcher participates.** Even with zero workers (threads = 1) or
+//!    with every worker stuck on another rank's batch, the dispatching thread
+//!    drains the task queue, so a dispatch can never block on thread
+//!    availability — this is what makes rank × worker oversubscription
+//!    deadlock-free by construction.
+//! 3. **Nested dispatch runs inline.** A task that itself calls into the pool
+//!    (a parallel kernel calling another parallel kernel) executes serially on
+//!    the calling thread, keeping its ambient worker id. No re-entrancy, no
+//!    lock recursion.
+//!
+//! # The determinism contract
+//!
+//! Every parallel kernel built on this pool must produce output **bit-identical
+//! for every thread count**, including 1. The pool enforces the only structure
+//! that guarantees this: *partition → independent compute → ordered
+//! deterministic merge*.
+//!
+//! * Task indices are a pure function of the input (`chunk_ranges` splits by
+//!   arithmetic, never by load).
+//! * Tasks may communicate only through their own task-indexed output slot
+//!   ([`Pool::map`]) or their own element ([`Pool::for_each_mut`]); worker ids
+//!   choose *scratch buffers* ([`PerWorker`]), never *results*.
+//! * Merges iterate task-index order or worker-index order
+//!   ([`PerWorker::iter_mut`]) — never completion order.
+//!
+//! Which worker runs which task is scheduling noise (tasks self-schedule off a
+//! shared cursor); anything derived from it must be either scratch or merged in
+//! a fixed order. Trace counters accumulated in per-worker scratch are merged
+//! in worker-index order for reproducible *totals*; the totals themselves are
+//! sums, hence schedule-invariant.
+//!
+//! # Control
+//!
+//! The global pool is sized by `FORESTBAL_THREADS` (or
+//! `available_parallelism`) on first use; [`set_global_threads`] pins it
+//! earlier (e.g. from a `--threads` CLI flag). Tests that need several thread
+//! counts in one process build private pools and scope them with
+//! [`Pool::install`], which overrides [`current`] on the calling thread only —
+//! exactly right for `Cluster` rank closures.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Configuration for a [`Pool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Total workers, *including* the dispatching thread. `1` means fully
+    /// serial (no threads are spawned).
+    pub threads: usize,
+}
+
+impl ParConfig {
+    /// Read `FORESTBAL_THREADS`, falling back to `available_parallelism`.
+    ///
+    /// Invalid or zero values fall back too — the pool never panics on
+    /// environment garbage.
+    pub fn from_env() -> ParConfig {
+        let threads = std::env::var("FORESTBAL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        ParConfig {
+            threads: threads.min(MAX_THREADS),
+        }
+    }
+}
+
+/// Hard cap on pool width; protects against `FORESTBAL_THREADS=999999`.
+pub const MAX_THREADS: usize = 256;
+
+type Payload = Box<dyn Any + Send + 'static>;
+
+/// The erased task function: `f(task_index, worker_index)`.
+///
+/// Lifetime-erased view of the caller's closure; validity is guaranteed
+/// because the dispatcher blocks until `finished == tasks` before returning.
+type RawFn = *const (dyn Fn(usize, usize) + Sync);
+
+/// The currently running batch. Lives in the job slot under the state mutex.
+struct Job {
+    f: RawFn,
+    tasks: usize,
+    /// Next unclaimed task index — the self-scheduling cursor.
+    next: usize,
+    /// Tasks that have finished executing (or were skipped after a panic).
+    finished: usize,
+    /// First panic payload; remaining tasks are claimed but skipped.
+    panic: Option<Payload>,
+}
+
+// SAFETY: `Job` moves between threads only under the state mutex, and the
+// erased `f` is only ever called while the dispatcher keeps the original
+// closure alive.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for claimable tasks.
+    work_cv: Condvar,
+    /// The active dispatcher waits here for its batch to finish.
+    done_cv: Condvar,
+    /// Queued dispatchers wait here for the job slot to free up.
+    idle_cv: Condvar,
+}
+
+/// A fork-join pool of `threads - 1` persistent workers plus the dispatcher.
+pub struct Pool {
+    shared: Arc<Shared>,
+    threads: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+thread_local! {
+    /// Pool override installed by [`Pool::install`] on this thread.
+    static CURRENT: RefCell<Option<Arc<Pool>>> = const { RefCell::new(None) };
+    /// Are we inside a pool task on this thread? Nested dispatch runs inline.
+    static IN_TASK: Cell<bool> = const { Cell::new(false) };
+    /// Ambient worker index (0 outside the pool / on the dispatcher).
+    static WORKER_ID: Cell<usize> = const { Cell::new(0) };
+}
+
+static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
+
+/// Pin the global pool to `threads` workers. Returns `false` if the global
+/// pool was already created (first use wins); call this before any kernel
+/// touches the pool — e.g. at the top of `main`.
+pub fn set_global_threads(threads: usize) -> bool {
+    GLOBAL
+        .set(Arc::new(Pool::new(threads.clamp(1, MAX_THREADS))))
+        .is_ok()
+}
+
+/// The pool the current thread should use: the innermost [`Pool::install`]
+/// override, else the process-global pool (created on first use from
+/// [`ParConfig::from_env`]).
+pub fn current() -> Arc<Pool> {
+    CURRENT.with(|c| c.borrow().clone()).unwrap_or_else(|| {
+        GLOBAL
+            .get_or_init(|| Arc::new(Pool::new(ParConfig::from_env().threads)))
+            .clone()
+    })
+}
+
+impl Pool {
+    /// Build a pool with `threads` total workers (including the dispatcher).
+    /// `threads = 1` spawns nothing and runs every dispatch inline.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.clamp(1, MAX_THREADS);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("forestbal-par-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            threads,
+            workers,
+        }
+    }
+
+    /// Total workers, including the dispatching thread.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Install this pool as [`current`] on the calling thread for the
+    /// duration of `f`. Nests; the previous override is restored on exit
+    /// (including unwinds).
+    pub fn install<R>(self: &Arc<Self>, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<Arc<Pool>>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                CURRENT.with(|c| *c.borrow_mut() = self.0.take());
+            }
+        }
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(self)));
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// Split `0..len` into at most `threads` contiguous ranges of at least
+    /// `min_chunk` elements (except when `len < min_chunk`, which yields a
+    /// single range). Pure arithmetic — the partition depends only on `len`,
+    /// `min_chunk` and the pool width, never on load.
+    pub fn chunk_ranges(&self, len: usize, min_chunk: usize) -> Vec<Range<usize>> {
+        let min_chunk = min_chunk.max(1);
+        let chunks = (len / min_chunk).clamp(1, self.threads.max(1));
+        let (base, rem) = (len / chunks, len % chunks);
+        let mut out = Vec::with_capacity(chunks);
+        let mut start = 0;
+        for c in 0..chunks {
+            let end = start + base + usize::from(c < rem);
+            out.push(start..end);
+            start = end;
+        }
+        out
+    }
+
+    /// Run `tasks` invocations of `f(task, worker)` across the pool and block
+    /// until all have finished. Tasks self-schedule (dynamic load balance);
+    /// worker ids are in `0..threads` and unique within the batch, with the
+    /// dispatcher as worker 0. Panics in any task are re-raised here after
+    /// the batch drains.
+    pub fn run(&self, tasks: usize, f: impl Fn(usize, usize) + Sync) {
+        self.run_dyn(tasks, &f);
+    }
+
+    fn run_dyn(&self, tasks: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        // Serial paths: width-1 pools, single tasks, and nested dispatch all
+        // run inline on the calling thread with its ambient worker id, so
+        // per-worker scratch stays consistent.
+        if self.threads == 1 || tasks == 1 || IN_TASK.get() {
+            let worker = WORKER_ID.get();
+            for t in 0..tasks {
+                f(t, worker);
+            }
+            return;
+        }
+        // SAFETY: we erase the closure's lifetime to park it in the shared
+        // job slot. The dispatcher (this frame) does not return until
+        // `finished == tasks`, so no task can outlive the borrow.
+        let erased: RawFn = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize, usize) + Sync),
+                *const (dyn Fn(usize, usize) + Sync + 'static),
+            >(f as *const _)
+        };
+        let mut st = self.shared.state.lock().unwrap();
+        while st.job.is_some() {
+            st = self.shared.idle_cv.wait(st).unwrap();
+        }
+        st.job = Some(Job {
+            f: erased,
+            tasks,
+            next: 0,
+            finished: 0,
+            panic: None,
+        });
+        self.shared.work_cv.notify_all();
+        // Participate as worker 0.
+        st = run_share(&self.shared, st, 0);
+        while st.job.as_ref().is_some_and(|j| j.finished < j.tasks) {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+        let job = st.job.take().expect("dispatcher owns the job slot");
+        self.shared.idle_cv.notify_all();
+        drop(st);
+        if let Some(p) = job.panic {
+            resume_unwind(p);
+        }
+    }
+
+    /// Run `f(task, worker)` for each task and collect the `tasks` results in
+    /// **task-index order** — the ordered merge half of the determinism
+    /// contract.
+    pub fn map<R: Send>(&self, tasks: usize, f: impl Fn(usize, usize) -> R + Sync) -> Vec<R> {
+        struct Slots<R>(Box<[UnsafeCell<Option<R>>]>);
+        // SAFETY: slot `t` is written exactly once, by task `t`.
+        unsafe impl<R: Send> Sync for Slots<R> {}
+        impl<R> Slots<R> {
+            // Method (not field) access so closures capture the whole `Sync`
+            // wrapper, not the raw `UnsafeCell` field.
+            fn slot(&self, t: usize) -> *mut Option<R> {
+                self.0[t].get()
+            }
+        }
+        let slots: Slots<R> = Slots((0..tasks).map(|_| UnsafeCell::new(None)).collect());
+        self.run_dyn(tasks, &|t, w| {
+            let r = f(t, w);
+            // SAFETY: each task index runs exactly once, so writes are
+            // unaliased; the dispatch barrier orders them before the reads.
+            unsafe { *slots.slot(t) = Some(r) };
+        });
+        slots
+            .0
+            .into_vec()
+            .into_iter()
+            .map(|c| c.into_inner().expect("task completed"))
+            .collect()
+    }
+
+    /// Run `f(index, &mut item, worker)` over each element of `items`, one
+    /// task per element. Results land in the caller's slice — ordered merge
+    /// for free.
+    pub fn for_each_mut<T: Send>(&self, items: &mut [T], f: impl Fn(usize, &mut T, usize) + Sync) {
+        struct Ptr<T>(*mut T);
+        // SAFETY: element `t` is accessed exactly once, by task `t`.
+        unsafe impl<T: Send> Sync for Ptr<T> {}
+        impl<T> Ptr<T> {
+            fn at(&self, t: usize) -> *mut T {
+                // SAFETY: caller stays in bounds (t < len, asserted below).
+                unsafe { self.0.add(t) }
+            }
+        }
+        let base = Ptr(items.as_mut_ptr());
+        let len = items.len();
+        self.run_dyn(len, &|t, w| {
+            debug_assert!(t < len);
+            // SAFETY: distinct task indices touch distinct elements.
+            let item = unsafe { &mut *base.at(t) };
+            f(t, item, w);
+        });
+    }
+
+    /// Fork-join two closures; one runs on the dispatcher when workers are
+    /// busy, so this never blocks on thread availability.
+    pub fn join<RA: Send, RB: Send>(
+        &self,
+        a: impl FnOnce() -> RA + Send,
+        b: impl FnOnce() -> RB + Send,
+    ) -> (RA, RB) {
+        struct Once<T>(UnsafeCell<Option<T>>);
+        // SAFETY: each cell is touched by exactly one task index (pool
+        // contract: every task index runs exactly once), and `T: Send` lets
+        // the value migrate to whichever thread claims the task.
+        unsafe impl<T: Send> Sync for Once<T> {}
+        impl<T> Once<T> {
+            fn new(v: Option<T>) -> Self {
+                Once(UnsafeCell::new(v))
+            }
+            fn ptr(&self) -> *mut Option<T> {
+                self.0.get()
+            }
+        }
+        let fa = Once::new(Some(a));
+        let fb = Once::new(Some(b));
+        let ra: Once<RA> = Once::new(None);
+        let rb: Once<RB> = Once::new(None);
+        self.run_dyn(2, &|t, _| {
+            // SAFETY: sole accessor per task index; see `Once`.
+            if t == 0 {
+                let f = unsafe { (*fa.ptr()).take() }.expect("join task 0 once");
+                unsafe { *ra.ptr() = Some(f()) };
+            } else {
+                let f = unsafe { (*fb.ptr()).take() }.expect("join task 1 once");
+                unsafe { *rb.ptr() = Some(f()) };
+            }
+        });
+        (
+            ra.0.into_inner().expect("join task 0 completed"),
+            rb.0.into_inner().expect("join task 1 completed"),
+        )
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Persistent worker body: wait for claimable work, help drain it, repeat.
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut st = shared.state.lock().unwrap();
+    loop {
+        if st.shutdown {
+            return;
+        }
+        if st.job.as_ref().is_some_and(|j| j.next < j.tasks) {
+            st = run_share(shared, st, worker);
+        } else {
+            st = shared.work_cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// Claim and execute tasks from the current job until the cursor is
+/// exhausted. Called with the state lock held; returns with it held.
+fn run_share<'m>(
+    shared: &'m Shared,
+    mut st: std::sync::MutexGuard<'m, PoolState>,
+    worker: usize,
+) -> std::sync::MutexGuard<'m, PoolState> {
+    loop {
+        let Some(job) = st.job.as_mut() else {
+            return st;
+        };
+        if job.next >= job.tasks {
+            return st;
+        }
+        let t = job.next;
+        job.next += 1;
+        let f = job.f;
+        let poisoned = job.panic.is_some();
+        drop(st);
+        let result = if poisoned {
+            // A sibling task panicked: claim and skip, so `finished` still
+            // reaches `tasks` and the dispatcher can report the panic.
+            Ok(())
+        } else {
+            let prev_in = IN_TASK.replace(true);
+            let prev_id = WORKER_ID.replace(worker);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                // SAFETY: see run_dyn — the dispatcher outlives the batch.
+                unsafe { (*f)(t, worker) }
+            }));
+            WORKER_ID.set(prev_id);
+            IN_TASK.set(prev_in);
+            r
+        };
+        st = shared.state.lock().unwrap();
+        let job = st.job.as_mut().expect("job outlives its tasks");
+        job.finished += 1;
+        if let Err(p) = result {
+            job.panic.get_or_insert(p);
+        }
+        if job.finished == job.tasks {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Shared raw view of a mutable slice for kernels whose tasks write
+/// provably disjoint index ranges (chunked scatters, partitioned codecs).
+///
+/// This is the one escape hatch the determinism contract allows for
+/// zero-copy parallel writes: the *caller* proves disjointness (ranges are
+/// computed by arithmetic before the dispatch), and the accessors are
+/// `unsafe` so every use site states that proof.
+pub struct DisjointSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _borrow: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is partitioned by caller-proven disjoint ranges; `T: Send`
+// lets elements be written from whichever thread owns the range.
+unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
+
+impl<'a, T> DisjointSlice<'a, T> {
+    /// Wrap `slice`; the borrow is held for the wrapper's lifetime.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        DisjointSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _borrow: std::marker::PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable view of `range`.
+    ///
+    /// # Safety
+    /// No two concurrent calls may pass overlapping ranges.
+    #[allow(clippy::mut_from_ref)] // &self is the point: disjoint ranges alias nothing
+    pub unsafe fn range_mut(&self, range: Range<usize>) -> &mut [T] {
+        assert!(range.start <= range.end && range.end <= self.len);
+        // SAFETY: bounds checked above; disjointness is the caller's proof.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
+
+    /// Write one element.
+    ///
+    /// # Safety
+    /// No two concurrent calls may pass the same index.
+    pub unsafe fn write(&self, i: usize, v: T) {
+        assert!(i < self.len);
+        // SAFETY: bounds checked above; uniqueness is the caller's proof.
+        unsafe { self.ptr.add(i).write(v) }
+    }
+}
+
+/// One scratch slot per pool worker, indexed by the `worker` argument that
+/// [`Pool::run`] hands each task.
+///
+/// Scratch is the *only* sanctioned use of worker ids: a task may mutate slot
+/// `worker` freely because worker ids are unique within a batch and batches
+/// never overlap. Anything accumulated here (trace counters, allocation
+/// high-water marks) must be merged through [`iter_mut`](Self::iter_mut) /
+/// [`drain`](Self::drain), which walk **worker-index order** so the merge is
+/// reproducible; determinism of the totals comes from them being sums over a
+/// schedule-invariant set of contributions.
+pub struct PerWorker<S> {
+    slots: Box<[UnsafeCell<S>]>,
+    busy: Box<[AtomicBool]>,
+}
+
+// SAFETY: access is partitioned by worker index (checked at runtime by the
+// `busy` flags), and `S: Send` lets slots migrate to whichever thread holds
+// the matching worker id this batch.
+unsafe impl<S: Send> Sync for PerWorker<S> {}
+
+impl<S> PerWorker<S> {
+    /// One slot per worker of `pool`, built with `init(worker_index)`.
+    pub fn new(pool: &Pool, mut init: impl FnMut(usize) -> S) -> Self {
+        let n = pool.threads();
+        PerWorker {
+            slots: (0..n).map(|w| UnsafeCell::new(init(w))).collect(),
+            busy: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Number of slots (== pool width at construction).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the pool had width 0 — never, in practice.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Exclusive access to worker `w`'s slot for the duration of `f`.
+    ///
+    /// Panics if the slot is already borrowed — which can only happen if a
+    /// caller passes a worker id it does not own this batch.
+    pub fn with<R>(&self, w: usize, f: impl FnOnce(&mut S) -> R) -> R {
+        assert!(
+            !self.busy[w].swap(true, Ordering::Acquire),
+            "PerWorker slot {w} accessed concurrently — worker id misuse"
+        );
+        struct Unbusy<'a>(&'a AtomicBool);
+        impl Drop for Unbusy<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::Release);
+            }
+        }
+        let _unbusy = Unbusy(&self.busy[w]);
+        // SAFETY: the busy flag proves exclusivity; &self keeps the slot alive.
+        f(unsafe { &mut *self.slots[w].get() })
+    }
+
+    /// All slots in worker-index order — the deterministic merge walk.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut S> {
+        self.slots.iter_mut().map(|c| c.get_mut())
+    }
+
+    /// Consume into the slot values, worker-index order.
+    pub fn drain(self) -> impl Iterator<Item = S> {
+        self.slots.into_vec().into_iter().map(|c| c.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_returns_task_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.map(37, |t, _| t * t);
+            assert_eq!(out, (0..37).map(|t| t * t).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_element_once() {
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let mut v = vec![0usize; 101];
+            pool.for_each_mut(&mut v, |i, x, _| *x += i + 1);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+        }
+    }
+
+    #[test]
+    fn join_runs_both_closures() {
+        for threads in [1, 2, 4] {
+            let pool = Pool::new(threads);
+            let (a, b) = pool.join(|| 2 + 2, || "ok".to_string());
+            assert_eq!((a, b.as_str()), (4, "ok"));
+        }
+    }
+
+    #[test]
+    fn worker_ids_unique_within_batch() {
+        let pool = Pool::new(4);
+        let in_use: Vec<AtomicBool> = (0..4).map(|_| AtomicBool::new(false)).collect();
+        pool.run(64, |_, w| {
+            assert!(
+                !in_use[w].swap(true, Ordering::SeqCst),
+                "worker {w} aliased"
+            );
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            in_use[w].store(false, Ordering::SeqCst);
+        });
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline() {
+        let pool = Arc::new(Pool::new(3));
+        let count = AtomicUsize::new(0);
+        let p2 = Arc::clone(&pool);
+        pool.install(|| {
+            pool.run(6, |_, w| {
+                // Nested call must not deadlock and must keep the worker id.
+                p2.run(4, |_, inner_w| {
+                    assert_eq!(inner_w, w);
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 24);
+    }
+
+    #[test]
+    fn panics_propagate_after_drain() {
+        let pool = Pool::new(3);
+        let ran = AtomicUsize::new(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, |t, _| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if t == 5 {
+                    panic!("task 5 exploded");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // Pool is still usable after a panic.
+        assert_eq!(pool.map(3, |t, _| t).len(), 3);
+    }
+
+    #[test]
+    fn concurrent_dispatchers_share_one_pool() {
+        let pool = Arc::new(Pool::new(2));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || {
+                    for rep in 0..20 {
+                        let out = pool.map(9, move |t, _| t + rep);
+                        assert_eq!(out, (0..9).map(|t| t + rep).collect::<Vec<_>>());
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn install_overrides_current_per_thread() {
+        let pool = Arc::new(Pool::new(7));
+        pool.install(|| {
+            assert_eq!(current().threads(), 7);
+        });
+        // Restored after install.
+        let t = std::thread::spawn(|| current().threads()).join().unwrap();
+        assert!(t >= 1);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        let pool = Pool::new(4);
+        for len in [0usize, 1, 5, 1000, 4097] {
+            for min in [1usize, 64, 4096] {
+                let ranges = pool.chunk_ranges(len, min);
+                assert!(!ranges.is_empty());
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                if len >= min {
+                    assert!(ranges.iter().all(|r| r.len() >= min.min(len)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_worker_slots_merge_in_order() {
+        let pool = Pool::new(4);
+        let mut scratch = PerWorker::new(&pool, |w| vec![w]);
+        pool.run(40, |t, w| scratch.with(w, |s| s.push(t)));
+        let firsts: Vec<usize> = scratch.iter_mut().map(|s| s[0]).collect();
+        assert_eq!(firsts, vec![0, 1, 2, 3]);
+        let total: usize = scratch.drain().flat_map(|s| s.into_iter().skip(1)).sum();
+        assert_eq!(total, (0..40).sum::<usize>());
+    }
+
+    #[test]
+    fn serial_pool_spawns_nothing() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.workers.len(), 0);
+        let out = pool.map(5, |t, w| {
+            assert_eq!(w, 0);
+            t
+        });
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+}
